@@ -1,0 +1,117 @@
+package portus_test
+
+import (
+	"testing"
+
+	"github.com/portus-sys/portus/internal/experiments"
+)
+
+// Each benchmark regenerates one of the paper's tables or figures on the
+// calibrated simulated testbed and reports rows/op-style metrics. The
+// virtual-time measurements inside are deterministic; wall time here
+// measures the simulator itself.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// or one artifact with e.g. -bench=BenchmarkFig11Checkpoint. The same
+// tables print from cmd/portus-bench.
+
+// runExperiment executes the experiment once per benchmark iteration and
+// reports its table count so regressions in coverage are visible.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run()
+		if len(tables) == 0 {
+			b.Fatalf("experiment %s produced no tables", id)
+		}
+		for _, tb := range tables {
+			if len(tb.Rows) == 0 {
+				b.Fatalf("experiment %s table %s has no rows", id, tb.ID)
+			}
+		}
+	}
+}
+
+// BenchmarkTable1Breakdown regenerates Table I: the traditional
+// checkpoint path's stage breakdown on BERT-Large.
+func BenchmarkTable1Breakdown(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2ModelSpecs regenerates Table II: the model zoo's
+// headline specifications.
+func BenchmarkTable2ModelSpecs(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkFig2Overhead regenerates Figure 2: checkpoint overhead as a
+// fraction of training time at CheckFreq frequencies.
+func BenchmarkFig2Overhead(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkDatapathStructure regenerates Figures 3 & 5: copies, kernel
+// crossings, and serialization per checkpoint path.
+func BenchmarkDatapathStructure(b *testing.B) { runExperiment(b, "datapath") }
+
+// BenchmarkFig9Timeline regenerates Figure 9: the training timeline
+// under each checkpoint policy.
+func BenchmarkFig9Timeline(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10Datapath regenerates Figure 10: bandwidth and latency of
+// the Portus datapath across device pairs and message sizes.
+func BenchmarkFig10Datapath(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11Checkpoint regenerates Figure 11: checkpoint times of
+// the seven Table II models under Portus, BeeGFS-PMem, and ext4-NVMe.
+func BenchmarkFig11Checkpoint(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12Restore regenerates Figure 12: restore times for the
+// same matrix.
+func BenchmarkFig12Restore(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13Breakdown regenerates Figure 13: the BERT checkpoint
+// stage breakdown under all three systems.
+func BenchmarkFig13Breakdown(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14GPT regenerates Figure 14: GPT checkpoint dump times
+// (1.5B-22.4B) for Portus versus torch.save.
+func BenchmarkFig14GPT(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkFig15Throughput regenerates Figure 15: GPT-22.4B training
+// throughput under CheckFreq versus Portus.
+func BenchmarkFig15Throughput(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkFig16Utilization regenerates Figure 16: the 500-second GPU
+// utilization trace.
+func BenchmarkFig16Utilization(b *testing.B) { runExperiment(b, "fig16") }
+
+// BenchmarkAblationStaging: zero-copy versus host staging.
+func BenchmarkAblationStaging(b *testing.B) { runExperiment(b, "ablation-staging") }
+
+// BenchmarkAblationOneSided: one-sided versus two-sided data plane.
+func BenchmarkAblationOneSided(b *testing.B) { runExperiment(b, "ablation-onesided") }
+
+// BenchmarkAblationDoubleMap: double mapping versus fresh allocation.
+func BenchmarkAblationDoubleMap(b *testing.B) { runExperiment(b, "ablation-doublemap") }
+
+// BenchmarkAblationWorkers: daemon worker-pool width under multitenancy.
+func BenchmarkAblationWorkers(b *testing.B) { runExperiment(b, "ablation-workers") }
+
+// BenchmarkAblationBAR: sensitivity to the GPU BAR read cap.
+func BenchmarkAblationBAR(b *testing.B) { runExperiment(b, "ablation-bar") }
+
+// BenchmarkAblationFrequency: checkpoint interval versus lost work.
+func BenchmarkAblationFrequency(b *testing.B) { runExperiment(b, "ablation-frequency") }
+
+// BenchmarkAblationDRAM: PMem versus the volatile DRAM fallback target.
+func BenchmarkAblationDRAM(b *testing.B) { runExperiment(b, "ablation-dram") }
+
+// BenchmarkAblationAdaptive: finest sustainable checkpoint frequency
+// per policy.
+func BenchmarkAblationAdaptive(b *testing.B) { runExperiment(b, "ablation-adaptive") }
+
+// BenchmarkAblationChurn: goodput under sustained failures.
+func BenchmarkAblationChurn(b *testing.B) { runExperiment(b, "ablation-churn") }

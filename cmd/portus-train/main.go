@@ -1,0 +1,95 @@
+// Command portus-train runs a simulated DNN training job against a live
+// portusd, checkpointing through the Portus client library over real
+// sockets.
+//
+// Example (against a default portusd):
+//
+//	portus-train -server 127.0.0.1:7470 -server-fabric 127.0.0.1:7471 \
+//	    -model resnet50 -iterations 100 -interval 10 -policy async
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	portus "github.com/portus-sys/portus"
+)
+
+func main() {
+	var (
+		server       = flag.String("server", "127.0.0.1:7470", "portusd control address")
+		serverFabric = flag.String("server-fabric", "127.0.0.1:7471", "portusd fabric agent address")
+		modelName    = flag.String("model", "resnet50", "zoo model to train (see portus.Zoo)")
+		iterations   = flag.Int("iterations", 50, "iterations to run")
+		interval     = flag.Int("interval", 10, "checkpoint every N iterations (0 = never)")
+		policy       = flag.String("policy", "async", "checkpoint policy: sync | async")
+		iterMillis   = flag.Int("iter-millis", 0, "override per-iteration compute time in ms (0 = calibrated default)")
+		nodeName     = flag.String("node", "client0", "this job's fabric node name")
+		materialized = flag.Bool("materialized", false, "must match portusd's -materialized")
+		restore      = flag.Bool("restore", false, "restore the newest checkpoint before training")
+	)
+	flag.Parse()
+
+	spec, err := portus.ModelByName(*modelName)
+	if err != nil {
+		log.Fatalf("portus-train: %v", err)
+	}
+	if *iterMillis > 0 {
+		spec.IterTime = time.Duration(*iterMillis) * time.Millisecond
+	}
+
+	job, err := portus.NewJob(portus.JobConfig{
+		ServerCtrlAddr:   *server,
+		ServerFabricAddr: *serverFabric,
+		NodeName:         *nodeName,
+		Materialized:     *materialized,
+		GPUMemBytes:      2 * spec.TotalSize(),
+	})
+	if err != nil {
+		log.Fatalf("portus-train: %v", err)
+	}
+	defer job.Close()
+
+	m, err := job.RegisterModel(spec)
+	if err != nil {
+		log.Fatalf("portus-train: registering %s: %v", spec.Name, err)
+	}
+	defer m.Close()
+	fmt.Printf("portus-train: registered %s (%d tensors, %.1f MiB)\n",
+		spec.Name, spec.NumTensors(), float64(spec.TotalSize())/(1<<20))
+
+	cfg := portus.TrainConfig{
+		Spec:       spec,
+		Placed:     m.Placed(),
+		Interval:   *interval,
+		Iterations: *iterations,
+	}
+	switch *policy {
+	case "sync":
+		cfg.Policy = m.SyncPolicy()
+	case "async":
+		cfg.Policy = m.AsyncPolicy()
+	default:
+		log.Fatalf("portus-train: unknown policy %q", *policy)
+	}
+
+	if *restore {
+		iter, err := m.Restore(job.Env())
+		if err != nil {
+			fmt.Printf("portus-train: no checkpoint to restore (%v); starting fresh\n", err)
+		} else {
+			fmt.Printf("portus-train: restored iteration %d\n", iter)
+			cfg.StartIteration = iter
+		}
+	}
+
+	res, err := portus.Train(job.Env(), cfg)
+	if err != nil {
+		log.Fatalf("portus-train: %v", err)
+	}
+	fmt.Printf("portus-train: %d iterations in %v (%.2f iter/s), %d checkpoints, stalls %v, GPU util %.1f%%\n",
+		res.Iterations, res.Elapsed.Round(time.Millisecond), res.Throughput(),
+		res.Checkpoints, res.StallTime.Round(time.Millisecond), 100*res.GPUUtilization())
+}

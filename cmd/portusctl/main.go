@@ -1,0 +1,257 @@
+// Command portusctl manages DNN checkpoints on persistent memory
+// (§IV-b). It works either offline against a namespace image or online
+// against a running portusd.
+//
+// Offline (namespace image):
+//
+//	portusctl -image ns.img view
+//	portusctl -image ns.img inspect MODEL         # print the MIndex record
+//	portusctl -image ns.img dump MODEL out.ckpt   # export as a general container
+//	portusctl -image ns.img repack                # compact and reclaim space
+//
+// Online (live daemon):
+//
+//	portusctl -addr 127.0.0.1:7470 list
+//	portusctl -addr 127.0.0.1:7470 dump MODEL out.ckpt
+//	portusctl -addr 127.0.0.1:7470 delete MODEL
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"github.com/portus-sys/portus/internal/index"
+	"github.com/portus-sys/portus/internal/metrics"
+	"github.com/portus-sys/portus/internal/pmem"
+	"github.com/portus-sys/portus/internal/repack"
+	"github.com/portus-sys/portus/internal/serialize"
+	"github.com/portus-sys/portus/internal/sim"
+	"github.com/portus-sys/portus/internal/wire"
+)
+
+func main() {
+	var (
+		image = flag.String("image", "", "namespace image path (offline mode)")
+		addr  = flag.String("addr", "", "daemon control address (online mode)")
+	)
+	flag.Parse()
+	if err := run(*image, *addr, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "portusctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(image, addr string, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: portusctl [-image FILE | -addr HOST:PORT] view|inspect|dump|repack|list|delete ...")
+	}
+	switch {
+	case image != "":
+		return runOffline(image, args)
+	case addr != "":
+		return runOnline(addr, args)
+	default:
+		return fmt.Errorf("one of -image or -addr is required")
+	}
+}
+
+// runOffline operates on a namespace image directly, exactly as the
+// paper's tool reads a PMem device (§IV-b).
+func runOffline(image string, args []string) error {
+	pm, err := pmem.LoadImageFile("pmem0", image)
+	if err != nil {
+		return err
+	}
+	store, err := index.Open(pm)
+	if err != nil {
+		return err
+	}
+	switch args[0] {
+	case "view":
+		return view(store)
+	case "dump":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: portusctl -image FILE dump MODEL OUT")
+		}
+		return dump(pm, store, args[1], args[2])
+	case "inspect":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: portusctl -image FILE inspect MODEL")
+		}
+		return inspect(store, args[1])
+	case "repack":
+		rep, err := repack.Run(pm, store)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+		if err := pm.SaveImageFile(image); err != nil {
+			return fmt.Errorf("saving repacked image: %w", err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown offline command %q", args[0])
+	}
+}
+
+// inspect prints a model's MIndex record in the paper's notation
+// (§III-D1's BERT example).
+func inspect(store *index.Store, model string) error {
+	m, err := store.Lookup(model)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("MIndex for %s @ info_offset=0x%x:\n", m.Name, m.InfoOff())
+	fmt.Printf("{ layers=%d,\n", len(m.Tensors))
+	for i, tm := range m.Tensors {
+		shape := ""
+		for d, dim := range tm.Dims {
+			if d > 0 {
+				shape += ", "
+			}
+			shape += fmt.Sprint(dim)
+		}
+		fmt.Printf("  tensor%d: (name=%s, dtype=%s, shape=(%s), size=%d, paddr=[0x%x, 0x%x]),\n",
+			i+1, tm.Name, tm.DType, shape, tm.Size, m.PAddr[i][0], m.PAddr[i][1])
+	}
+	for v := 0; v < 2; v++ {
+		h := m.VersionHeader(v)
+		fmt.Printf("  version%d: state=%s iteration=%d\n", v, index.StateName(h.State), h.Iteration)
+	}
+	fmt.Println("}")
+	return nil
+}
+
+// view lists every model's index state from the raw image.
+func view(store *index.Store) error {
+	models, err := store.Models()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-40s %8s %10s %-22s %-22s\n", "MODEL", "TENSORS", "SIZE", "SLOT0", "SLOT1")
+	for _, m := range models {
+		slotDesc := func(v int) string {
+			h := m.VersionHeader(v)
+			if h.State == index.StateEmpty {
+				return "empty"
+			}
+			return fmt.Sprintf("%s iter=%d", index.StateName(h.State), h.Iteration)
+		}
+		fmt.Printf("%-40s %8d %10s %-22s %-22s\n",
+			m.Name, len(m.Tensors), metrics.FormatBytes(m.TotalSize()), slotDesc(0), slotDesc(1))
+	}
+	alloc := store.Allocator()
+	fmt.Printf("\n%d models; data zone: %s in use, %s free\n",
+		len(models), metrics.FormatBytes(alloc.InUse()), metrics.FormatBytes(alloc.FreeBytes()))
+	return nil
+}
+
+// dump exports a model's newest complete version as a torch.save-style
+// container — the "easy sharing" path of §IV-b.
+func dump(pm *pmem.Device, store *index.Store, model, out string) error {
+	m, err := store.Lookup(model)
+	if err != nil {
+		return err
+	}
+	slot, v, ok := m.LatestDone()
+	if !ok {
+		return fmt.Errorf("model %q has no complete checkpoint version", model)
+	}
+	ckpt := &serialize.Checkpoint{Model: m.Name, Iteration: v.Iteration}
+	for i, tm := range m.Tensors {
+		ext := m.TensorData(i, slot)
+		blob := serialize.Blob{Meta: tm}
+		if pm.Materialized() {
+			blob.Data = pm.Data().Bytes(ext.Off, ext.Size)
+		} else {
+			blob.Virtual = true
+			blob.Stamp = pm.Data().StampOf(ext.Off, ext.Size)
+		}
+		ckpt.Tensors = append(ckpt.Tensors, blob)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := serialize.Encode(f, ckpt); err != nil {
+		return err
+	}
+	fmt.Printf("dumped %s iteration %d (%s payload) to %s\n",
+		m.Name, v.Iteration, metrics.FormatBytes(m.TotalSize()), out)
+	return nil
+}
+
+// runOnline talks to a live daemon over the control protocol.
+func runOnline(addr string, args []string) error {
+	sock, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer sock.Close()
+	conn := wire.NewNetConn(sock)
+	env := sim.NewRealEnv()
+	switch args[0] {
+	case "list":
+		if err := conn.Send(env, &wire.Msg{Type: wire.TList}); err != nil {
+			return err
+		}
+		resp, err := conn.Recv(env)
+		if err != nil {
+			return err
+		}
+		if resp.Type == wire.TError {
+			return fmt.Errorf("daemon: %s", resp.Error)
+		}
+		fmt.Printf("%-40s %8s %10s %-8s %-8s %10s\n", "MODEL", "TENSORS", "SIZE", "SLOT0", "SLOT1", "LATEST")
+		for _, mi := range resp.Models {
+			latest := "-"
+			if mi.HasDone {
+				latest = fmt.Sprint(mi.LatestIter)
+			}
+			fmt.Printf("%-40s %8d %10s %-8s %-8s %10s\n",
+				mi.Name, mi.Tensors, metrics.FormatBytes(mi.Bytes), mi.Slot0, mi.Slot1, latest)
+		}
+		return nil
+	case "dump":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: portusctl -addr HOST:PORT dump MODEL OUT")
+		}
+		if err := conn.Send(env, &wire.Msg{Type: wire.TDump, Model: args[1]}); err != nil {
+			return err
+		}
+		resp, err := conn.Recv(env)
+		if err != nil {
+			return err
+		}
+		if resp.Type == wire.TError {
+			return fmt.Errorf("daemon: %s", resp.Error)
+		}
+		if err := os.WriteFile(args[2], resp.Payload, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("archived %s iteration %d (%s) to %s\n",
+			args[1], resp.Iteration, metrics.FormatBytes(int64(len(resp.Payload))), args[2])
+		return nil
+	case "delete":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: portusctl -addr HOST:PORT delete MODEL")
+		}
+		if err := conn.Send(env, &wire.Msg{Type: wire.TDelete, Model: args[1]}); err != nil {
+			return err
+		}
+		resp, err := conn.Recv(env)
+		if err != nil {
+			return err
+		}
+		if resp.Type == wire.TError {
+			return fmt.Errorf("daemon: %s", resp.Error)
+		}
+		fmt.Printf("deleted %s\n", args[1])
+		return nil
+	default:
+		return fmt.Errorf("unknown online command %q", args[0])
+	}
+}

@@ -1,0 +1,73 @@
+// Command portusd runs the Portus daemon: it owns the (simulated) devdax
+// persistent-memory namespace, accepts model registrations over TCP, and
+// performs checkpoint pulls and restore pushes over the soft-RDMA data
+// plane.
+//
+// Example:
+//
+//	portusd -ctrl :7470 -fabric :7471 -pmem-gib 8 -image /var/lib/portus/ns.img
+//
+// On SIGINT/SIGTERM the daemon persists the namespace image (when -image
+// is set) and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	portus "github.com/portus-sys/portus"
+)
+
+func main() {
+	var (
+		ctrl         = flag.String("ctrl", "127.0.0.1:7470", "control-plane listen address")
+		fabric       = flag.String("fabric", "127.0.0.1:7471", "soft-RDMA agent listen address")
+		pmemGiB      = flag.Int64("pmem-gib", 4, "devdax data-zone capacity in GiB")
+		metaMiB      = flag.Int64("meta-mib", 64, "metadata-zone capacity in MiB")
+		workers      = flag.Int("workers", 8, "daemon thread-pool width")
+		materialized = flag.Bool("materialized", false, "store real checkpoint bytes instead of content fingerprints")
+		image        = flag.String("image", "", "namespace image path: loaded at startup if present, saved at shutdown")
+	)
+	flag.Parse()
+
+	cfg := portus.ServerConfig{
+		PMemBytes:    *pmemGiB << 30,
+		MetaBytes:    *metaMiB << 20,
+		Workers:      *workers,
+		Materialized: *materialized,
+		CtrlAddr:     *ctrl,
+		FabricAddr:   *fabric,
+	}
+	if *image != "" {
+		if _, err := os.Stat(*image); err == nil {
+			cfg.ImagePath = *image
+		}
+	}
+	srv, err := portus.NewServer(cfg)
+	if err != nil {
+		log.Fatalf("portusd: %v", err)
+	}
+	fmt.Printf("portusd: control %s, fabric %s, pmem %d GiB (%s)\n",
+		srv.CtrlAddr, srv.FabricAddr, *pmemGiB, map[bool]string{true: "materialized", false: "virtual"}[*materialized])
+	if cfg.ImagePath != "" {
+		fmt.Printf("portusd: restored namespace from %s (%d models)\n",
+			cfg.ImagePath, len(srv.Daemon().ModelNames()))
+	}
+
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
+	go srv.Serve()
+	<-done
+
+	if *image != "" {
+		if err := srv.SaveImage(*image); err != nil {
+			log.Fatalf("portusd: saving image: %v", err)
+		}
+		fmt.Printf("portusd: namespace image saved to %s\n", *image)
+	}
+	srv.Close()
+}

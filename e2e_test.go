@@ -1,0 +1,163 @@
+package portus_test
+
+import (
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBinariesEndToEnd builds the real executables and drives the whole
+// deployment story as separate OS processes: portusd up, portus-train
+// checkpoints over real sockets, portusctl inspects the live daemon,
+// the daemon persists its namespace image on shutdown, and portusctl
+// reads, exports, and repacks the image offline.
+func TestBinariesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the cmd binaries")
+	}
+	bin := t.TempDir()
+	for _, cmd := range []string{"portusd", "portus-train", "portusctl"} {
+		out, err := exec.Command("go", "build", "-o", filepath.Join(bin, cmd), "./cmd/"+cmd).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", cmd, err, out)
+		}
+	}
+	ctrl := freeAddr(t)
+	fabric := freeAddr(t)
+	image := filepath.Join(t.TempDir(), "ns.img")
+
+	// Start the daemon.
+	daemon := exec.Command(filepath.Join(bin, "portusd"),
+		"-ctrl", ctrl, "-fabric", fabric, "-pmem-gib", "1", "-image", image)
+	daemon.Stdout = os.Stderr
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.Process.Kill()
+	waitForListener(t, ctrl)
+
+	// Train with checkpoints every 5 iterations.
+	train := exec.Command(filepath.Join(bin, "portus-train"),
+		"-server", ctrl, "-server-fabric", fabric,
+		"-model", "squeezenet1_0", "-iterations", "15", "-interval", "5",
+		"-policy", "async", "-iter-millis", "2")
+	out, err := train.CombinedOutput()
+	if err != nil {
+		t.Fatalf("portus-train: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "15 iterations") {
+		t.Fatalf("train output missing completion: %s", out)
+	}
+
+	// Live inspection.
+	list, err := exec.Command(filepath.Join(bin, "portusctl"), "-addr", ctrl, "list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("portusctl list: %v\n%s", err, list)
+	}
+	if !strings.Contains(string(list), "squeezenet1_0") || !strings.Contains(string(list), "done") {
+		t.Fatalf("list output missing model: %s", list)
+	}
+
+	// Live archive export.
+	ckpt := filepath.Join(t.TempDir(), "sq.ckpt")
+	dump, err := exec.Command(filepath.Join(bin, "portusctl"), "-addr", ctrl, "dump", "squeezenet1_0", ckpt).CombinedOutput()
+	if err != nil {
+		t.Fatalf("portusctl dump: %v\n%s", err, dump)
+	}
+	if fi, err := os.Stat(ckpt); err != nil || fi.Size() == 0 {
+		t.Fatalf("archive missing: %v", err)
+	}
+
+	// Graceful shutdown persists the namespace image.
+	if err := daemon.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- daemon.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("portusd did not exit on SIGINT")
+	}
+	if _, err := os.Stat(image); err != nil {
+		t.Fatalf("namespace image not written: %v", err)
+	}
+
+	// Offline view and repack against the image.
+	view, err := exec.Command(filepath.Join(bin, "portusctl"), "-image", image, "view").CombinedOutput()
+	if err != nil {
+		t.Fatalf("portusctl view: %v\n%s", err, view)
+	}
+	if !strings.Contains(string(view), "squeezenet1_0") {
+		t.Fatalf("offline view missing model: %s", view)
+	}
+	insp, err := exec.Command(filepath.Join(bin, "portusctl"), "-image", image, "inspect", "squeezenet1_0").CombinedOutput()
+	if err != nil {
+		t.Fatalf("portusctl inspect: %v\n%s", err, insp)
+	}
+	if !strings.Contains(string(insp), "layers=52") || !strings.Contains(string(insp), "paddr=") {
+		t.Fatalf("inspect output unexpected: %s", insp)
+	}
+	repack, err := exec.Command(filepath.Join(bin, "portusctl"), "-image", image, "repack").CombinedOutput()
+	if err != nil {
+		t.Fatalf("portusctl repack: %v\n%s", err, repack)
+	}
+	if !strings.Contains(string(repack), "kept 1 models") {
+		t.Fatalf("repack output unexpected: %s", repack)
+	}
+
+	// A second daemon restores the repacked image and still serves it.
+	ctrl2 := freeAddr(t)
+	fabric2 := freeAddr(t)
+	daemon2 := exec.Command(filepath.Join(bin, "portusd"),
+		"-ctrl", ctrl2, "-fabric", fabric2, "-image", image)
+	d2out := &strings.Builder{}
+	daemon2.Stdout = d2out
+	daemon2.Stderr = d2out
+	if err := daemon2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer daemon2.Process.Kill()
+	waitForListener(t, ctrl2)
+	list2, err := exec.Command(filepath.Join(bin, "portusctl"), "-addr", ctrl2, "list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("portusctl list (restored): %v\n%s", err, list2)
+	}
+	if !strings.Contains(string(list2), "squeezenet1_0") {
+		t.Fatalf("restored daemon lost the model: %s\ndaemon log: %s", list2, d2out)
+	}
+	daemon2.Process.Signal(os.Interrupt)
+	daemon2.Wait()
+}
+
+// freeAddr grabs an unused loopback port.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// waitForListener polls until addr accepts connections.
+func waitForListener(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		c, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			c.Close()
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("nothing listening at %s", addr)
+}

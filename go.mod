@@ -1,0 +1,3 @@
+module github.com/portus-sys/portus
+
+go 1.22

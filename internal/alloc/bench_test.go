@@ -1,0 +1,52 @@
+package alloc
+
+import (
+	"testing"
+
+	"github.com/portus-sys/portus/internal/pmem"
+)
+
+func BenchmarkAllocateFree(b *testing.B) {
+	pm := pmem.New(pmem.Config{Name: "pm", DataSize: 1 << 30, MetaSize: 8 << 20})
+	a, err := Format(pm, 0, 4<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off, err := a.Allocate(4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Free(off); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBumpAllocate(b *testing.B) {
+	mk := func() *Allocator {
+		pm := pmem.New(pmem.Config{Name: "pm", DataSize: 1 << 40, MetaSize: 64 << 20})
+		a, err := Format(pm, 0, 60<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return a
+	}
+	a := mk()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Allocate(64 << 10); err != nil {
+			// The zone or slot table filled up across escalating b.N
+			// runs; start a fresh namespace outside the timer.
+			b.StopTimer()
+			a = mk()
+			b.StartTimer()
+			if _, err := a.Allocate(64 << 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package baseline implements the checkpointing systems Portus is
+// evaluated against:
+//
+//   - TorchSave: PyTorch's built-in synchronous policy — training
+//     blocks for the whole snapshot-serialize-write sequence (Figure
+//     9(a)).
+//
+//   - CheckFreq (Mohan et al., FAST '21): a two-phase policy — a
+//     blocking GPU→host snapshot, then serialization and writing in the
+//     background, with the next checkpoint stalling until the previous
+//     persist completes (Figure 9(b)). Includes CheckFreq's adaptive
+//     interval selection.
+//
+// Both drive the fsim storage backends; both restore over the
+// GPU-Direct-Storage path the paper credits for the baselines' smaller
+// restore gap (§V-C2).
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/portus-sys/portus/internal/cluster"
+	"github.com/portus-sys/portus/internal/fsim"
+	"github.com/portus-sys/portus/internal/gpu"
+	"github.com/portus-sys/portus/internal/perfmodel"
+	"github.com/portus-sys/portus/internal/serialize"
+	"github.com/portus-sys/portus/internal/sim"
+)
+
+// Snapshot copies a placed model's tensors from GPU memory into host
+// blobs — the cuMemcpy staging step that costs 15.5% of a traditional
+// checkpoint (Table I). It blocks training: weights must not change
+// mid-copy.
+func Snapshot(env sim.Env, node *cluster.ComputeNode, m *gpu.PlacedModel) []serialize.Blob {
+	node.PCIe.Transfer(env, m.Spec.TotalSize(), perfmodel.CuMemcpyBW, 0)
+	blobs := make([]serialize.Blob, len(m.Spec.Tensors))
+	for i, tm := range m.Spec.Tensors {
+		b := serialize.Blob{Meta: tm}
+		if m.GPU.Mem().Materialized() {
+			b.Data = m.GPU.Mem().Bytes(m.Offs[i], tm.Size)
+		} else {
+			b.Virtual = true
+			b.Stamp = m.GPU.Mem().StampOf(m.Offs[i], tm.Size)
+		}
+		blobs[i] = b
+	}
+	return blobs
+}
+
+// applyBlobs writes restored blobs back into GPU memory.
+func applyBlobs(m *gpu.PlacedModel, ckpt *serialize.Checkpoint) error {
+	if len(ckpt.Tensors) != len(m.Spec.Tensors) {
+		return fmt.Errorf("baseline: checkpoint has %d tensors, model has %d",
+			len(ckpt.Tensors), len(m.Spec.Tensors))
+	}
+	for i, b := range ckpt.Tensors {
+		if b.Meta.Size != m.Spec.Tensors[i].Size {
+			return fmt.Errorf("baseline: tensor %d size %d, model wants %d", i, b.Meta.Size, m.Spec.Tensors[i].Size)
+		}
+		if b.Virtual {
+			m.GPU.Mem().WriteStamp(m.Offs[i], b.Meta.Size, b.Stamp)
+		} else {
+			m.GPU.Mem().Write(m.Offs[i], b.Data)
+		}
+	}
+	m.Iteration = ckpt.Iteration
+	return nil
+}
+
+// TorchSave is the synchronous baseline checkpointer.
+type TorchSave struct {
+	Backend fsim.Backend
+	Node    *cluster.ComputeNode
+	Model   *gpu.PlacedModel
+}
+
+// NewTorchSave builds the synchronous policy for one placed model.
+func NewTorchSave(backend fsim.Backend, node *cluster.ComputeNode, m *gpu.PlacedModel) *TorchSave {
+	return &TorchSave{Backend: backend, Node: node, Model: m}
+}
+
+// Name identifies the policy.
+func (t *TorchSave) Name() string { return "torch.save/" + t.Backend.Name() }
+
+// Checkpoint blocks until the model is durably saved.
+func (t *TorchSave) Checkpoint(env sim.Env, iteration uint64) error {
+	ckpt := &serialize.Checkpoint{
+		Model:     t.Model.Spec.Name,
+		Iteration: iteration,
+		Tensors:   Snapshot(env, t.Node, t.Model),
+	}
+	return t.Backend.Save(env, t.Node, ckpt)
+}
+
+// BeforeUpdate is a no-op: the synchronous save already completed.
+func (t *TorchSave) BeforeUpdate(env sim.Env, iteration uint64) {}
+
+// Drain is a no-op: TorchSave has no background work.
+func (t *TorchSave) Drain(env sim.Env) {}
+
+// Restore loads the newest checkpoint into the model and returns its
+// iteration.
+func (t *TorchSave) Restore(env sim.Env) (uint64, error) {
+	ckpt, err := t.Backend.Load(env, t.Node, t.Model.Spec.Name)
+	if err != nil {
+		return 0, err
+	}
+	if err := applyBlobs(t.Model, ckpt); err != nil {
+		return 0, err
+	}
+	return ckpt.Iteration, nil
+}
+
+// CheckFreq is the snapshot-then-persist baseline.
+type CheckFreq struct {
+	Backend fsim.Backend
+	Node    *cluster.ComputeNode
+	Model   *gpu.PlacedModel
+
+	inflight *sim.Signal
+	// Stalled accumulates time Checkpoint spent waiting for a previous
+	// persist — the fine-grained-frequency pathology of Figures 15/16.
+	Stalled time.Duration
+}
+
+// NewCheckFreq builds the CheckFreq policy for one placed model.
+func NewCheckFreq(backend fsim.Backend, node *cluster.ComputeNode, m *gpu.PlacedModel) *CheckFreq {
+	return &CheckFreq{Backend: backend, Node: node, Model: m}
+}
+
+// Name identifies the policy.
+func (c *CheckFreq) Name() string { return "CheckFreq/" + c.Backend.Name() }
+
+// Checkpoint takes a blocking snapshot and persists it in the
+// background. If the previous persist has not finished, it stalls first
+// (CheckFreq serializes persists to bound snapshot-buffer memory).
+func (c *CheckFreq) Checkpoint(env sim.Env, iteration uint64) error {
+	if c.inflight != nil && !c.inflight.Fired(env) {
+		start := env.Now()
+		c.inflight.Wait(env)
+		c.Stalled += env.Now() - start
+	}
+	ckpt := &serialize.Checkpoint{
+		Model:     c.Model.Spec.Name,
+		Iteration: iteration,
+		Tensors:   Snapshot(env, c.Node, c.Model),
+	}
+	done := sim.NewSignal(env)
+	c.inflight = done
+	env.Go("checkfreq-persist", func(env sim.Env) {
+		// Persist failures surface at the next Drain in a real system;
+		// the simulated backends only fail on misconfiguration.
+		if err := c.Backend.Save(env, c.Node, ckpt); err != nil {
+			panic(fmt.Sprintf("baseline: checkfreq persist: %v", err))
+		}
+		done.Fire(env)
+	})
+	return nil
+}
+
+// BeforeUpdate is a no-op: the snapshot already isolated the weights, so
+// updates cannot corrupt the in-flight persist.
+func (c *CheckFreq) BeforeUpdate(env sim.Env, iteration uint64) {}
+
+// Drain blocks until the in-flight persist completes.
+func (c *CheckFreq) Drain(env sim.Env) {
+	if c.inflight != nil {
+		c.inflight.Wait(env)
+	}
+}
+
+// Restore loads the newest durable checkpoint.
+func (c *CheckFreq) Restore(env sim.Env) (uint64, error) {
+	c.Drain(env)
+	ckpt, err := c.Backend.Load(env, c.Node, c.Model.Spec.Name)
+	if err != nil {
+		return 0, err
+	}
+	if err := applyBlobs(c.Model, ckpt); err != nil {
+		return 0, err
+	}
+	return ckpt.Iteration, nil
+}
+
+// AdaptiveInterval implements CheckFreq's frequency tuner: the smallest
+// checkpoint interval (in iterations) such that (a) a persist finishes
+// before the next checkpoint is due, and (b) snapshot stalls stay under
+// the overhead budget (CheckFreq's default is 3.5%).
+func AdaptiveInterval(iterTime, snapshotTime, persistTime time.Duration, overheadBudget float64) int {
+	if iterTime <= 0 {
+		return 1
+	}
+	persistBound := int(persistTime/iterTime) + 1
+	budgetBound := 1
+	if overheadBudget > 0 {
+		budgetBound = int(float64(snapshotTime)/(overheadBudget*float64(iterTime))) + 1
+	}
+	n := persistBound
+	if budgetBound > n {
+		n = budgetBound
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,282 @@
+// Package client implements the Portus Client library: the
+// framework-side extension that registers a training job's GPU-resident
+// tensors with the daemon and drives checkpoints and restores over the
+// control plane (§III-B, §III-E, §III-F).
+//
+// Registration collects each tensor's fixed GPU address, registers it as
+// an RDMA memory region (the nv_peer_mem step), and ships the metadata
+// packet — layer names, dtypes, shapes, remote keys — to the daemon over
+// TCP. Checkpoints are then a single "DO_CHECKPOINT" message: the daemon
+// pulls the data; the training process never copies, serializes, or
+// crosses into the kernel.
+//
+// Two checkpoint policies mirror Figure 9:
+//
+//   - Sync waits for CHECKPOINT_DONE before returning (Figure 9(c)).
+//   - Async returns immediately after sending the request and only
+//     stalls the *update* phase if the pull has not finished by then
+//     (Figure 9(d)) — parameters are stable during forward and backward,
+//     so the pull hides behind them.
+package client
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/portus-sys/portus/internal/gpu"
+	"github.com/portus-sys/portus/internal/perfmodel"
+	"github.com/portus-sys/portus/internal/rdma"
+	"github.com/portus-sys/portus/internal/sim"
+	"github.com/portus-sys/portus/internal/wire"
+)
+
+// restoreKey is the sentinel iteration for restore waiters: the client
+// cannot know the restored iteration in advance, so all restore replies
+// match this key.
+const restoreKey = ^uint64(0)
+
+// Client is one registered model's handle to the Portus daemon.
+type Client struct {
+	conn  wire.Conn
+	node  *rdma.Node
+	model *gpu.PlacedModel
+	mrs   []rdma.MR
+
+	mu      sync.Mutex
+	pending map[pendingKey]*reply
+	// order preserves waiter arming order for uncorrelated errors.
+	order []pendingKey
+
+	// Stalled accumulates training time lost waiting for checkpoint
+	// completion (sync waits plus async update-phase stalls).
+	Stalled time.Duration
+}
+
+type pendingKey struct {
+	t    wire.Type
+	iter uint64
+}
+
+type reply struct {
+	sig *sim.Signal
+	msg *wire.Msg
+}
+
+func (r *reply) wait(env sim.Env) (*wire.Msg, error) {
+	r.sig.Wait(env)
+	if r.msg.Type == wire.TError {
+		return nil, fmt.Errorf("daemon error: %s", r.msg.Error)
+	}
+	return r.msg, nil
+}
+
+// Options tunes registration.
+type Options struct {
+	// FabricAddr is this client's soft-RDMA agent address, shipped in
+	// the registration packet so the daemon's fabric can reach the
+	// client's memory regions across processes (TCP deployments only).
+	FabricAddr string
+}
+
+// Register collects tensor pointers, registers each as an RDMA MR, and
+// sends the registration packet. It blocks until the daemon acknowledges
+// the three-level index is ready.
+func Register(env sim.Env, conn wire.Conn, node *rdma.Node, m *gpu.PlacedModel) (*Client, error) {
+	return RegisterOpts(env, conn, node, m, Options{})
+}
+
+// RegisterOpts is Register with explicit options.
+func RegisterOpts(env sim.Env, conn wire.Conn, node *rdma.Node, m *gpu.PlacedModel, opts Options) (*Client, error) {
+	c := &Client{
+		conn:    conn,
+		node:    node,
+		model:   m,
+		pending: make(map[pendingKey]*reply),
+	}
+	// Queue-pair setup plus pinning the tensor address space for DMA —
+	// paid once per training job thanks to the pre-allocated version
+	// slots (§III-D2).
+	regGiB := float64(m.Spec.TotalSize()) / float64(1<<30)
+	env.Sleep(perfmodel.QPConnectCost +
+		time.Duration(regGiB*float64(perfmodel.MRRegisterPerGiB)))
+	msg := &wire.Msg{Type: wire.TRegister, Model: m.Spec.Name, ClientNode: node.Name(), FabricAddr: opts.FabricAddr}
+	for i, tm := range m.Spec.Tensors {
+		mr := node.RegisterMR(env, m.GPU.Mem(), m.Offs[i], tm.Size)
+		c.mrs = append(c.mrs, mr)
+		msg.Tensors = append(msg.Tensors, wire.TensorRef{
+			Name: tm.Name, DType: uint8(tm.DType), Dims: tm.Dims, Size: tm.Size, RKey: mr.RKey,
+		})
+	}
+	r := c.expect(env, wire.TRegisterOK, 0)
+	if err := conn.Send(env, msg); err != nil {
+		return nil, fmt.Errorf("client: sending registration: %w", err)
+	}
+	env.Go("portus-client-recv", c.recvLoop)
+	if _, err := r.wait(env); err != nil {
+		return nil, fmt.Errorf("client: registering %s: %w", m.Spec.Name, err)
+	}
+	return c, nil
+}
+
+// recvLoop dispatches daemon replies to their waiters.
+func (c *Client) recvLoop(env sim.Env) {
+	for {
+		m, err := c.conn.Recv(env)
+		if err != nil {
+			// Connection gone: release every waiter with an error.
+			c.mu.Lock()
+			for k, r := range c.pending {
+				r.msg = &wire.Msg{Type: wire.TError, Error: err.Error()}
+				r.sig.Fire(env)
+				delete(c.pending, k)
+			}
+			c.order = nil
+			c.mu.Unlock()
+			return
+		}
+		key := pendingKey{t: m.Type, iter: m.Iteration}
+		if m.Type == wire.TRestoreDone {
+			key.iter = restoreKey
+		}
+		c.mu.Lock()
+		if m.Type == wire.TError {
+			c.releaseErrorLocked(env, m)
+			c.mu.Unlock()
+			continue
+		}
+		if r, ok := c.pending[key]; ok {
+			r.msg = m
+			r.sig.Fire(env)
+			c.removeLocked(key)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// expect arms a waiter for (t, iter); it must be armed before the
+// request is sent so a fast reply cannot be dropped.
+func (c *Client) expect(env sim.Env, t wire.Type, iter uint64) *reply {
+	r := &reply{sig: sim.NewSignal(env)}
+	key := pendingKey{t: t, iter: iter}
+	c.mu.Lock()
+	c.pending[key] = r
+	c.order = append(c.order, key)
+	c.mu.Unlock()
+	return r
+}
+
+// removeLocked drops a released waiter from the map and the order list.
+func (c *Client) removeLocked(key pendingKey) {
+	delete(c.pending, key)
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// releaseErrorLocked routes an ERROR to its waiter. Correlated errors
+// (InReplyTo set by the daemon) release the exact waiter; uncorrelated
+// ones release the oldest, deterministically.
+func (c *Client) releaseErrorLocked(env sim.Env, m *wire.Msg) {
+	var key pendingKey
+	switch m.InReplyTo {
+	case wire.TRegister:
+		key = pendingKey{t: wire.TRegisterOK}
+	case wire.TDoCheckpoint:
+		key = pendingKey{t: wire.TCheckpointDone, iter: m.Iteration}
+	case wire.TRestore:
+		key = pendingKey{t: wire.TRestoreDone, iter: restoreKey}
+	default:
+		if len(c.order) == 0 {
+			return
+		}
+		key = c.order[0]
+	}
+	r, ok := c.pending[key]
+	if !ok {
+		if len(c.order) == 0 {
+			return
+		}
+		key = c.order[0]
+		r = c.pending[key]
+	}
+	r.msg = m
+	r.sig.Fire(env)
+	c.removeLocked(key)
+}
+
+// CheckpointSync persists the current weights and blocks until the
+// daemon commits the version.
+func (c *Client) CheckpointSync(env sim.Env, iteration uint64) error {
+	start := env.Now()
+	cp, err := c.CheckpointAsync(env, iteration)
+	if err != nil {
+		return err
+	}
+	if err := cp.Wait(env); err != nil {
+		return fmt.Errorf("client: checkpoint %d: %w", iteration, err)
+	}
+	c.Stalled += env.Now() - start
+	return nil
+}
+
+// CheckpointAsync sends DO_CHECKPOINT and returns a completion handle
+// without waiting.
+func (c *Client) CheckpointAsync(env sim.Env, iteration uint64) (*Completion, error) {
+	r := c.expect(env, wire.TCheckpointDone, iteration)
+	if err := c.conn.Send(env, &wire.Msg{Type: wire.TDoCheckpoint, Model: c.model.Spec.Name, Iteration: iteration}); err != nil {
+		return nil, fmt.Errorf("client: DO_CHECKPOINT: %w", err)
+	}
+	return &Completion{r: r}, nil
+}
+
+// Completion is an in-flight checkpoint handle.
+type Completion struct {
+	r   *reply
+	err error
+	ok  bool
+}
+
+// Wait blocks until the checkpoint commits.
+func (cp *Completion) Wait(env sim.Env) error {
+	if cp.ok {
+		return cp.err
+	}
+	_, err := cp.r.wait(env)
+	cp.ok = true
+	cp.err = err
+	return err
+}
+
+// Done reports completion without blocking.
+func (cp *Completion) Done(env sim.Env) bool {
+	return cp.ok || cp.r.sig.Fired(env)
+}
+
+// Restore asks the daemon to write the newest complete version into GPU
+// memory (the model object must already be placed, "empty"), blocking
+// until the write completes. It returns the restored iteration.
+func (c *Client) Restore(env sim.Env) (uint64, error) {
+	r := c.expect(env, wire.TRestoreDone, restoreKey)
+	if err := c.conn.Send(env, &wire.Msg{Type: wire.TRestore, Model: c.model.Spec.Name}); err != nil {
+		return 0, fmt.Errorf("client: RESTORE: %w", err)
+	}
+	msg, err := r.wait(env)
+	if err != nil {
+		return 0, fmt.Errorf("client: restore: %w", err)
+	}
+	c.model.Iteration = msg.Iteration
+	return msg.Iteration, nil
+}
+
+// MRCount reports how many memory regions this client registered.
+func (c *Client) MRCount() int { return len(c.mrs) }
+
+// Model returns the placed model this client serves.
+func (c *Client) Model() *gpu.PlacedModel { return c.model }
+
+// Close tears down the control connection.
+func (c *Client) Close() error { return c.conn.Close() }

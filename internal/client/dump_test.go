@@ -1,0 +1,100 @@
+package client_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/portus-sys/portus/internal/gpu"
+	"github.com/portus-sys/portus/internal/serialize"
+	"github.com/portus-sys/portus/internal/sim"
+	"github.com/portus-sys/portus/internal/wire"
+)
+
+// TestDumpArchivesNewestVersion checks the §VI archive path: the daemon
+// serializes the newest complete version into a torch.save-style
+// container whose payload matches the checkpointed weights exactly.
+func TestDumpArchivesNewestVersion(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		h := startHarness(t, env, true, nil)
+		placed, err := gpu.Place(h.cl.GPU(0, 0), tinySpec("m"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := h.connect(t, env, 0, placed)
+		placed.ApplyUpdate(4)
+		if err := c.CheckpointSync(env, 4); err != nil {
+			t.Fatal(err)
+		}
+		placed.ApplyUpdate(5)
+		if err := c.CheckpointSync(env, 5); err != nil {
+			t.Fatal(err)
+		}
+
+		conn, err := h.net.Dial(env, "storage")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := conn.Send(env, &wire.Msg{Type: wire.TDump, Model: "m"}); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := conn.Recv(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Type != wire.TDumpResp || resp.Iteration != 5 {
+			t.Fatalf("dump resp = %+v", resp)
+		}
+		ckpt, err := serialize.Decode(bytes.NewReader(resp.Payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ckpt.Model != "m" || ckpt.Iteration != 5 {
+			t.Fatalf("container header = %s@%d", ckpt.Model, ckpt.Iteration)
+		}
+		if len(ckpt.Tensors) != len(placed.Spec.Tensors) {
+			t.Fatalf("container has %d tensors", len(ckpt.Tensors))
+		}
+		// The archived bytes must equal iteration 5's weights.
+		for i, blob := range ckpt.Tensors {
+			want := gpu.Pattern(blob.Meta.Size, placed.Spec.TensorSeed(i, 5))
+			if !bytes.Equal(blob.Data, want) {
+				t.Fatalf("tensor %d archived content mismatch", i)
+			}
+		}
+	})
+	eng.Run()
+}
+
+func TestDumpWithoutCheckpointFails(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		h := startHarness(t, env, true, nil)
+		placed, _ := gpu.Place(h.cl.GPU(0, 0), tinySpec("m"))
+		h.connect(t, env, 0, placed)
+		conn, err := h.net.Dial(env, "storage")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := conn.Send(env, &wire.Msg{Type: wire.TDump, Model: "m"}); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := conn.Recv(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Type != wire.TError || !strings.Contains(resp.Error, "no complete checkpoint") {
+			t.Fatalf("resp = %+v", resp)
+		}
+		// Unknown model too.
+		if err := conn.Send(env, &wire.Msg{Type: wire.TDump, Model: "ghost"}); err != nil {
+			t.Fatal(err)
+		}
+		resp, err = conn.Recv(env)
+		if err != nil || resp.Type != wire.TError {
+			t.Fatalf("resp = %+v, %v", resp, err)
+		}
+	})
+	eng.Run()
+}

@@ -1,0 +1,431 @@
+package client_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/portus-sys/portus/internal/client"
+	"github.com/portus-sys/portus/internal/cluster"
+	"github.com/portus-sys/portus/internal/daemon"
+	"github.com/portus-sys/portus/internal/gpu"
+	"github.com/portus-sys/portus/internal/model"
+	"github.com/portus-sys/portus/internal/perfmodel"
+	"github.com/portus-sys/portus/internal/sim"
+	"github.com/portus-sys/portus/internal/wire"
+)
+
+// harness wires a cluster, a running daemon, and a sim control network.
+type harness struct {
+	cl  *cluster.Cluster
+	d   *daemon.Daemon
+	net *wire.SimNet
+}
+
+func startHarness(t *testing.T, env sim.Env, materialized bool, cfgMut func(*cluster.Config)) *harness {
+	t.Helper()
+	cfg := cluster.Config{
+		ComputeNodes: 1,
+		GPUsPerNode:  4,
+		GPUMemBytes:  8 << 30,
+		PMemBytes:    64 << 30,
+		Materialized: materialized,
+	}
+	if materialized {
+		cfg.GPUMemBytes = 16 << 20
+		cfg.PMemBytes = 32 << 20
+	}
+	if cfgMut != nil {
+		cfgMut(&cfg)
+	}
+	cl, err := cluster.New(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := daemon.New(env, daemon.Config{
+		PMem:   cl.Storage.PMem,
+		RNode:  cl.Storage.RNode,
+		Fabric: cl.Fabric,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := wire.NewSimNet()
+	l, err := net.Listen(env, "storage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Go("portusd-serve", func(env sim.Env) { d.Serve(env, l) })
+	return &harness{cl: cl, d: d, net: net}
+}
+
+func (h *harness) connect(t *testing.T, env sim.Env, node int, placed *gpu.PlacedModel) *client.Client {
+	t.Helper()
+	conn, err := h.net.Dial(env, "storage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := client.Register(env, conn, h.cl.Compute[node].RNode, placed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func tinySpec(name string) model.Spec {
+	return model.GPT(name, 2, 64, 512, 10*time.Millisecond)
+}
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		h := startHarness(t, env, true, nil)
+		placed, err := gpu.Place(h.cl.GPU(0, 0), tinySpec("m"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := h.connect(t, env, 0, placed)
+
+		placed.ApplyUpdate(10)
+		if err := c.CheckpointSync(env, 10); err != nil {
+			t.Fatal(err)
+		}
+		placed.ApplyUpdate(11) // weights move on
+		iter, err := c.Restore(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iter != 10 {
+			t.Fatalf("restored iteration %d, want 10", iter)
+		}
+		if bad := placed.VerifyIteration(10); bad != -1 {
+			t.Fatalf("tensor %d content wrong after Portus restore", bad)
+		}
+		st := h.d.Stats()
+		if st.Checkpoints != 1 || st.Restores != 1 {
+			t.Fatalf("daemon stats = %+v", st)
+		}
+		if st.BytesPulled != placed.Spec.TotalSize() {
+			t.Fatalf("BytesPulled = %d, want %d", st.BytesPulled, placed.Spec.TotalSize())
+		}
+	})
+	eng.Run()
+}
+
+func TestDoubleMappingAlternatesSlots(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		h := startHarness(t, env, true, nil)
+		placed, _ := gpu.Place(h.cl.GPU(0, 0), tinySpec("m"))
+		c := h.connect(t, env, 0, placed)
+
+		for iter := uint64(1); iter <= 4; iter++ {
+			placed.ApplyUpdate(iter)
+			if err := c.CheckpointSync(env, iter); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// After 4 checkpoints the newest (iter 4) must be restorable.
+		placed.ApplyUpdate(99)
+		iter, err := c.Restore(env)
+		if err != nil || iter != 4 {
+			t.Fatalf("restore = %d, %v; want 4", iter, err)
+		}
+		m, err := h.d.Store().Lookup("m")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Both slots must be done; they hold iterations 3 and 4.
+		v0, v1 := m.VersionHeader(0), m.VersionHeader(1)
+		got := map[uint64]bool{v0.Iteration: true, v1.Iteration: true}
+		if !got[3] || !got[4] {
+			t.Fatalf("slots hold iterations %d and %d, want 3 and 4", v0.Iteration, v1.Iteration)
+		}
+	})
+	eng.Run()
+}
+
+func TestAsyncPolicyHidesPullBehindCompute(t *testing.T) {
+	// bert_large pull takes ~232ms at 5.8 GB/s. With 300ms of
+	// forward+backward, the async policy must stall (barrier) for much
+	// less than the sync policy does.
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		h := startHarness(t, env, false, nil)
+		bert := model.TableII()[6]
+
+		placedA, _ := gpu.Place(h.cl.GPU(0, 0), withName(bert, "bert-sync"))
+		cSync := h.connect(t, env, 0, placedA)
+		placedB, _ := gpu.Place(h.cl.GPU(0, 1), withName(bert, "bert-async"))
+		cAsync := h.connect(t, env, 0, placedB)
+
+		sync := &client.Sync{C: cSync}
+		async := &client.Async{C: cAsync}
+
+		// Sync: checkpoint then immediately update.
+		if err := sync.Checkpoint(env, 1); err != nil {
+			t.Fatal(err)
+		}
+		sync.BeforeUpdate(env, 1)
+
+		// Async: checkpoint, simulate F+B compute, then the barrier.
+		if err := async.Checkpoint(env, 1); err != nil {
+			t.Fatal(err)
+		}
+		env.Sleep(300 * time.Millisecond) // next iteration's F+B
+		async.BeforeUpdate(env, 1)
+
+		if cSync.Stalled < 200*time.Millisecond {
+			t.Fatalf("sync stall %v suspiciously small", cSync.Stalled)
+		}
+		if cAsync.Stalled > cSync.Stalled/3 {
+			t.Fatalf("async stall %v not hidden (sync %v)", cAsync.Stalled, cSync.Stalled)
+		}
+	})
+	eng.Run()
+}
+
+func withName(s model.Spec, name string) model.Spec {
+	s.Name = name
+	return s
+}
+
+func TestPortusCheckpointSpeedShape(t *testing.T) {
+	// The headline claim: a BERT-large Portus checkpoint takes
+	// ~size/5.8GB/s ≈ 240ms — versus ~2s for the traditional path.
+	eng := sim.NewEngine()
+	var ckptTime time.Duration
+	eng.Go("test", func(env sim.Env) {
+		h := startHarness(t, env, false, nil)
+		placed, _ := gpu.Place(h.cl.GPU(0, 0), model.TableII()[6])
+		c := h.connect(t, env, 0, placed)
+		start := env.Now()
+		if err := c.CheckpointSync(env, 1); err != nil {
+			t.Fatal(err)
+		}
+		ckptTime = env.Now() - start
+	})
+	eng.Run()
+	size := model.TableII()[6].TotalSize()
+	ideal := time.Duration(float64(size) / perfmodel.GPUBARReadBW * float64(time.Second))
+	if ckptTime < ideal || ckptTime > ideal*130/100 {
+		t.Fatalf("Portus BERT checkpoint = %v, want within [%v, %v]", ckptTime, ideal, ideal*130/100)
+	}
+}
+
+func TestMultiTenantConcurrentCheckpoints(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		h := startHarness(t, env, true, nil)
+		names := []string{"tenant-a", "tenant-b", "tenant-c", "tenant-d"}
+		clients := make([]*client.Client, len(names))
+		placed := make([]*gpu.PlacedModel, len(names))
+		for i, n := range names {
+			p, err := gpu.Place(h.cl.GPU(0, i), tinySpec(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			placed[i] = p
+			clients[i] = h.connect(t, env, 0, p)
+		}
+		g := sim.NewGroup(env)
+		for i := range clients {
+			i := i
+			g.Add(env, 1)
+			env.Go("tenant", func(env sim.Env) {
+				defer g.Done(env)
+				placed[i].ApplyUpdate(uint64(i + 1))
+				if err := clients[i].CheckpointSync(env, uint64(i+1)); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+		g.Wait(env)
+		if st := h.d.Stats(); st.Checkpoints != 4 {
+			t.Fatalf("daemon completed %d checkpoints, want 4", st.Checkpoints)
+		}
+		// Every tenant restores its own content.
+		for i := range clients {
+			placed[i].ApplyUpdate(77)
+			iter, err := clients[i].Restore(env)
+			if err != nil || iter != uint64(i+1) {
+				t.Fatalf("tenant %d restore = %d, %v", i, iter, err)
+			}
+			if bad := placed[i].VerifyIteration(uint64(i + 1)); bad != -1 {
+				t.Fatalf("tenant %d tensor %d wrong", i, bad)
+			}
+		}
+	})
+	eng.Run()
+}
+
+func TestRestoreWithoutCheckpointFails(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		h := startHarness(t, env, true, nil)
+		placed, _ := gpu.Place(h.cl.GPU(0, 0), tinySpec("m"))
+		c := h.connect(t, env, 0, placed)
+		if _, err := c.Restore(env); err == nil || !strings.Contains(err.Error(), "no complete checkpoint") {
+			t.Fatalf("restore err = %v, want 'no complete checkpoint'", err)
+		}
+	})
+	eng.Run()
+}
+
+func TestCrashDuringPullRecoversPreviousVersion(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		h := startHarness(t, env, true, nil)
+		placed, _ := gpu.Place(h.cl.GPU(0, 0), tinySpec("m"))
+		c := h.connect(t, env, 0, placed)
+
+		placed.ApplyUpdate(1)
+		if err := c.CheckpointSync(env, 1); err != nil {
+			t.Fatal(err)
+		}
+		// Start a second checkpoint asynchronously and crash the PMem
+		// mid-pull (before the done flag persists).
+		placed.ApplyUpdate(2)
+		if _, err := c.CheckpointAsync(env, 2); err != nil {
+			t.Fatal(err)
+		}
+		// Crash while the pull is in flight (pull takes >0 time; crash now).
+		h.cl.Storage.PMem.Crash()
+
+		// A new daemon opens the same namespace and must serve iter 1.
+		d2, err := daemon.New(env, daemon.Config{
+			PMem:   h.cl.Storage.PMem,
+			RNode:  h.cl.Storage.RNode,
+			Fabric: h.cl.Fabric,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := d2.Store().Lookup("m")
+		if err != nil {
+			t.Fatal(err)
+		}
+		slot, v, ok := m.LatestDone()
+		if !ok || v.Iteration != 1 {
+			t.Fatalf("recovered slot %d iter %d ok=%v, want iter 1", slot, v.Iteration, ok)
+		}
+	})
+	eng.Run()
+}
+
+func TestDaemonRestartRebuildsModelMap(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		h := startHarness(t, env, true, nil)
+		for i, n := range []string{"zebra", "alpha", "mike"} {
+			placed, _ := gpu.Place(h.cl.GPU(0, i), tinySpec(n))
+			c := h.connect(t, env, 0, placed)
+			placed.ApplyUpdate(5)
+			if err := c.CheckpointSync(env, 5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d2, err := daemon.New(env, daemon.Config{
+			PMem:   h.cl.Storage.PMem,
+			RNode:  h.cl.Storage.RNode,
+			Fabric: h.cl.Fabric,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		names := d2.ModelNames()
+		if len(names) != 3 || names[0] != "alpha" || names[1] != "mike" || names[2] != "zebra" {
+			t.Fatalf("ModelMap after restart = %v (must be sorted)", names)
+		}
+	})
+	eng.Run()
+}
+
+func TestReregisterAfterClientRestart(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		h := startHarness(t, env, true, nil)
+		placed, _ := gpu.Place(h.cl.GPU(0, 0), tinySpec("m"))
+		c := h.connect(t, env, 0, placed)
+		placed.ApplyUpdate(42)
+		if err := c.CheckpointSync(env, 42); err != nil {
+			t.Fatal(err)
+		}
+
+		// The client restarts: a fresh empty model on another GPU,
+		// re-registration against the same stored structure, restore.
+		placed2, _ := gpu.Place(h.cl.GPU(0, 1), tinySpec("m"))
+		c2 := h.connect(t, env, 0, placed2)
+		iter, err := c2.Restore(env)
+		if err != nil || iter != 42 {
+			t.Fatalf("restore after re-register = %d, %v", iter, err)
+		}
+		if bad := placed2.VerifyIteration(42); bad != -1 {
+			t.Fatalf("tensor %d wrong after re-register restore", bad)
+		}
+	})
+	eng.Run()
+}
+
+func TestReregisterStructureMismatchRejected(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		h := startHarness(t, env, true, nil)
+		placed, _ := gpu.Place(h.cl.GPU(0, 0), tinySpec("m"))
+		h.connect(t, env, 0, placed)
+
+		different, _ := gpu.Place(h.cl.GPU(0, 1), model.GPT("m", 3, 32, 256, 0))
+		conn, err := h.net.Dial(env, "storage")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = client.Register(env, conn, h.cl.Compute[0].RNode, different)
+		if err == nil || !strings.Contains(err.Error(), "does not match") {
+			t.Fatalf("mismatched re-registration err = %v", err)
+		}
+	})
+	eng.Run()
+}
+
+func TestListAndDelete(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		h := startHarness(t, env, true, nil)
+		placed, _ := gpu.Place(h.cl.GPU(0, 0), tinySpec("job1"))
+		c := h.connect(t, env, 0, placed)
+		placed.ApplyUpdate(9)
+		if err := c.CheckpointSync(env, 9); err != nil {
+			t.Fatal(err)
+		}
+
+		conn, err := h.net.Dial(env, "storage")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := conn.Send(env, &wire.Msg{Type: wire.TList}); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := conn.Recv(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Type != wire.TListResp || len(resp.Models) != 1 {
+			t.Fatalf("list resp = %+v", resp)
+		}
+		info := resp.Models[0]
+		if info.Name != "job1" || !info.HasDone || info.LatestIter != 9 {
+			t.Fatalf("model info = %+v", info)
+		}
+
+		if err := conn.Send(env, &wire.Msg{Type: wire.TDelete, Model: "job1"}); err != nil {
+			t.Fatal(err)
+		}
+		if resp, err = conn.Recv(env); err != nil || resp.Type != wire.TDeleteOK {
+			t.Fatalf("delete resp = %+v, %v", resp, err)
+		}
+		if names := h.d.ModelNames(); len(names) != 0 {
+			t.Fatalf("models after delete = %v", names)
+		}
+	})
+	eng.Run()
+}

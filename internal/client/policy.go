@@ -1,0 +1,84 @@
+package client
+
+import (
+	"github.com/portus-sys/portus/internal/sim"
+)
+
+// Sync is the Portus synchronous checkpoint policy (Figure 9(c)): the
+// training loop blocks until the daemon commits the version. Even
+// blocking, it is serialization-free and copy-free.
+type Sync struct {
+	C *Client
+}
+
+// Name identifies the policy.
+func (s *Sync) Name() string { return "Portus-Sync" }
+
+// Checkpoint persists iteration's weights, blocking until durable.
+func (s *Sync) Checkpoint(env sim.Env, iteration uint64) error {
+	return s.C.CheckpointSync(env, iteration)
+}
+
+// BeforeUpdate is a no-op: the checkpoint completed before returning.
+func (s *Sync) BeforeUpdate(env sim.Env, iteration uint64) {}
+
+// Drain is a no-op.
+func (s *Sync) Drain(env sim.Env) {}
+
+// Restore loads the newest complete version into GPU memory.
+func (s *Sync) Restore(env sim.Env) (uint64, error) { return s.C.Restore(env) }
+
+// Async is the Portus asynchronous policy (Figure 9(d)): DO_CHECKPOINT
+// is sent between backward and update, training proceeds through the
+// next forward/backward (parameters are read-only there), and the update
+// phase stalls only if the daemon's pull has not finished — the
+// write-after-read hazard barrier.
+type Async struct {
+	C        *Client
+	inflight *Completion
+}
+
+// Name identifies the policy.
+func (a *Async) Name() string { return "Portus-Async" }
+
+// Checkpoint triggers the pull and returns immediately.
+func (a *Async) Checkpoint(env sim.Env, iteration uint64) error {
+	cp, err := a.C.CheckpointAsync(env, iteration)
+	if err != nil {
+		return err
+	}
+	a.inflight = cp
+	return nil
+}
+
+// BeforeUpdate enforces the WAR barrier: the optimizer must not mutate
+// tensors the daemon is still reading.
+func (a *Async) BeforeUpdate(env sim.Env, iteration uint64) {
+	if a.inflight == nil {
+		return
+	}
+	if !a.inflight.Done(env) {
+		start := env.Now()
+		// A pull failure surfaces through Drain/Restore; the barrier only
+		// cares that the read finished.
+		_ = a.inflight.Wait(env)
+		a.C.Stalled += env.Now() - start
+	} else {
+		_ = a.inflight.Wait(env)
+	}
+	a.inflight = nil
+}
+
+// Drain waits out any in-flight pull.
+func (a *Async) Drain(env sim.Env) {
+	if a.inflight != nil {
+		_ = a.inflight.Wait(env)
+		a.inflight = nil
+	}
+}
+
+// Restore loads the newest complete version into GPU memory.
+func (a *Async) Restore(env sim.Env) (uint64, error) {
+	a.Drain(env)
+	return a.C.Restore(env)
+}

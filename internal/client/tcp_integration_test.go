@@ -1,0 +1,153 @@
+package client_test
+
+import (
+	"net"
+	"testing"
+
+	"github.com/portus-sys/portus/internal/client"
+	"github.com/portus-sys/portus/internal/daemon"
+	"github.com/portus-sys/portus/internal/gpu"
+	"github.com/portus-sys/portus/internal/pmem"
+	"github.com/portus-sys/portus/internal/rdma"
+	"github.com/portus-sys/portus/internal/sim"
+	"github.com/portus-sys/portus/internal/wire"
+)
+
+// TestFullSystemOverTCP runs the daemon and a client in the same test
+// binary but communicating only through real sockets: gob control plane
+// plus the soft-RDMA agent fabric. This is the configuration the
+// portusd / portus-train executables use.
+func TestFullSystemOverTCP(t *testing.T) {
+	env := sim.NewRealEnv()
+	fabric := rdma.NewTCPFabric(env)
+	defer fabric.Close()
+
+	// Storage side.
+	storageNode := rdma.NewNode(env, "storage")
+	if _, err := fabric.Serve(storageNode, ""); err != nil {
+		t.Fatal(err)
+	}
+	pm := pmem.New(pmem.Config{Name: "pm0", DataSize: 32 << 20, MetaSize: 8 << 20, Materialized: true})
+	d, err := daemon.New(env, daemon.Config{PMem: pm, RNode: storageNode, Fabric: fabric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go d.Serve(env, wire.NetListener{L: ln})
+
+	// Client side.
+	clientNode := rdma.NewNode(env, "client0")
+	if _, err := fabric.Serve(clientNode, ""); err != nil {
+		t.Fatal(err)
+	}
+	g := gpu.New("v100-0", 16<<20, true)
+	placed, err := gpu.Place(g, tinySpec("tcp-model"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := client.Register(env, wire.NewNetConn(sock), clientNode, placed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Checkpoint at iteration 5, train onward, restore.
+	placed.ApplyUpdate(5)
+	if err := c.CheckpointSync(env, 5); err != nil {
+		t.Fatal(err)
+	}
+	placed.ApplyUpdate(6)
+	iter, err := c.Restore(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iter != 5 {
+		t.Fatalf("restored iteration %d, want 5", iter)
+	}
+	if bad := placed.VerifyIteration(5); bad != -1 {
+		t.Fatalf("tensor %d content wrong after TCP restore", bad)
+	}
+
+	// The checkpoint must be durable on the (simulated) PMem: crash and
+	// re-open the namespace image.
+	pm.Crash()
+	d2, err := daemon.New(env, daemon.Config{PMem: pm, RNode: storageNode, Fabric: fabric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := d2.Store().Lookup("tcp-model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, v, ok := m.LatestDone(); !ok || v.Iteration != 5 {
+		t.Fatalf("after crash: %+v ok=%v, want durable iteration 5", v, ok)
+	}
+}
+
+// TestTCPAsyncPolicy exercises the async completion path over real
+// sockets.
+func TestTCPAsyncPolicy(t *testing.T) {
+	env := sim.NewRealEnv()
+	fabric := rdma.NewTCPFabric(env)
+	defer fabric.Close()
+
+	storageNode := rdma.NewNode(env, "storage")
+	if _, err := fabric.Serve(storageNode, ""); err != nil {
+		t.Fatal(err)
+	}
+	pm := pmem.New(pmem.Config{Name: "pm0", DataSize: 32 << 20, MetaSize: 8 << 20, Materialized: true})
+	d, err := daemon.New(env, daemon.Config{PMem: pm, RNode: storageNode, Fabric: fabric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go d.Serve(env, wire.NetListener{L: ln})
+
+	clientNode := rdma.NewNode(env, "client0")
+	if _, err := fabric.Serve(clientNode, ""); err != nil {
+		t.Fatal(err)
+	}
+	g := gpu.New("a40-0", 16<<20, true)
+	placed, err := gpu.Place(g, tinySpec("async-model"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := client.Register(env, wire.NewNetConn(sock), clientNode, placed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	async := &client.Async{C: c}
+	for iter := uint64(1); iter <= 3; iter++ {
+		placed.ApplyUpdate(iter)
+		if err := async.Checkpoint(env, iter); err != nil {
+			t.Fatal(err)
+		}
+		async.BeforeUpdate(env, iter) // WAR barrier before mutating weights
+	}
+	async.Drain(env)
+	got, err := async.Restore(env)
+	if err != nil || got != 3 {
+		t.Fatalf("restore = %d, %v; want 3", got, err)
+	}
+	if bad := placed.VerifyIteration(3); bad != -1 {
+		t.Fatalf("tensor %d wrong after async TCP restore", bad)
+	}
+}

@@ -1,0 +1,149 @@
+// Package cluster assembles the paper's testbed topology (§V-A): one or
+// more compute nodes (Client-Volta: 4×V100, Client-Ampere: 8×A40, each
+// with a 100 Gbps RNIC) and one AEP storage node carrying the Optane
+// namespaces — half provisioned devdax for Portus, half fsdax under
+// ext4-DAX for the BeeGFS baseline. It owns the shared simulated
+// resources every datapath contends on: per-node PCIe and serializer
+// capacity, local NVMe, the storage node's BeeGFS ingest service, and
+// its DAX write path.
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/portus-sys/portus/internal/gpu"
+	"github.com/portus-sys/portus/internal/perfmodel"
+	"github.com/portus-sys/portus/internal/pmem"
+	"github.com/portus-sys/portus/internal/rdma"
+	"github.com/portus-sys/portus/internal/sim"
+)
+
+// Config sizes a cluster.
+type Config struct {
+	ComputeNodes int
+	GPUsPerNode  int
+	// GPUMemBytes is each GPU's HBM capacity.
+	GPUMemBytes int64
+	// PMemBytes is the devdax namespace capacity on the storage node.
+	PMemBytes int64
+	// PMemMetaBytes overrides the metadata zone size (optional).
+	PMemMetaBytes int64
+	// Materialized selects real bytes (correctness tests) versus
+	// stamp-tracked content (large-model benchmarks).
+	Materialized bool
+	// Rates overrides the RDMA rate table (optional; ablations).
+	Rates *rdma.RateTable
+	// DRAMFallback backs the Portus namespace with server DRAM instead
+	// of PMem — the paper's fallback when no PMem is present (§IV-a).
+	// Faster writes, no durability across power failures.
+	DRAMFallback bool
+}
+
+// Defaults fills unset fields with the paper's Client-Volta setup.
+func (c Config) withDefaults() Config {
+	if c.ComputeNodes == 0 {
+		c.ComputeNodes = 1
+	}
+	if c.GPUsPerNode == 0 {
+		c.GPUsPerNode = 4
+	}
+	if c.GPUMemBytes == 0 {
+		c.GPUMemBytes = 32 << 30
+	}
+	if c.PMemBytes == 0 {
+		c.PMemBytes = 768 << 30
+	}
+	return c
+}
+
+// ComputeNode is one client machine.
+type ComputeNode struct {
+	Name  string
+	GPUs  []*gpu.GPU
+	RNode *rdma.Node
+
+	// PCIe is the host's aggregate device-to-host staging bandwidth
+	// (cuMemcpy contends here).
+	PCIe *sim.BandwidthResource
+	// Serializer is the node's aggregate torch.save throughput.
+	Serializer *sim.BandwidthResource
+	// NVMe is the local SSD behind the ext4 baseline.
+	NVMe *sim.BandwidthResource
+}
+
+// StorageNode is the AEP server.
+type StorageNode struct {
+	Name  string
+	RNode *rdma.Node
+	// PMem is the devdax namespace Portus owns.
+	PMem *pmem.Device
+	// Ingest is the BeeGFS daemon's request-processing capacity, with
+	// the synchronization-contention coefficient that makes concurrent
+	// writers degrade (§II-A's "I/O contention and synchronization
+	// overhead").
+	Ingest *sim.BandwidthResource
+	// DAX is the server-side persist stage onto the fsdax namespace.
+	DAX *sim.BandwidthResource
+}
+
+// Cluster is a wired topology.
+type Cluster struct {
+	Env     sim.Env
+	Fabric  *rdma.SimFabric
+	Compute []*ComputeNode
+	Storage *StorageNode
+}
+
+// New builds a cluster under env. Must run inside a simulation process
+// (or a RealEnv, where resources are inert).
+func New(env sim.Env, cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	rates := rdma.DefaultRates()
+	if cfg.Rates != nil {
+		rates = *cfg.Rates
+	}
+	cl := &Cluster{Env: env, Fabric: rdma.NewSimFabric()}
+	for n := 0; n < cfg.ComputeNodes; n++ {
+		name := fmt.Sprintf("client%d", n)
+		cn := &ComputeNode{
+			Name:       name,
+			RNode:      rdma.NewNodeWithRates(env, name, rates),
+			PCIe:       sim.NewBandwidthResource(env, name+"/pcie", perfmodel.PCIeNodeBW),
+			Serializer: sim.NewBandwidthResource(env, name+"/ser", perfmodel.SerializerNodeBW),
+			NVMe:       sim.NewBandwidthResource(env, name+"/nvme", perfmodel.NVMeReadBW),
+		}
+		for g := 0; g < cfg.GPUsPerNode; g++ {
+			cn.GPUs = append(cn.GPUs, gpu.New(fmt.Sprintf("%s/gpu%d", name, g), cfg.GPUMemBytes, cfg.Materialized))
+		}
+		cl.Fabric.AddNode(cn.RNode)
+		cl.Compute = append(cl.Compute, cn)
+	}
+	st := &StorageNode{
+		Name:  "storage",
+		RNode: rdma.NewNodeWithRates(env, "storage", rates),
+		PMem: pmem.New(pmem.Config{
+			Name:         "pmem-devdax",
+			DataSize:     cfg.PMemBytes,
+			MetaSize:     cfg.PMemMetaBytes,
+			Materialized: cfg.Materialized,
+			Mode:         pmem.Devdax,
+			Media:        media(cfg.DRAMFallback),
+		}),
+		Ingest: sim.NewBandwidthResource(env, "storage/beegfs", perfmodel.BeeGFSServerBW),
+		DAX:    sim.NewBandwidthResource(env, "storage/dax", perfmodel.BeeGFSDAXWriteBW),
+	}
+	st.Ingest.SetContention(perfmodel.BeeGFSContention)
+	cl.Fabric.AddNode(st.RNode)
+	cl.Storage = st
+	return cl, nil
+}
+
+// GPU returns GPU g of compute node n.
+func (c *Cluster) GPU(n, g int) *gpu.GPU { return c.Compute[n].GPUs[g] }
+
+func media(dram bool) pmem.Media {
+	if dram {
+		return pmem.MediaDRAM
+	}
+	return pmem.MediaPMem
+}

@@ -1,0 +1,79 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"github.com/portus-sys/portus/internal/cluster"
+	"github.com/portus-sys/portus/internal/memdev"
+	"github.com/portus-sys/portus/internal/perfmodel"
+	"github.com/portus-sys/portus/internal/pmem"
+	"github.com/portus-sys/portus/internal/rdma"
+	"github.com/portus-sys/portus/internal/sim"
+)
+
+func build(t *testing.T, cfg cluster.Config) *cluster.Cluster {
+	t.Helper()
+	var cl *cluster.Cluster
+	eng := sim.NewEngine()
+	eng.Go("build", func(env sim.Env) {
+		var err error
+		cl, err = cluster.New(env, cfg)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	return cl
+}
+
+func TestDefaultsAreClientVolta(t *testing.T) {
+	cl := build(t, cluster.Config{})
+	if len(cl.Compute) != 1 || len(cl.Compute[0].GPUs) != 4 {
+		t.Fatalf("default topology: %d nodes, %d GPUs", len(cl.Compute), len(cl.Compute[0].GPUs))
+	}
+	if cl.Storage.PMem.Mode() != pmem.Devdax {
+		t.Fatalf("Portus namespace mode = %v, want devdax", cl.Storage.PMem.Mode())
+	}
+	if cl.Storage.PMem.Materialized() {
+		t.Fatal("default content mode should be virtual")
+	}
+}
+
+func TestTwoNodeAmpereTopology(t *testing.T) {
+	cl := build(t, cluster.Config{ComputeNodes: 2, GPUsPerNode: 8, GPUMemBytes: 1 << 30, PMemBytes: 1 << 30})
+	if len(cl.Compute) != 2 {
+		t.Fatalf("nodes = %d", len(cl.Compute))
+	}
+	for n := 0; n < 2; n++ {
+		if len(cl.Compute[n].GPUs) != 8 {
+			t.Fatalf("node %d has %d GPUs", n, len(cl.Compute[n].GPUs))
+		}
+		if cl.GPU(n, 7).Mem().Kind() != memdev.GPU {
+			t.Fatal("GPU device kind wrong")
+		}
+	}
+	if cl.Compute[0].RNode.Name() == cl.Compute[1].RNode.Name() {
+		t.Fatal("compute nodes share an RDMA identity")
+	}
+}
+
+func TestResourceCapacities(t *testing.T) {
+	cl := build(t, cluster.Config{GPUMemBytes: 1 << 20, PMemBytes: 1 << 20})
+	if got := cl.Compute[0].PCIe.Capacity(); got != perfmodel.PCIeNodeBW {
+		t.Errorf("PCIe capacity = %v", got)
+	}
+	if got := cl.Compute[0].Serializer.Capacity(); got != perfmodel.SerializerNodeBW {
+		t.Errorf("Serializer capacity = %v", got)
+	}
+	if got := cl.Storage.Ingest.Capacity(); got != perfmodel.BeeGFSServerBW {
+		t.Errorf("Ingest capacity = %v", got)
+	}
+}
+
+func TestRateOverride(t *testing.T) {
+	rates := rdma.DefaultRates().WithGPUReadCap(2 * perfmodel.GB)
+	cl := build(t, cluster.Config{GPUMemBytes: 1 << 20, PMemBytes: 1 << 20, Rates: &rates})
+	if cl == nil {
+		t.Fatal("cluster with rate override failed")
+	}
+}

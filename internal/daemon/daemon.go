@@ -1,0 +1,541 @@
+// Package daemon implements the Portus Daemon: the user-space service on
+// the storage node that owns the devdax PMem namespace and performs all
+// checkpoint data movement (§III-B).
+//
+// On registration it builds the model's three-level index — ModelTable
+// entry, MIndex record, and two pre-allocated TensorData version slots
+// per tensor — and keeps the in-DRAM ModelMap (a red-black tree) for
+// lookups. On DO_CHECKPOINT a thread-pool worker pulls every tensor from
+// the client's GPU memory with one-sided RDMA READs directly into PMem:
+// no serialization, no kernel crossings, no intermediate copies. Restore
+// is the inverse — one-sided RDMA WRITEs from PMem into GPU memory.
+//
+// Crash consistency follows the paper's double-mapping scheme: the
+// target version slot is marked active (8-byte failure-atomic persist)
+// before any data moves, its TensorData is flushed, and only then is the
+// slot marked done — so recovery always finds the newest complete
+// version.
+package daemon
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/portus-sys/portus/internal/alloc"
+	"github.com/portus-sys/portus/internal/index"
+	"github.com/portus-sys/portus/internal/perfmodel"
+	"github.com/portus-sys/portus/internal/pmem"
+	"github.com/portus-sys/portus/internal/rbtree"
+	"github.com/portus-sys/portus/internal/rdma"
+	"github.com/portus-sys/portus/internal/serialize"
+	"github.com/portus-sys/portus/internal/sim"
+	"github.com/portus-sys/portus/internal/wire"
+)
+
+// Config parameterizes a daemon.
+type Config struct {
+	PMem   *pmem.Device
+	RNode  *rdma.Node
+	Fabric rdma.Fabric
+	// Workers sizes the thread pool; defaults to 8.
+	Workers int
+	// TableCap bounds the ModelTable; defaults to 512.
+	TableCap int64
+	// TwoSidedData switches the data plane to two-sided SEND/RECV-style
+	// transfer costs (ablation only; see DESIGN.md §5).
+	TwoSidedData bool
+	// StageThroughHost adds a host-DRAM staging hop on the storage node
+	// instead of the zero-copy pull (ablation only).
+	StageThroughHost bool
+}
+
+// Stats counts daemon work. PullTime and FlushTime give the cumulative
+// stage breakdown of the Portus datapath (Figure 13).
+type Stats struct {
+	Registered  int64
+	Checkpoints int64
+	Restores    int64
+	BytesPulled int64
+	BytesPushed int64
+	PullTime    time.Duration
+	FlushTime   time.Duration
+}
+
+// Daemon is a running Portus server.
+type Daemon struct {
+	cfg    Config
+	store  *index.Store
+	dataMR rdma.MR
+	jobs   *sim.Mailbox[*job]
+
+	mu       sync.Mutex
+	modelMap *rbtree.Tree[string, int64] // ModelMap: name -> info_offset
+	sessions map[string]*session
+
+	stats struct {
+		registered  atomic.Int64
+		checkpoints atomic.Int64
+		restores    atomic.Int64
+		bytesPulled atomic.Int64
+		bytesPushed atomic.Int64
+		pullNanos   atomic.Int64
+		flushNanos  atomic.Int64
+	}
+
+	// staging resources for the ablation path
+	hostStage *sim.BandwidthResource
+}
+
+// session is the live state of one registered model: the client's GPU
+// memory regions keyed one-to-one to the model's tensors.
+type session struct {
+	clientNode string
+	mrs        []rdma.RemoteMR
+	model      *index.Model
+	busy       atomic.Bool
+}
+
+type jobKind int
+
+const (
+	jobCheckpoint jobKind = iota + 1
+	jobRestore
+)
+
+type job struct {
+	kind      jobKind
+	sess      *session
+	iteration uint64
+	conn      wire.Conn
+}
+
+// New opens (or formats) the namespace and starts the worker pool.
+func New(env sim.Env, cfg Config) (*Daemon, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = 8
+	}
+	if cfg.TableCap == 0 {
+		cfg.TableCap = 512
+	}
+	store, err := index.Open(cfg.PMem)
+	if errors.Is(err, index.ErrNotFormatted) {
+		store, err = index.Format(cfg.PMem, cfg.TableCap)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("daemon: opening namespace: %w", err)
+	}
+	d := &Daemon{
+		cfg:      cfg,
+		store:    store,
+		jobs:     sim.NewMailbox[*job](env),
+		modelMap: rbtree.New[string, int64](),
+		sessions: make(map[string]*session),
+	}
+	// Register the whole data zone once; verbs address TensorData by
+	// offset within it.
+	d.dataMR = cfg.RNode.RegisterMR(env, cfg.PMem.Data(), 0, cfg.PMem.DataSize())
+	if cfg.StageThroughHost {
+		d.hostStage = sim.NewBandwidthResource(env, "daemon/host-stage", perfmodel.ServerDRAMBW)
+	}
+	// Rebuild ModelMap from the persistent ModelTable (daemon restart).
+	models, err := store.Models()
+	if err != nil {
+		return nil, fmt.Errorf("daemon: rebuilding ModelMap: %w", err)
+	}
+	for _, m := range models {
+		d.modelMap.Put(m.Name, m.InfoOff())
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		env.Go(fmt.Sprintf("portusd-worker-%d", w), d.worker)
+	}
+	return d, nil
+}
+
+// Store exposes the persistent index (for portusctl and the repacker).
+func (d *Daemon) Store() *index.Store { return d.store }
+
+// Stats snapshots the daemon counters.
+func (d *Daemon) Stats() Stats {
+	return Stats{
+		Registered:  d.stats.registered.Load(),
+		Checkpoints: d.stats.checkpoints.Load(),
+		Restores:    d.stats.restores.Load(),
+		BytesPulled: d.stats.bytesPulled.Load(),
+		BytesPushed: d.stats.bytesPushed.Load(),
+		PullTime:    time.Duration(d.stats.pullNanos.Load()),
+		FlushTime:   time.Duration(d.stats.flushNanos.Load()),
+	}
+}
+
+// ModelNames returns the ModelMap keys in order.
+func (d *Daemon) ModelNames() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.modelMap.Keys()
+}
+
+// Serve accepts control connections until the listener closes.
+func (d *Daemon) Serve(env sim.Env, l wire.Listener) {
+	for {
+		conn, err := l.Accept(env)
+		if err != nil {
+			return
+		}
+		env.Go("portusd-conn", func(env sim.Env) { d.handleConn(env, conn) })
+	}
+}
+
+func (d *Daemon) handleConn(env sim.Env, conn wire.Conn) {
+	for {
+		m, err := conn.Recv(env)
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case wire.TRegister:
+			d.handleRegister(env, conn, m)
+		case wire.TDoCheckpoint:
+			d.enqueue(env, conn, m, jobCheckpoint)
+		case wire.TRestore:
+			d.enqueue(env, conn, m, jobRestore)
+		case wire.TList:
+			d.handleList(env, conn)
+		case wire.TDelete:
+			d.handleDelete(env, conn, m)
+		case wire.TDump:
+			d.handleDump(env, conn, m)
+		default:
+			d.sendErr(env, conn, m.Model, fmt.Sprintf("unexpected message %s", m.Type))
+		}
+	}
+}
+
+func (d *Daemon) sendErr(env sim.Env, conn wire.Conn, model, msg string) {
+	d.sendErrFor(env, conn, 0, 0, model, msg)
+}
+
+// sendErrFor reports an error correlated to the failing request so the
+// client can release the matching waiter. Control-plane send failures
+// mean the client is gone; the connection loop observes it on the next
+// Recv.
+func (d *Daemon) sendErrFor(env sim.Env, conn wire.Conn, inReplyTo wire.Type, iter uint64, model, msg string) {
+	_ = conn.Send(env, &wire.Msg{
+		Type: wire.TError, InReplyTo: inReplyTo, Iteration: iter, Model: model, Error: msg,
+	})
+}
+
+// peerAdder is implemented by fabrics that need explicit peer-address
+// exchange (the TCP soft-RDMA fabric).
+type peerAdder interface {
+	AddPeer(name, addr string)
+}
+
+// handleRegister builds (or re-attaches) the persistent structure for a
+// model and records the client's memory regions.
+func (d *Daemon) handleRegister(env sim.Env, conn wire.Conn, m *wire.Msg) {
+	if len(m.Tensors) == 0 {
+		d.sendErr(env, conn, m.Model, "registration packet has no tensors")
+		return
+	}
+	if m.FabricAddr != "" {
+		if pa, ok := d.cfg.Fabric.(peerAdder); ok {
+			pa.AddPeer(m.ClientNode, m.FabricAddr)
+		}
+	}
+	metas := make([]index.TensorMeta, len(m.Tensors))
+	mrs := make([]rdma.RemoteMR, len(m.Tensors))
+	for i, t := range m.Tensors {
+		metas[i] = index.TensorMeta{Name: t.Name, DType: index.DType(t.DType), Dims: t.Dims, Size: t.Size}
+		mrs[i] = rdma.RemoteMR{Node: m.ClientNode, RKey: t.RKey, Len: t.Size}
+	}
+	env.Sleep(time.Duration(len(m.Tensors)) * perfmodel.IndexInsertCost)
+
+	d.mu.Lock()
+	model, err := d.store.Lookup(m.Model)
+	if err != nil {
+		// Fresh model: create ModelTable entry, MIndex, TensorData x2.
+		model, err = d.store.CreateModel(m.Model, metas)
+		if err != nil {
+			d.mu.Unlock()
+			d.sendErrFor(env, conn, wire.TRegister, 0, m.Model, err.Error())
+			return
+		}
+		d.modelMap.Put(m.Model, model.InfoOff())
+	} else if !metasMatch(model.Tensors, metas) {
+		// Re-registration after a client restart must describe the same
+		// structure, or the persistent index cannot serve it.
+		d.mu.Unlock()
+		d.sendErrFor(env, conn, wire.TRegister, 0, m.Model, "registration does not match stored model structure")
+		return
+	} else if err := d.reallocateMissingSlots(model); err != nil {
+		// A repacked model keeps only its newest version; restore the
+		// double mapping before training resumes.
+		d.mu.Unlock()
+		d.sendErrFor(env, conn, wire.TRegister, 0, m.Model, err.Error())
+		return
+	}
+	d.sessions[m.Model] = &session{clientNode: m.ClientNode, mrs: mrs, model: model}
+	d.mu.Unlock()
+
+	d.stats.registered.Add(1)
+	if err := conn.Send(env, &wire.Msg{Type: wire.TRegisterOK, Model: m.Model}); err != nil {
+		return
+	}
+}
+
+// reallocateMissingSlots restores version slots the repacker reclaimed.
+func (d *Daemon) reallocateMissingSlots(m *index.Model) error {
+	for v := 0; v < 2; v++ {
+		if m.HasSlot(v) {
+			continue
+		}
+		for i, tm := range m.Tensors {
+			off, err := d.store.Allocator().Allocate(tm.Size)
+			if err != nil {
+				return fmt.Errorf("re-allocating slot %d: %w", v, err)
+			}
+			m.SetPAddr(i, v, off)
+		}
+	}
+	return nil
+}
+
+func metasMatch(a, b []index.TensorMeta) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Size != b[i].Size || a[i].DType != b[i].DType {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *Daemon) enqueue(env sim.Env, conn wire.Conn, m *wire.Msg, kind jobKind) {
+	d.mu.Lock()
+	sess, ok := d.sessions[m.Model]
+	d.mu.Unlock()
+	if !ok {
+		d.sendErrFor(env, conn, m.Type, m.Iteration, m.Model, "model not registered on this daemon")
+		return
+	}
+	if !sess.busy.CompareAndSwap(false, true) {
+		d.sendErrFor(env, conn, m.Type, m.Iteration, m.Model, "operation already in flight for this model")
+		return
+	}
+	d.jobs.Send(env, &job{kind: kind, sess: sess, iteration: m.Iteration, conn: conn})
+}
+
+// worker is one thread-pool member: it owns whole jobs, touching only
+// its job's MIndex and TensorData (the paper's per-worker independence).
+func (d *Daemon) worker(env sim.Env) {
+	for {
+		j, ok := d.jobs.Recv(env)
+		if !ok {
+			return
+		}
+		switch j.kind {
+		case jobCheckpoint:
+			d.doCheckpoint(env, j)
+		case jobRestore:
+			d.doRestore(env, j)
+		}
+		j.sess.busy.Store(false)
+	}
+}
+
+// doCheckpoint pulls the model from GPU memory into the target version
+// slot.
+func (d *Daemon) doCheckpoint(env sim.Env, j *job) {
+	m := j.sess.model
+	slot := m.TargetSlot()
+	m.SetActive(slot, j.iteration)
+
+	var pulled int64
+	t0 := env.Now()
+	for i, tm := range m.Tensors {
+		ext := m.TensorData(i, slot)
+		env.Sleep(perfmodel.RDMAReadIssueCost)
+		if err := d.pullTensor(env, j.sess, i, ext); err != nil {
+			d.sendErrFor(env, j.conn, wire.TDoCheckpoint, j.iteration, m.Name,
+				fmt.Sprintf("pulling %s: %v", tm.Name, err))
+			return
+		}
+		pulled += ext.Size
+	}
+	t1 := env.Now()
+	// Flush TensorData, then commit the version flag.
+	for i := range m.Tensors {
+		ext := m.TensorData(i, slot)
+		d.cfg.PMem.FlushData(ext.Off, ext.Size)
+	}
+	env.Sleep(flushCost(pulled))
+	d.stats.pullNanos.Add(int64(t1 - t0))
+	d.stats.flushNanos.Add(int64(env.Now() - t1))
+	m.SetDone(slot, j.iteration, time.Unix(0, int64(env.Now())))
+
+	d.stats.checkpoints.Add(1)
+	d.stats.bytesPulled.Add(pulled)
+	if err := j.conn.Send(env, &wire.Msg{
+		Type: wire.TCheckpointDone, Model: m.Name, Iteration: j.iteration, Slot: slot,
+	}); err != nil {
+		return
+	}
+}
+
+// pullTensor runs one one-sided READ (or the ablation variants).
+func (d *Daemon) pullTensor(env sim.Env, sess *session, i int, ext alloc.Extent) error {
+	local := rdma.Slice{MR: d.dataMR, Off: ext.Off, Len: ext.Size}
+	remote := rdma.RemoteSlice{MR: sess.mrs[i], Off: 0, Len: ext.Size}
+	if d.cfg.TwoSidedData {
+		// Ablation: model the rendezvous + copy cost of a two-sided
+		// protocol on top of the transfer.
+		env.Sleep(perfmodel.TwoSidedLatency - perfmodel.RDMALatency)
+		if err := d.cfg.Fabric.Read(env, d.cfg.RNode, local, remote); err != nil {
+			return err
+		}
+		// Receiver-side copy out of the bounce buffer.
+		sim.PipelineTransfer(env, ext.Size, 4*perfmodel.MiB,
+			sim.Stage{Res: d.cfg.RNode.NIC(), FlowCap: perfmodel.BeeGFSTransferBW})
+		return nil
+	}
+	if d.cfg.StageThroughHost {
+		// Ablation: land in server DRAM first, then copy to PMem.
+		if err := d.cfg.Fabric.Read(env, d.cfg.RNode, local, remote); err != nil {
+			return err
+		}
+		d.hostStage.Transfer(env, ext.Size, perfmodel.PMemWriteBW, 0)
+		return nil
+	}
+	return d.cfg.Fabric.Read(env, d.cfg.RNode, local, remote)
+}
+
+func flushCost(bytes int64) time.Duration {
+	return time.Duration(float64(bytes) / float64(perfmodel.MiB) * float64(perfmodel.FlushPerMiB))
+}
+
+// doRestore writes the newest done version into the client's GPU memory.
+func (d *Daemon) doRestore(env sim.Env, j *job) {
+	m := j.sess.model
+	slot, v, ok := m.LatestDone()
+	if !ok {
+		d.sendErrFor(env, j.conn, wire.TRestore, 0, m.Name, "no complete checkpoint version on PMem")
+		return
+	}
+	var pushed int64
+	for i, tm := range m.Tensors {
+		ext := m.TensorData(i, slot)
+		env.Sleep(perfmodel.RDMAReadIssueCost)
+		local := rdma.Slice{MR: d.dataMR, Off: ext.Off, Len: ext.Size}
+		remote := rdma.RemoteSlice{MR: j.sess.mrs[i], Off: 0, Len: ext.Size}
+		if err := d.cfg.Fabric.Write(env, d.cfg.RNode, local, remote); err != nil {
+			d.sendErrFor(env, j.conn, wire.TRestore, 0, m.Name, fmt.Sprintf("restoring %s: %v", tm.Name, err))
+			return
+		}
+		pushed += ext.Size
+	}
+	d.stats.restores.Add(1)
+	d.stats.bytesPushed.Add(pushed)
+	if err := j.conn.Send(env, &wire.Msg{
+		Type: wire.TRestoreDone, Model: m.Name, Iteration: v.Iteration, Slot: slot,
+	}); err != nil {
+		return
+	}
+}
+
+// handleList reports all stored models.
+func (d *Daemon) handleList(env sim.Env, conn wire.Conn) {
+	models, err := d.store.Models()
+	if err != nil {
+		d.sendErr(env, conn, "", err.Error())
+		return
+	}
+	resp := &wire.Msg{Type: wire.TListResp}
+	for _, m := range models {
+		info := wire.ModelInfo{
+			Name:    m.Name,
+			Tensors: len(m.Tensors),
+			Bytes:   m.TotalSize(),
+			Slot0:   index.StateName(m.VersionHeader(0).State),
+			Slot1:   index.StateName(m.VersionHeader(1).State),
+		}
+		if _, v, ok := m.LatestDone(); ok {
+			info.HasDone = true
+			info.LatestIter = v.Iteration
+		}
+		resp.Models = append(resp.Models, info)
+	}
+	if err := conn.Send(env, resp); err != nil {
+		return
+	}
+}
+
+// handleDump archives a model's newest complete version as a
+// torch.save-style container and ships it over the control plane — the
+// one place Portus ever serializes (§VI: "Portus will perform
+// serialization only upon an archive of a checkpoint"), and it happens
+// on the daemon, off the training path.
+func (d *Daemon) handleDump(env sim.Env, conn wire.Conn, m *wire.Msg) {
+	model, err := d.store.Lookup(m.Model)
+	if err != nil {
+		d.sendErr(env, conn, m.Model, err.Error())
+		return
+	}
+	slot, v, ok := model.LatestDone()
+	if !ok {
+		d.sendErr(env, conn, m.Model, "no complete checkpoint version to archive")
+		return
+	}
+	ckpt := &serialize.Checkpoint{Model: model.Name, Iteration: v.Iteration}
+	for i, tm := range model.Tensors {
+		ext := model.TensorData(i, slot)
+		blob := serialize.Blob{Meta: tm}
+		if d.cfg.PMem.Materialized() {
+			blob.Data = d.cfg.PMem.Data().Bytes(ext.Off, ext.Size)
+		} else {
+			blob.Virtual = true
+			blob.Stamp = d.cfg.PMem.Data().StampOf(ext.Off, ext.Size)
+		}
+		ckpt.Tensors = append(ckpt.Tensors, blob)
+	}
+	// The archive pass pays the serialization cost Portus keeps off the
+	// checkpoint path.
+	env.Sleep(time.Duration(len(ckpt.Tensors)) * perfmodel.SerializePerTensor)
+	env.Sleep(sim.TransferTime(ckpt.ModeledSize(), perfmodel.SerializeBW, 0, 0))
+	var buf bytes.Buffer
+	if err := serialize.Encode(&buf, ckpt); err != nil {
+		d.sendErr(env, conn, m.Model, err.Error())
+		return
+	}
+	if err := conn.Send(env, &wire.Msg{
+		Type: wire.TDumpResp, Model: m.Model, Iteration: v.Iteration, Payload: buf.Bytes(),
+	}); err != nil {
+		return
+	}
+}
+
+// handleDelete removes a finished model and frees its PMem.
+func (d *Daemon) handleDelete(env sim.Env, conn wire.Conn, m *wire.Msg) {
+	d.mu.Lock()
+	if sess, ok := d.sessions[m.Model]; ok && sess.busy.Load() {
+		d.mu.Unlock()
+		d.sendErr(env, conn, m.Model, "model has an operation in flight")
+		return
+	}
+	delete(d.sessions, m.Model)
+	d.modelMap.Delete(m.Model)
+	err := d.store.DeleteModel(m.Model)
+	d.mu.Unlock()
+	if err != nil {
+		d.sendErr(env, conn, m.Model, err.Error())
+		return
+	}
+	if err := conn.Send(env, &wire.Msg{Type: wire.TDeleteOK, Model: m.Model}); err != nil {
+		return
+	}
+}

@@ -1,0 +1,106 @@
+package daemon_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/portus-sys/portus/internal/cluster"
+	"github.com/portus-sys/portus/internal/daemon"
+	"github.com/portus-sys/portus/internal/sim"
+	"github.com/portus-sys/portus/internal/wire"
+)
+
+// startDaemon wires a daemon on a tiny cluster and returns a dialer.
+func startDaemon(t *testing.T, env sim.Env) (*daemon.Daemon, *wire.SimNet) {
+	t.Helper()
+	cl, err := cluster.New(env, cluster.Config{
+		ComputeNodes: 1, GPUsPerNode: 1,
+		GPUMemBytes: 1 << 20, PMemBytes: 1 << 20, Materialized: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := daemon.New(env, daemon.Config{PMem: cl.Storage.PMem, RNode: cl.Storage.RNode, Fabric: cl.Fabric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := wire.NewSimNet()
+	l, err := net.Listen(env, "storage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Go("serve", func(env sim.Env) { d.Serve(env, l) })
+	return d, net
+}
+
+func expectError(t *testing.T, env sim.Env, conn wire.Conn, req *wire.Msg, substr string) {
+	t.Helper()
+	if err := conn.Send(env, req); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := conn.Recv(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != wire.TError || !strings.Contains(resp.Error, substr) {
+		t.Fatalf("resp = %+v, want error containing %q", resp, substr)
+	}
+}
+
+func TestDaemonRejectsMalformedRequests(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		_, net := startDaemon(t, env)
+		conn, err := net.Dial(env, "storage")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Registration without tensors.
+		expectError(t, env, conn, &wire.Msg{Type: wire.TRegister, Model: "m"}, "no tensors")
+		// Checkpoint of an unregistered model.
+		expectError(t, env, conn, &wire.Msg{Type: wire.TDoCheckpoint, Model: "ghost"}, "not registered")
+		// Restore of an unregistered model.
+		expectError(t, env, conn, &wire.Msg{Type: wire.TRestore, Model: "ghost"}, "not registered")
+		// Delete of a nonexistent model.
+		expectError(t, env, conn, &wire.Msg{Type: wire.TDelete, Model: "ghost"}, "not found")
+		// Unknown message type.
+		expectError(t, env, conn, &wire.Msg{Type: wire.Type(99)}, "unexpected message")
+	})
+	eng.Run()
+}
+
+func TestDaemonEmptyList(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		_, net := startDaemon(t, env)
+		conn, err := net.Dial(env, "storage")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := conn.Send(env, &wire.Msg{Type: wire.TList}); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := conn.Recv(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Type != wire.TListResp || len(resp.Models) != 0 {
+			t.Fatalf("resp = %+v", resp)
+		}
+	})
+	eng.Run()
+}
+
+func TestDaemonDefaults(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		d, _ := startDaemon(t, env)
+		if st := d.Stats(); st.Checkpoints != 0 || st.Registered != 0 {
+			t.Fatalf("fresh daemon stats = %+v", st)
+		}
+		if names := d.ModelNames(); len(names) != 0 {
+			t.Fatalf("fresh daemon models = %v", names)
+		}
+	})
+	eng.Run()
+}

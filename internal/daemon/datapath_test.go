@@ -1,0 +1,133 @@
+package daemon_test
+
+import (
+	"testing"
+
+	"github.com/portus-sys/portus/internal/client"
+	"github.com/portus-sys/portus/internal/cluster"
+	"github.com/portus-sys/portus/internal/daemon"
+	"github.com/portus-sys/portus/internal/gpu"
+	"github.com/portus-sys/portus/internal/model"
+	"github.com/portus-sys/portus/internal/sim"
+	"github.com/portus-sys/portus/internal/wire"
+)
+
+// fullRig wires cluster + daemon + net and registers one tiny model.
+func fullRig(t *testing.T, env sim.Env, dmut func(*daemon.Config)) (*daemon.Daemon, *gpu.PlacedModel, *client.Client) {
+	t.Helper()
+	cl, err := cluster.New(env, cluster.Config{
+		ComputeNodes: 1, GPUsPerNode: 1,
+		GPUMemBytes: 8 << 20, PMemBytes: 16 << 20, Materialized: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := daemon.Config{PMem: cl.Storage.PMem, RNode: cl.Storage.RNode, Fabric: cl.Fabric}
+	if dmut != nil {
+		dmut(&cfg)
+	}
+	d, err := daemon.New(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := wire.NewSimNet()
+	l, err := net.Listen(env, "storage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Go("serve", func(env sim.Env) { d.Serve(env, l) })
+
+	placed, err := gpu.Place(cl.GPU(0, 0), model.GPT("m", 2, 32, 128, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial(env, "storage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := client.Register(env, conn, cl.Compute[0].RNode, placed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, placed, c
+}
+
+func TestDaemonCheckpointRestoreCounts(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		d, placed, c := fullRig(t, env, nil)
+		placed.ApplyUpdate(1)
+		if err := c.CheckpointSync(env, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Restore(env); err != nil {
+			t.Fatal(err)
+		}
+		st := d.Stats()
+		if st.Registered != 1 || st.Checkpoints != 1 || st.Restores != 1 {
+			t.Fatalf("stats = %+v", st)
+		}
+		if st.PullTime <= 0 {
+			t.Fatal("pull time not recorded")
+		}
+		if st.BytesPulled != st.BytesPushed || st.BytesPulled != placed.Spec.TotalSize() {
+			t.Fatalf("byte counters = %+v", st)
+		}
+	})
+	eng.Run()
+}
+
+func TestDaemonAblationPathsStillCorrect(t *testing.T) {
+	// The ablation datapaths (two-sided, host staging) must be slower but
+	// byte-identical.
+	for _, mut := range []func(*daemon.Config){
+		func(c *daemon.Config) { c.TwoSidedData = true },
+		func(c *daemon.Config) { c.StageThroughHost = true },
+	} {
+		mut := mut
+		eng := sim.NewEngine()
+		eng.Go("test", func(env sim.Env) {
+			_, placed, c := fullRig(t, env, mut)
+			placed.ApplyUpdate(3)
+			if err := c.CheckpointSync(env, 3); err != nil {
+				t.Fatal(err)
+			}
+			placed.ApplyUpdate(4)
+			iter, err := c.Restore(env)
+			if err != nil || iter != 3 {
+				t.Fatalf("restore = %d, %v", iter, err)
+			}
+			if bad := placed.VerifyIteration(3); bad != -1 {
+				t.Fatalf("tensor %d wrong under ablation datapath", bad)
+			}
+		})
+		eng.Run()
+	}
+}
+
+func TestDaemonBusyRejection(t *testing.T) {
+	// A second operation on a model with one in flight is rejected: the
+	// paper's one-worker-per-model independence (§III-D1).
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		_, placed, c := fullRig(t, env, nil)
+		placed.ApplyUpdate(1)
+		cp, err := c.CheckpointAsync(env, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Immediately request another: the daemon must refuse.
+		if err := c.CheckpointSync(env, 2); err == nil {
+			t.Fatal("concurrent checkpoint on the same model accepted")
+		}
+		if err := cp.Wait(env); err != nil {
+			t.Fatal(err)
+		}
+		// After completion the model accepts work again.
+		placed.ApplyUpdate(3)
+		if err := c.CheckpointSync(env, 3); err != nil {
+			t.Fatal(err)
+		}
+	})
+	eng.Run()
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/portus-sys/portus/internal/memdev"
+	"github.com/portus-sys/portus/internal/perfmodel"
+	"github.com/portus-sys/portus/internal/rdma"
+	"github.com/portus-sys/portus/internal/sim"
+)
+
+// fig10Sizes is the message-size sweep of Figure 10.
+var fig10Sizes = []int64{
+	4 * perfmodel.KiB, 16 * perfmodel.KiB, 64 * perfmodel.KiB,
+	256 * perfmodel.KiB, 512 * perfmodel.KiB,
+	1 * perfmodel.MiB, 4 * perfmodel.MiB, 16 * perfmodel.MiB, 64 * perfmodel.MiB,
+}
+
+// fig10Pairs are the four datapaths: server-side target × client-side
+// source.
+var fig10Pairs = []struct {
+	name       string
+	serverKind memdev.Kind
+	clientKind memdev.Kind
+}{
+	{"Server DRAM <-> Client DRAM", memdev.DRAM, memdev.DRAM},
+	{"Server DRAM <-> Client GPU", memdev.DRAM, memdev.GPU},
+	{"Server PMEM <-> Client DRAM", memdev.PMEM, memdev.DRAM},
+	{"Server PMEM <-> Client GPU", memdev.PMEM, memdev.GPU},
+}
+
+// measureVerb times one one-sided verb between a client device and a
+// server device.
+func measureVerb(serverKind, clientKind memdev.Kind, size int64, read bool) time.Duration {
+	var elapsed time.Duration
+	runEngine(func(env sim.Env) {
+		f := rdma.NewSimFabric()
+		server := rdma.NewNode(env, "server")
+		clnt := rdma.NewNode(env, "client")
+		f.AddNode(server)
+		f.AddNode(clnt)
+		sdev := memdev.New("sdev", serverKind, 1<<32, false)
+		cdev := memdev.New("cdev", clientKind, 1<<32, false)
+		cdev.WriteStamp(0, size, 1)
+		sdev.WriteStamp(0, size, 2)
+		rmr := clnt.RegisterMR(env, cdev, 0, size)
+		lmr := server.RegisterMR(env, sdev, 0, size)
+		l := rdma.Slice{MR: lmr, Len: size}
+		r := rdma.RemoteSlice{MR: rdma.RemoteMR{Node: "client", RKey: rmr.RKey, Len: size}, Len: size}
+		start := env.Now()
+		var err error
+		if read {
+			err = f.Read(env, server, l, r)
+		} else {
+			err = f.Write(env, server, l, r)
+		}
+		if err != nil {
+			panic(err)
+		}
+		elapsed = env.Now() - start
+	})
+	return elapsed
+}
+
+// Fig10 reproduces Figure 10: bandwidth and latency of the Portus
+// datapath across device pairs, read (checkpoint direction) and write
+// (restore direction), over the message-size sweep.
+func Fig10() []*Table {
+	mkTable := func(id, title string, read bool, bandwidth bool) *Table {
+		t := &Table{ID: id, Title: title}
+		t.Header = []string{"Size"}
+		for _, p := range fig10Pairs {
+			t.Header = append(t.Header, p.name)
+		}
+		for _, size := range fig10Sizes {
+			row := []string{sizeLabel(size)}
+			for _, p := range fig10Pairs {
+				d := measureVerb(p.serverKind, p.clientKind, size, read)
+				if bandwidth {
+					row = append(row, fmt.Sprintf("%.2f", float64(size)/d.Seconds()/perfmodel.GB))
+				} else {
+					row = append(row, fmt.Sprintf("%.1f", float64(d)/float64(time.Microsecond)))
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		return t
+	}
+	readBW := mkTable("fig10a", "Read bandwidth (GB/s) — server pulls from client (checkpoint)", true, true)
+	readBW.Notes = []string{
+		"GPU columns saturate near 5.8 GB/s: the BAR unit disables prefetching for reads (§V-B)",
+		"DRAM vs PMEM on the server does not matter: both outrun the network",
+		"bandwidth approaches peak once messages exceed ~512 KiB",
+	}
+	readLat := mkTable("fig10b", "Read latency (µs)", true, false)
+	writeBW := mkTable("fig10c", "Write bandwidth (GB/s) — server pushes to client (restore)", false, true)
+	writeBW.Notes = []string{"BAR does not affect writes: GPU columns reach the RNIC limit (§V-B, Fig. 10(d))"}
+	writeLat := mkTable("fig10d", "Write latency (µs)", false, false)
+	return []*Table{readBW, readLat, writeBW, writeLat}
+}
+
+func sizeLabel(n int64) string {
+	switch {
+	case n >= perfmodel.MiB:
+		return fmt.Sprintf("%dMiB", n/perfmodel.MiB)
+	default:
+		return fmt.Sprintf("%dKiB", n/perfmodel.KiB)
+	}
+}

@@ -1,0 +1,177 @@
+package fsim_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/portus-sys/portus/internal/cluster"
+	"github.com/portus-sys/portus/internal/fsim"
+	"github.com/portus-sys/portus/internal/index"
+	"github.com/portus-sys/portus/internal/serialize"
+	"github.com/portus-sys/portus/internal/sim"
+)
+
+// withCluster runs fn on a small virtual cluster.
+func withCluster(t *testing.T, nodes int, fn func(env sim.Env, cl *cluster.Cluster)) time.Duration {
+	t.Helper()
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		cl, err := cluster.New(env, cluster.Config{
+			ComputeNodes: nodes, GPUsPerNode: 1,
+			GPUMemBytes: 1 << 30, PMemBytes: 1 << 30, Materialized: false,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn(env, cl)
+	})
+	return eng.Run()
+}
+
+// virtualCkpt builds an n-byte single-tensor virtual checkpoint.
+func virtualCkpt(model string, n int64) *serialize.Checkpoint {
+	return &serialize.Checkpoint{
+		Model:     model,
+		Iteration: 1,
+		Tensors: []serialize.Blob{{
+			Meta:    index.TensorMeta{Name: "w", DType: index.F32, Dims: []int64{n / 4}, Size: n},
+			Virtual: true,
+			Stamp:   0x77,
+		}},
+	}
+}
+
+func TestBeeGFSSaveLoadRoundTrip(t *testing.T) {
+	withCluster(t, 1, func(env sim.Env, cl *cluster.Cluster) {
+		bg := fsim.NewBeeGFS(cl.Storage)
+		if err := bg.Save(env, cl.Compute[0], virtualCkpt("m", 1<<20)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := bg.Load(env, cl.Compute[0], "m")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Tensors[0].Stamp != 0x77 {
+			t.Fatalf("loaded stamp = %#x", got.Tensors[0].Stamp)
+		}
+		if _, err := bg.Load(env, cl.Compute[0], "missing"); err == nil {
+			t.Fatal("load of missing model succeeded")
+		}
+	})
+}
+
+func TestBeeGFSSharedAcrossNodes(t *testing.T) {
+	withCluster(t, 2, func(env sim.Env, cl *cluster.Cluster) {
+		bg := fsim.NewBeeGFS(cl.Storage)
+		if err := bg.Save(env, cl.Compute[0], virtualCkpt("shared", 1<<20)); err != nil {
+			t.Fatal(err)
+		}
+		// A different node loads the file (the shared-filesystem property
+		// of §II-A).
+		if _, err := bg.Load(env, cl.Compute[1], "shared"); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestSaveOverwritesPreviousVersion(t *testing.T) {
+	withCluster(t, 1, func(env sim.Env, cl *cluster.Cluster) {
+		bg := fsim.NewBeeGFS(cl.Storage)
+		c1 := virtualCkpt("m", 1<<20)
+		c1.Iteration = 1
+		c2 := virtualCkpt("m", 1<<20)
+		c2.Iteration = 2
+		if err := bg.Save(env, cl.Compute[0], c1); err != nil {
+			t.Fatal(err)
+		}
+		if err := bg.Save(env, cl.Compute[0], c2); err != nil {
+			t.Fatal(err)
+		}
+		got, err := bg.Load(env, cl.Compute[0], "m")
+		if err != nil || got.Iteration != 2 {
+			t.Fatalf("loaded iteration %d, %v", got.Iteration, err)
+		}
+	})
+}
+
+func TestStoredCheckpointDoesNotAliasCaller(t *testing.T) {
+	withCluster(t, 1, func(env sim.Env, cl *cluster.Cluster) {
+		bg := fsim.NewBeeGFS(cl.Storage)
+		ck := virtualCkpt("m", 1<<20)
+		if err := bg.Save(env, cl.Compute[0], ck); err != nil {
+			t.Fatal(err)
+		}
+		ck.Tensors[0].Stamp = 0xBAD // caller mutates after save
+		got, _ := bg.Load(env, cl.Compute[0], "m")
+		if got.Tensors[0].Stamp != 0x77 {
+			t.Fatal("stored checkpoint aliases caller buffers")
+		}
+	})
+}
+
+func TestBeeGFSConcurrentWritersContend(t *testing.T) {
+	// One writer's save of N bytes must be faster than each of 8
+	// concurrent writers saving N bytes (daemon contention, §II-A).
+	const n = 256 << 20
+	solo := withCluster(t, 1, func(env sim.Env, cl *cluster.Cluster) {
+		bg := fsim.NewBeeGFS(cl.Storage)
+		if err := bg.Save(env, cl.Compute[0], virtualCkpt("m", n)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	crowd := withCluster(t, 1, func(env sim.Env, cl *cluster.Cluster) {
+		bg := fsim.NewBeeGFS(cl.Storage)
+		g := sim.NewGroup(env)
+		for i := 0; i < 8; i++ {
+			i := i
+			g.Add(env, 1)
+			env.Go("w", func(env sim.Env) {
+				defer g.Done(env)
+				name := string(rune('a' + i))
+				if err := bg.Save(env, cl.Compute[0], virtualCkpt(name, n)); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+		g.Wait(env)
+	})
+	// Pure fair sharing of the solo bottleneck would be ~8x; the
+	// daemon's synchronization contention pushes beyond that.
+	if crowd < 8*solo {
+		t.Fatalf("8 contended writers took %v vs solo %v; expected >8x degradation", crowd, solo)
+	}
+}
+
+func TestExt4IsNodeLocal(t *testing.T) {
+	withCluster(t, 2, func(env sim.Env, cl *cluster.Cluster) {
+		e := fsim.NewExt4NVMe(cl.Compute[0])
+		if err := e.Save(env, cl.Compute[1], virtualCkpt("m", 1<<20)); err == nil {
+			t.Fatal("remote node wrote to a local filesystem")
+		}
+		if err := e.Save(env, cl.Compute[0], virtualCkpt("m", 1<<20)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Load(env, cl.Compute[0], "m"); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestStatsBreakdownSumsToTotal(t *testing.T) {
+	var total time.Duration
+	var st fsim.Stats
+	total = withCluster(t, 1, func(env sim.Env, cl *cluster.Cluster) {
+		bg := fsim.NewBeeGFS(cl.Storage)
+		if err := bg.Save(env, cl.Compute[0], virtualCkpt("m", 64<<20)); err != nil {
+			t.Fatal(err)
+		}
+		st = bg.Stats()
+	})
+	sum := st.SerializeTime + st.MetadataTime + st.TransferTime + st.PersistTime
+	if sum > total || sum < total*95/100 {
+		t.Fatalf("stage sum %v vs total %v", sum, total)
+	}
+	if st.Copies != 2 || st.KernelCrossings != 3 || st.Saves != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

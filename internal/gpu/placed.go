@@ -1,0 +1,72 @@
+package gpu
+
+import (
+	"fmt"
+
+	"github.com/portus-sys/portus/internal/model"
+)
+
+// PlacedModel is a model whose tensors live at fixed addresses in one
+// GPU's memory — the framework-allocated layout whose stability Portus
+// exploits to register memory regions once per training job.
+type PlacedModel struct {
+	Spec model.Spec
+	GPU  *GPU
+	Offs []int64 // device address of each tensor
+
+	// Iteration tracks the training step whose weights currently occupy
+	// the tensors (advanced by ApplyUpdate).
+	Iteration uint64
+}
+
+// Place allocates every tensor of spec on g and fills iteration-0
+// weights.
+func Place(g *GPU, spec model.Spec) (*PlacedModel, error) {
+	p := &PlacedModel{Spec: spec, GPU: g, Offs: make([]int64, len(spec.Tensors))}
+	for i, tm := range spec.Tensors {
+		off, err := g.PlaceTensor(tm.Size)
+		if err != nil {
+			return nil, fmt.Errorf("gpu: placing %s: %w", tm.Name, err)
+		}
+		p.Offs[i] = off
+	}
+	p.ApplyUpdate(0)
+	return p, nil
+}
+
+// ApplyUpdate simulates the optimizer's update phase: every tensor's
+// content becomes the deterministic weights of the given iteration.
+func (p *PlacedModel) ApplyUpdate(iteration uint64) {
+	p.Iteration = iteration
+	for i, tm := range p.Spec.Tensors {
+		p.GPU.FillTensor(p.Offs[i], tm.Size, p.Spec.TensorSeed(i, iteration))
+	}
+}
+
+// TensorStamp returns the content fingerprint of tensor i as currently
+// resident on the GPU.
+func (p *PlacedModel) TensorStamp(i int) uint64 {
+	return p.GPU.Mem().StampOf(p.Offs[i], p.Spec.Tensors[i].Size)
+}
+
+// ExpectedStamp returns the fingerprint tensor i must have when holding
+// iteration's weights (mode-aware: pattern hash when materialized, raw
+// seed otherwise).
+func (p *PlacedModel) ExpectedStamp(i int, iteration uint64) uint64 {
+	seed := p.Spec.TensorSeed(i, iteration)
+	if p.GPU.Mem().Materialized() {
+		return PatternStamp(p.Spec.Tensors[i].Size, seed)
+	}
+	return seed
+}
+
+// VerifyIteration checks every tensor holds exactly iteration's weights,
+// returning the first mismatching tensor index, or -1.
+func (p *PlacedModel) VerifyIteration(iteration uint64) int {
+	for i := range p.Spec.Tensors {
+		if p.TensorStamp(i) != p.ExpectedStamp(i, iteration) {
+			return i
+		}
+	}
+	return -1
+}

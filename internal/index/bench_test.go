@@ -1,0 +1,89 @@
+package index
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/portus-sys/portus/internal/pmem"
+)
+
+func benchStore(b *testing.B) *Store {
+	b.Helper()
+	pm := pmem.New(pmem.Config{Name: "pm", DataSize: 1 << 40, MetaSize: 64 << 20})
+	s, err := Format(pm, 8192)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func benchTensors(n int) []TensorMeta {
+	out := make([]TensorMeta, n)
+	for i := range out {
+		out[i] = TensorMeta{
+			Name:  fmt.Sprintf("encoder.layers.%d.weight", i),
+			DType: F32,
+			Dims:  []int64{1024, 1024},
+			Size:  4 << 20,
+		}
+	}
+	return out
+}
+
+// BenchmarkCreateModel measures building the full persistent structure
+// for a 400-tensor model (BERT-scale): MIndex record, 800 TensorData
+// allocations, ModelTable publish. The store is rotated when its table
+// or allocation slots fill across escalating b.N runs.
+func BenchmarkCreateModel(b *testing.B) {
+	s := benchStore(b)
+	tensors := benchTensors(400)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.CreateModel(fmt.Sprintf("m%d", i), tensors); err != nil {
+			b.StopTimer()
+			s = benchStore(b)
+			b.StartTimer()
+			if _, err := s.CreateModel(fmt.Sprintf("m%d", i), tensors); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkLookup measures MIndex loading by name.
+func BenchmarkLookup(b *testing.B) {
+	s := benchStore(b)
+	tensors := benchTensors(400)
+	for i := 0; i < 64; i++ {
+		if _, err := s.CreateModel(fmt.Sprintf("m%d", i), tensors); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Lookup(fmt.Sprintf("m%d", i&63)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVersionCommit measures the per-checkpoint index work: mark
+// active, mark done (the only metadata a Portus checkpoint writes).
+func BenchmarkVersionCommit(b *testing.B) {
+	s := benchStore(b)
+	m, err := s.CreateModel("m", benchTensors(400))
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := m.TargetSlot()
+		m.SetActive(slot, uint64(i))
+		m.SetDone(slot, uint64(i), now)
+	}
+}

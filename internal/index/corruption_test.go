@@ -1,0 +1,132 @@
+package index
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/portus-sys/portus/internal/pmem"
+)
+
+// buildValidImage creates a formatted namespace with two models and a
+// committed checkpoint version.
+func buildValidImage(t testing.TB) *pmem.Device {
+	pm := pmem.New(pmem.Config{Name: "pm", DataSize: 64 << 20, MetaSize: 8 << 20, Materialized: false})
+	s, err := Format(pm, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tensors := []TensorMeta{
+		{Name: "w0", DType: F32, Dims: []int64{256}, Size: 1024},
+		{Name: "w1", DType: F32, Dims: []int64{64, 64}, Size: 16384},
+	}
+	for _, name := range []string{"alpha", "beta"} {
+		m, err := s.CreateModel(name, tensors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetActive(0, 7)
+		m.SetDone(0, 7, time.Unix(0, 1))
+	}
+	return pm
+}
+
+// TestCorruptionNeverPanics flips random bytes across the metadata zone
+// and requires Open + Models to either succeed or fail with an error —
+// never panic. This is the safety contract of portusctl's
+// parse-from-raw-image path.
+func TestCorruptionNeverPanics(t *testing.T) {
+	prop := func(offsets []uint32, values []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on corrupt image: %v", r)
+				ok = false
+			}
+		}()
+		pm := buildValidImage(t)
+		n := len(offsets)
+		if len(values) < n {
+			n = len(values)
+		}
+		for i := 0; i < n; i++ {
+			off := int64(offsets[i]) % pm.MetaSize()
+			pm.WriteMeta(off, []byte{values[i]})
+		}
+		s, err := Open(pm)
+		if err != nil {
+			return true // rejecting a corrupt image is correct
+		}
+		models, err := s.Models()
+		if err != nil {
+			return true
+		}
+		for _, m := range models {
+			_ = m.TotalSize()
+			_, _, _ = m.LatestDone()
+			for i := range m.Tensors {
+				for v := 0; v < 2; v++ {
+					_ = m.TensorData(i, v)
+				}
+			}
+		}
+		_, _ = s.Lookup("alpha")
+		_ = s.Names()
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTargetedCorruption drives specific corruption sites through the
+// validation paths.
+func TestTargetedCorruption(t *testing.T) {
+	corrupt := func(mutate func(pm *pmem.Device)) error {
+		pm := buildValidImage(t)
+		mutate(pm)
+		s, err := Open(pm)
+		if err != nil {
+			return err
+		}
+		_, err = s.Models()
+		return err
+	}
+
+	// Superblock table capacity pointing past the zone.
+	err := corrupt(func(pm *pmem.Device) {
+		pm.WriteMeta(sbTableCap, []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x0f})
+	})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("oversized table cap: err = %v, want ErrCorrupt", err)
+	}
+
+	// ModelTable entry pointing outside the metadata zone: the entry
+	// must read as a tombstone, not crash.
+	pm := buildValidImage(t)
+	s, err := Open(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}
+	pm.WriteMeta(superSize, huge) // first entry's infoOff
+	names := s.Names()
+	if len(names) != 1 {
+		t.Errorf("names after pointer corruption = %v, want just the intact model", names)
+	}
+
+	// MIndex tensor count overflowing the zone.
+	pm2 := buildValidImage(t)
+	s2, err := Open(pm2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s2.Lookup("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm2.WriteMeta(m.InfoOff()+4, []byte{0xff, 0xff, 0xff, 0x7f})
+	if _, err := s2.Lookup("alpha"); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("tensor-count corruption: err = %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package memdev provides simulated byte-addressable device memory: the
+// state substrate behind the GPU, client DRAM, and persistent-memory
+// devices. A device holds either materialized bytes (real data, used by
+// correctness tests and the TCP-backed runtime) or virtual content
+// stamps (64-bit content fingerprints tracked per region, used by
+// large-model benchmarks where allocating tens of gigabytes would be
+// wasteful). Stamps propagate through every copy, so end-to-end transfer
+// correctness is checkable in both modes.
+//
+// Devices carry no timing; the datapath layers (rdma, fsim) charge
+// modeled costs. All methods are safe for concurrent use.
+package memdev
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+)
+
+// Kind labels what a device models.
+type Kind int
+
+// Device kinds.
+const (
+	DRAM Kind = iota + 1
+	GPU
+	PMEM
+	NVMe
+)
+
+// String returns the conventional name of the device kind.
+func (k Kind) String() string {
+	switch k {
+	case DRAM:
+		return "dram"
+	case GPU:
+		return "gpu"
+	case PMEM:
+		return "pmem"
+	case NVMe:
+		return "nvme"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Device is one simulated memory device.
+type Device struct {
+	name         string
+	kind         Kind
+	size         int64
+	materialized bool
+
+	mu     sync.Mutex
+	data   []byte       // materialized mode
+	stamps []stampEntry // virtual mode: disjoint stamped regions
+	brk    int64        // bump-allocation watermark
+}
+
+type stampEntry struct {
+	off, n int64
+	stamp  uint64
+}
+
+// New creates a device of the given byte size. When materialized is true
+// the device allocates real backing bytes; otherwise it tracks content
+// stamps only.
+func New(name string, kind Kind, size int64, materialized bool) *Device {
+	d := &Device{name: name, kind: kind, size: size, materialized: materialized}
+	if materialized {
+		d.data = make([]byte, size)
+	}
+	return d
+}
+
+// Name returns the device's name.
+func (d *Device) Name() string { return d.name }
+
+// Kind returns what the device models.
+func (d *Device) Kind() Kind { return d.kind }
+
+// Size returns the device's capacity in bytes.
+func (d *Device) Size() int64 { return d.size }
+
+// Materialized reports whether the device holds real bytes.
+func (d *Device) Materialized() bool { return d.materialized }
+
+// Alloc reserves n bytes with a simple bump allocator and returns the
+// region's base offset. It is sufficient for GPU tensor placement; the
+// PMem daemon uses the richer alloc package instead.
+func (d *Device) Alloc(n int64) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.brk+n > d.size {
+		return 0, fmt.Errorf("memdev: %s: out of memory (%d requested, %d free)", d.name, n, d.size-d.brk)
+	}
+	off := d.brk
+	d.brk += n
+	return off, nil
+}
+
+// Allocated reports the bump-allocation watermark.
+func (d *Device) Allocated() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.brk
+}
+
+func (d *Device) check(off, n int64) {
+	if off < 0 || n < 0 || off+n > d.size {
+		panic(fmt.Sprintf("memdev: %s: access [%d,%d) outside device of size %d", d.name, off, off+n, d.size))
+	}
+}
+
+// Write stores p at off. The device must be materialized.
+func (d *Device) Write(off int64, p []byte) {
+	d.check(off, int64(len(p)))
+	if !d.materialized {
+		panic("memdev: Write on virtual device; use WriteStamp")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	copy(d.data[off:], p)
+}
+
+// Read fills p from off. The device must be materialized.
+func (d *Device) Read(off int64, p []byte) {
+	d.check(off, int64(len(p)))
+	if !d.materialized {
+		panic("memdev: Read on virtual device; use StampOf")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	copy(p, d.data[off:off+int64(len(p))])
+}
+
+// Bytes returns a copy of the region [off, off+n). The device must be
+// materialized.
+func (d *Device) Bytes(off, n int64) []byte {
+	p := make([]byte, n)
+	d.Read(off, p)
+	return p
+}
+
+// WriteStamp records that region [off, off+n) now holds content with the
+// given fingerprint. Valid in both modes; on a materialized device it is
+// ignored (the bytes are the truth).
+func (d *Device) WriteStamp(off, n int64, stamp uint64) {
+	d.check(off, n)
+	if d.materialized {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.setStampLocked(off, n, stamp)
+}
+
+func (d *Device) setStampLocked(off, n int64, stamp uint64) {
+	// Remove any entries overlapping the new region, then add it.
+	kept := d.stamps[:0]
+	for _, e := range d.stamps {
+		if e.off+e.n <= off || e.off >= off+n {
+			kept = append(kept, e)
+		}
+	}
+	d.stamps = append(kept, stampEntry{off: off, n: n, stamp: stamp})
+}
+
+// StampOf returns the content fingerprint of region [off, off+n). On a
+// materialized device it hashes the bytes; on a virtual device it returns
+// the recorded stamp, or 0 if the region was never written or does not
+// exactly match a stamped region.
+func (d *Device) StampOf(off, n int64) uint64 {
+	d.check(off, n)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.materialized {
+		h := fnv.New64a()
+		h.Write(d.data[off : off+n])
+		return h.Sum64()
+	}
+	for _, e := range d.stamps {
+		if e.off == off && e.n == n {
+			return e.stamp
+		}
+	}
+	return 0
+}
+
+// Copy moves n bytes from src[srcOff] to dst[dstOff]. Both devices must
+// be in the same mode; in materialized mode real bytes are copied, in
+// virtual mode the content stamp propagates.
+func Copy(dst *Device, dstOff int64, src *Device, srcOff, n int64) {
+	if dst.materialized != src.materialized {
+		panic(fmt.Sprintf("memdev: mixed-mode copy %s -> %s", src.name, dst.name))
+	}
+	src.check(srcOff, n)
+	dst.check(dstOff, n)
+	if n == 0 {
+		return
+	}
+	if dst.materialized {
+		buf := src.Bytes(srcOff, n)
+		dst.Write(dstOff, buf)
+		return
+	}
+	stamp := src.StampOf(srcOff, n)
+	dst.WriteStamp(dstOff, n, stamp)
+}
+
+// Snapshot returns a deep copy of the device's content state (bytes or
+// stamps). Used by the pmem package to implement flush/crash semantics.
+func (d *Device) Snapshot() *Content {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c := &Content{materialized: d.materialized}
+	if d.materialized {
+		c.data = append([]byte(nil), d.data...)
+	} else {
+		c.stamps = append([]stampEntry(nil), d.stamps...)
+	}
+	return c
+}
+
+// Restore replaces the device's content state with a previously taken
+// snapshot.
+func (d *Device) Restore(c *Content) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c.materialized != d.materialized {
+		panic("memdev: snapshot mode mismatch")
+	}
+	if d.materialized {
+		copy(d.data, c.data)
+	} else {
+		d.stamps = append(d.stamps[:0], c.stamps...)
+	}
+}
+
+// StampRegion describes one stamped region of a virtual device.
+type StampRegion struct {
+	Off, N int64
+	Stamp  uint64
+}
+
+// Stamps returns the stamped regions of a virtual device, in no
+// particular order. On a materialized device it returns nil.
+func (d *Device) Stamps() []StampRegion {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.materialized {
+		return nil
+	}
+	out := make([]StampRegion, len(d.stamps))
+	for i, e := range d.stamps {
+		out[i] = StampRegion{Off: e.off, N: e.n, Stamp: e.stamp}
+	}
+	return out
+}
+
+// Content is an opaque deep copy of a device's state.
+type Content struct {
+	materialized bool
+	data         []byte
+	stamps       []stampEntry
+}

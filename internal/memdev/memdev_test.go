@@ -1,0 +1,181 @@
+package memdev
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaterializedReadWrite(t *testing.T) {
+	d := New("dram0", DRAM, 1024, true)
+	msg := []byte("hello, tensors")
+	d.Write(100, msg)
+	got := d.Bytes(100, int64(len(msg)))
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read back %q, want %q", got, msg)
+	}
+}
+
+func TestMaterializedCopy(t *testing.T) {
+	src := New("a", GPU, 256, true)
+	dst := New("b", PMEM, 256, true)
+	src.Write(0, []byte{1, 2, 3, 4})
+	Copy(dst, 10, src, 0, 4)
+	if got := dst.Bytes(10, 4); !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Fatalf("copied bytes = %v", got)
+	}
+}
+
+func TestMaterializedStampMatchesContent(t *testing.T) {
+	a := New("a", DRAM, 64, true)
+	b := New("b", DRAM, 64, true)
+	a.Write(0, []byte("same"))
+	b.Write(8, []byte("same"))
+	if a.StampOf(0, 4) != b.StampOf(8, 4) {
+		t.Fatal("equal content produced different stamps")
+	}
+	b.Write(8, []byte("diff"))
+	if a.StampOf(0, 4) == b.StampOf(8, 4) {
+		t.Fatal("different content produced equal stamps")
+	}
+}
+
+func TestVirtualStampPropagation(t *testing.T) {
+	src := New("gpu", GPU, 1<<40, false) // 1 TiB costs nothing
+	dst := New("pmem", PMEM, 1<<40, false)
+	src.WriteStamp(1<<30, 4<<20, 0xdeadbeef)
+	Copy(dst, 2<<30, src, 1<<30, 4<<20)
+	if got := dst.StampOf(2<<30, 4<<20); got != 0xdeadbeef {
+		t.Fatalf("stamp after copy = %#x, want 0xdeadbeef", got)
+	}
+}
+
+func TestVirtualOverwriteInvalidates(t *testing.T) {
+	d := New("v", DRAM, 1024, false)
+	d.WriteStamp(0, 100, 1)
+	d.WriteStamp(50, 100, 2) // overlaps the first region
+	if got := d.StampOf(0, 100); got != 0 {
+		t.Fatalf("stale region stamp = %d, want 0 after overlapping write", got)
+	}
+	if got := d.StampOf(50, 100); got != 2 {
+		t.Fatalf("new region stamp = %d, want 2", got)
+	}
+}
+
+func TestVirtualUnwrittenRegionIsZero(t *testing.T) {
+	d := New("v", DRAM, 1024, false)
+	if d.StampOf(10, 10) != 0 {
+		t.Fatal("unwritten region has nonzero stamp")
+	}
+}
+
+func TestMixedModeCopyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mixed-mode copy did not panic")
+		}
+	}()
+	Copy(New("a", DRAM, 8, true), 0, New("b", DRAM, 8, false), 0, 8)
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	d := New("a", DRAM, 8, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds access did not panic")
+		}
+	}()
+	d.Write(4, []byte("too long"))
+}
+
+func TestAllocBump(t *testing.T) {
+	d := New("gpu", GPU, 100, true)
+	a, err := d.Alloc(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Alloc(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 0 || b != 40 {
+		t.Fatalf("alloc offsets = %d, %d; want 0, 40", a, b)
+	}
+	if d.Allocated() != 100 {
+		t.Fatalf("Allocated = %d, want 100", d.Allocated())
+	}
+	if _, err := d.Alloc(1); err == nil {
+		t.Fatal("over-allocation succeeded")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	d := New("pm", PMEM, 64, true)
+	d.Write(0, []byte("stable"))
+	snap := d.Snapshot()
+	d.Write(0, []byte("dirty!"))
+	d.Restore(snap)
+	if got := d.Bytes(0, 6); !bytes.Equal(got, []byte("stable")) {
+		t.Fatalf("after restore: %q", got)
+	}
+}
+
+func TestSnapshotRestoreVirtual(t *testing.T) {
+	d := New("pm", PMEM, 1024, false)
+	d.WriteStamp(0, 16, 7)
+	snap := d.Snapshot()
+	d.WriteStamp(0, 16, 9)
+	d.Restore(snap)
+	if got := d.StampOf(0, 16); got != 7 {
+		t.Fatalf("restored stamp = %d, want 7", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{DRAM: "dram", GPU: "gpu", PMEM: "pmem", NVMe: "nvme"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+// Property: for any sequence of disjoint stamped writes, every region
+// reads back its own stamp.
+func TestDisjointStampsProperty(t *testing.T) {
+	prop := func(stamps []uint64) bool {
+		if len(stamps) > 64 {
+			stamps = stamps[:64]
+		}
+		d := New("v", DRAM, int64(len(stamps)+1)*128, false)
+		for i, s := range stamps {
+			d.WriteStamp(int64(i)*128, 128, s)
+		}
+		for i, s := range stamps {
+			if d.StampOf(int64(i)*128, 128) != s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: copying any materialized region preserves byte equality.
+func TestCopyPreservesBytesProperty(t *testing.T) {
+	prop := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		src := New("s", DRAM, int64(len(data)), true)
+		dst := New("d", DRAM, int64(len(data)), true)
+		src.Write(0, data)
+		Copy(dst, 0, src, 0, int64(len(data)))
+		return bytes.Equal(dst.Bytes(0, int64(len(data))), data) &&
+			src.StampOf(0, int64(len(data))) == dst.StampOf(0, int64(len(data)))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+// Package metrics collects and summarizes execution timelines: GPU
+// busy/idle spans, utilization series (Figure 16's 500-second traces),
+// and throughput accounting.
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// Span is one contiguous interval of GPU activity.
+type Span struct {
+	Start, End time.Duration
+	Busy       bool
+}
+
+// Timeline records alternating busy/idle GPU spans.
+type Timeline struct {
+	spans []Span
+}
+
+// Add appends a span; zero-length spans are dropped.
+func (t *Timeline) Add(start, end time.Duration, busy bool) {
+	if end <= start {
+		return
+	}
+	// Merge with the previous span when contiguous and same state.
+	if n := len(t.spans); n > 0 && t.spans[n-1].End == start && t.spans[n-1].Busy == busy {
+		t.spans[n-1].End = end
+		return
+	}
+	t.spans = append(t.spans, Span{Start: start, End: end, Busy: busy})
+}
+
+// Spans returns the recorded spans.
+func (t *Timeline) Spans() []Span { return t.spans }
+
+// End returns the end of the last span.
+func (t *Timeline) End() time.Duration {
+	if len(t.spans) == 0 {
+		return 0
+	}
+	return t.spans[len(t.spans)-1].End
+}
+
+// BusyWithin reports the busy time inside [lo, hi).
+func (t *Timeline) BusyWithin(lo, hi time.Duration) time.Duration {
+	var busy time.Duration
+	for _, s := range t.spans {
+		if !s.Busy || s.End <= lo || s.Start >= hi {
+			continue
+		}
+		a, b := s.Start, s.End
+		if a < lo {
+			a = lo
+		}
+		if b > hi {
+			b = hi
+		}
+		busy += b - a
+	}
+	return busy
+}
+
+// Utilization reports overall busy fraction in [0, End()).
+func (t *Timeline) Utilization() float64 {
+	end := t.End()
+	if end == 0 {
+		return 0
+	}
+	return float64(t.BusyWithin(0, end)) / float64(end)
+}
+
+// Series samples utilization per step over [0, window): the data behind
+// Figure 16's per-second utilization trace.
+func (t *Timeline) Series(window, step time.Duration) []float64 {
+	if step <= 0 {
+		return nil
+	}
+	var out []float64
+	for lo := time.Duration(0); lo < window; lo += step {
+		hi := lo + step
+		out = append(out, float64(t.BusyWithin(lo, hi))/float64(step))
+	}
+	return out
+}
+
+// Mean averages a series.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// FormatDuration renders a duration compactly for report tables.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	}
+}
+
+// FormatBytes renders a byte count in binary units.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.0fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.0fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

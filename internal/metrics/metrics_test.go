@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimelineUtilization(t *testing.T) {
+	var tl Timeline
+	tl.Add(0, 3*time.Second, true)
+	tl.Add(3*time.Second, 4*time.Second, false)
+	if got := tl.Utilization(); got != 0.75 {
+		t.Fatalf("Utilization = %v, want 0.75", got)
+	}
+	if tl.End() != 4*time.Second {
+		t.Fatalf("End = %v", tl.End())
+	}
+}
+
+func TestTimelineMergesContiguousSpans(t *testing.T) {
+	var tl Timeline
+	tl.Add(0, time.Second, true)
+	tl.Add(time.Second, 2*time.Second, true)
+	tl.Add(2*time.Second, 3*time.Second, false)
+	if got := len(tl.Spans()); got != 2 {
+		t.Fatalf("spans = %d, want 2 after merge", got)
+	}
+}
+
+func TestTimelineDropsEmptySpans(t *testing.T) {
+	var tl Timeline
+	tl.Add(time.Second, time.Second, true)
+	tl.Add(2*time.Second, time.Second, true) // end < start
+	if len(tl.Spans()) != 0 {
+		t.Fatal("degenerate spans recorded")
+	}
+}
+
+func TestBusyWithinClipsBoundaries(t *testing.T) {
+	var tl Timeline
+	tl.Add(0, 10*time.Second, true)
+	if got := tl.BusyWithin(4*time.Second, 6*time.Second); got != 2*time.Second {
+		t.Fatalf("BusyWithin = %v, want 2s", got)
+	}
+	if got := tl.BusyWithin(8*time.Second, 15*time.Second); got != 2*time.Second {
+		t.Fatalf("BusyWithin clipped = %v, want 2s", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var tl Timeline
+	tl.Add(0, time.Second, true)
+	tl.Add(time.Second, 2*time.Second, false)
+	got := tl.Series(2*time.Second, time.Second)
+	if len(got) != 2 || got[0] != 1.0 || got[1] != 0.0 {
+		t.Fatalf("Series = %v", got)
+	}
+	if tl.Series(time.Second, 0) != nil {
+		t.Fatal("zero step should return nil")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		2500 * time.Millisecond: "2.50s",
+		1500 * time.Microsecond: "1.5ms",
+		800 * time.Nanosecond:   "1µs",
+	}
+	for d, want := range cases {
+		if got := FormatDuration(d); got != want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		3 << 30:  "3.0GiB",
+		97 << 20: "97MiB",
+		4 << 10:  "4KiB",
+		100:      "100B",
+	}
+	for n, want := range cases {
+		if got := FormatBytes(n); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

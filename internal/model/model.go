@@ -1,0 +1,298 @@
+// Package model describes the DNN models whose checkpoints the system
+// moves: tensor metadata (name, dtype, shape, size), synthetic weight
+// content, and per-model training-iteration compute times. The zoo
+// reproduces the paper's Table II exactly for the seven headline models,
+// provides the Megatron GPT family (1.5B–22.4B parameters, checkpoint
+// sizes 6–89.6 GB), and a programmatic zoo of 76 models matching the
+// paper's full evaluation set in count and size distribution.
+package model
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/portus-sys/portus/internal/index"
+)
+
+// Spec is one trainable model.
+type Spec struct {
+	Name    string
+	Tensors []index.TensorMeta
+	// IterTime is the per-iteration compute time (forward + backward +
+	// update) on the paper's hardware, calibrated in DESIGN.md §2.
+	IterTime time.Duration
+}
+
+// TotalSize returns the checkpoint payload in bytes (parameters only,
+// one version).
+func (s Spec) TotalSize() int64 {
+	var sum int64
+	for _, t := range s.Tensors {
+		sum += t.Size
+	}
+	return sum
+}
+
+// NumParams estimates the parameter count (float32 elements).
+func (s Spec) NumParams() int64 { return s.TotalSize() / 4 }
+
+// NumTensors returns the tensor (layer) count.
+func (s Spec) NumTensors() int { return len(s.Tensors) }
+
+// TensorSeed returns the deterministic content seed for tensor i at a
+// given training iteration: weights change every update step, so the
+// seed folds the iteration in. Equal (model, tensor, iteration) always
+// produces equal content — the basis of end-to-end restore checks.
+func (s Spec) TensorSeed(i int, iteration uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range []byte(s.Name) {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	h = (h ^ uint64(i)) * 1099511628211
+	h = (h ^ iteration) * 1099511628211
+	return h
+}
+
+// synthesize builds a model with the given tensor count and total byte
+// size, distributing bytes the way real vision/NLP models do: one or two
+// dominant embedding/classifier tensors plus a long tail of layer
+// weights and small biases. The sizes are deterministic in name.
+func synthesize(name string, tensors int, totalBytes int64, iterTime time.Duration) Spec {
+	if tensors < 1 {
+		panic("model: tensor count must be positive")
+	}
+	weights := make([]float64, tensors)
+	var wsum float64
+	rng := splitmix(hashName(name))
+	for i := range weights {
+		// Power-law-ish distribution: a few heavy tensors, many light.
+		u := float64(rng()%1000)/1000 + 0.001
+		w := u * u * u
+		if i%4 == 3 { // every fourth tensor is a small bias/norm tensor
+			w *= 0.01
+		}
+		weights[i] = w
+		wsum += w
+	}
+	spec := Spec{Name: name, IterTime: iterTime}
+	var used int64
+	for i := 0; i < tensors; i++ {
+		var size int64
+		if i == tensors-1 {
+			size = totalBytes - used
+		} else {
+			size = int64(float64(totalBytes) * weights[i] / wsum)
+		}
+		// Keep every tensor at least one float and 4-byte aligned.
+		if size < 4 {
+			size = 4
+		}
+		size = size / 4 * 4
+		if used+size > totalBytes && i < tensors-1 {
+			size = 4
+		}
+		used += size
+		elems := size / 4
+		spec.Tensors = append(spec.Tensors, index.TensorMeta{
+			Name:  fmt.Sprintf("%s.layer.%d.weight", name, i),
+			DType: index.F32,
+			Dims:  factorDims(elems),
+			Size:  size,
+		})
+	}
+	return spec
+}
+
+// factorDims shapes an element count into a plausible 1-2D shape.
+func factorDims(elems int64) []int64 {
+	if elems < 1024 {
+		return []int64{elems}
+	}
+	for d := int64(1024); d >= 2; d /= 2 {
+		if elems%d == 0 {
+			return []int64{elems / d, d}
+		}
+	}
+	return []int64{elems}
+}
+
+func hashName(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range []byte(s) {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return h
+}
+
+// splitmix returns a deterministic uint64 stream.
+func splitmix(seed uint64) func() uint64 {
+	x := seed
+	return func() uint64 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}
+
+const mib = int64(1) << 20
+
+// Table II of the paper: the seven representative models with their
+// exact layer counts and parameter sizes. Iteration times are calibrated
+// so Figure 2's checkpoint-overhead fractions hold (DESIGN.md §2).
+var tableII = []struct {
+	name     string
+	layers   int
+	sizeMiB  int64
+	iterTime time.Duration
+}{
+	{"alexnet", 16, 233, 40 * time.Millisecond},
+	{"convnext_base", 344, 338, 95 * time.Millisecond},
+	{"resnet50", 161, 97, 55 * time.Millisecond},
+	{"swin_b", 329, 335, 105 * time.Millisecond},
+	{"vgg19_bn", 70, 548, 80 * time.Millisecond},
+	{"vit_l_32", 296, 1169, 67 * time.Millisecond},
+	{"bert_large", 396, 1282, 120 * time.Millisecond},
+}
+
+// TableII returns the paper's seven representative models.
+func TableII() []Spec {
+	out := make([]Spec, len(tableII))
+	for i, m := range tableII {
+		out[i] = synthesize(m.name, m.layers, m.sizeMiB*mib, m.iterTime)
+	}
+	return out
+}
+
+// ByName returns a zoo model by name.
+func ByName(name string) (Spec, error) {
+	for _, s := range Zoo() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	for _, s := range GPTFamily() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("model: unknown model %q", name)
+}
+
+// GPT synthesizes a Megatron-style GPT with the given transformer
+// geometry. Checkpoint bytes = 4 × parameter count (fp32 master
+// weights, as the paper's checkpoint sizes imply: 22.4B params =
+// 89.6 GB).
+func GPT(name string, layers int, hidden int64, vocab int64, iterTime time.Duration) Spec {
+	spec := Spec{Name: name, IterTime: iterTime}
+	add := func(tname string, dims ...int64) {
+		elems := int64(1)
+		for _, d := range dims {
+			elems *= d
+		}
+		spec.Tensors = append(spec.Tensors, index.TensorMeta{
+			Name: tname, DType: index.F32, Dims: dims, Size: elems * 4,
+		})
+	}
+	add(name+".embedding.word_embeddings.weight", vocab, hidden)
+	add(name+".embedding.position_embeddings.weight", 2048, hidden)
+	for l := 0; l < layers; l++ {
+		p := fmt.Sprintf("%s.encoder.layers.%d", name, l)
+		add(p+".input_layernorm.weight", hidden)
+		add(p+".input_layernorm.bias", hidden)
+		add(p+".self_attention.query_key_value.weight", 3*hidden, hidden)
+		add(p+".self_attention.query_key_value.bias", 3*hidden)
+		add(p+".self_attention.dense.weight", hidden, hidden)
+		add(p+".self_attention.dense.bias", hidden)
+		add(p+".post_attention_layernorm.weight", hidden)
+		add(p+".post_attention_layernorm.bias", hidden)
+		add(p+".mlp.dense_h_to_4h.weight", 4*hidden, hidden)
+		add(p+".mlp.dense_h_to_4h.bias", 4*hidden)
+		add(p+".mlp.dense_4h_to_h.weight", hidden, 4*hidden)
+		add(p+".mlp.dense_4h_to_h.bias", hidden)
+	}
+	add(name+".final_layernorm.weight", hidden)
+	add(name+".final_layernorm.bias", hidden)
+	return spec
+}
+
+// GPTFamily returns the four GPT scales the paper evaluates (Fig. 14),
+// 1.5 to 22.4 billion parameters. Iteration times are calibrated so
+// GPT-22.4B's checkpoint overhead reaches 41% (Fig. 2) at one checkpoint
+// per 100 iterations.
+func GPTFamily() []Spec {
+	return []Spec{
+		GPT("gpt-1.5b", 48, 1600, 50304, 280*time.Millisecond),
+		GPT("gpt-5b", 44, 3072, 50304, 640*time.Millisecond),
+		GPT("gpt-10b", 48, 4096, 50304, 1260*time.Millisecond),
+		GPT("gpt-22.4b", 48, 6144, 52224, 1730*time.Millisecond),
+	}
+}
+
+// GPT22B returns the paper's largest evaluated model.
+func GPT22B() Spec { return GPTFamily()[3] }
+
+// Zoo returns the full 76-model evaluation set: Table II plus the
+// torchvision/NLP families the paper's appendix covers. Parameter
+// counts approximate the published architectures; the checkpoint-cost
+// distribution (tensor counts and byte sizes) is what matters here.
+func Zoo() []Spec {
+	type entry struct {
+		name    string
+		layers  int
+		sizeMiB int64
+	}
+	families := []entry{
+		// ResNet family.
+		{"resnet18", 62, 45}, {"resnet34", 110, 83}, {"resnet101", 314, 170},
+		{"resnet152", 467, 230}, {"wide_resnet50_2", 161, 263}, {"resnext50_32x4d", 161, 96},
+		// VGG family.
+		{"vgg11", 22, 507}, {"vgg13", 26, 508}, {"vgg16", 32, 528}, {"vgg19", 38, 548},
+		{"vgg11_bn", 38, 507}, {"vgg13_bn", 46, 508}, {"vgg16_bn", 58, 528},
+		// DenseNet family.
+		{"densenet121", 364, 31}, {"densenet169", 508, 54}, {"densenet201", 604, 77},
+		// ViT family.
+		{"vit_b_16", 152, 330}, {"vit_b_32", 152, 336}, {"vit_l_16", 296, 1161},
+		{"vit_h_14", 392, 2416},
+		// Swin family.
+		{"swin_t", 173, 108}, {"swin_s", 293, 189}, {"swin_v2_b", 329, 336},
+		// ConvNeXt family.
+		{"convnext_tiny", 172, 109}, {"convnext_small", 292, 191}, {"convnext_large", 344, 754},
+		// EfficientNet family.
+		{"efficientnet_b0", 213, 20}, {"efficientnet_b1", 301, 30}, {"efficientnet_b2", 301, 35},
+		{"efficientnet_b3", 340, 47}, {"efficientnet_b4", 418, 74}, {"efficientnet_b5", 506, 116},
+		{"efficientnet_b6", 584, 165}, {"efficientnet_b7", 711, 255},
+		// MobileNet/others.
+		{"mobilenet_v2", 158, 14}, {"mobilenet_v3_large", 174, 21}, {"mobilenet_v3_small", 142, 10},
+		{"shufflenet_v2_x1_0", 170, 9}, {"squeezenet1_0", 52, 5}, {"googlenet", 187, 25},
+		{"inception_v3", 292, 91}, {"mnasnet1_0", 158, 17}, {"regnet_y_8gf", 243, 150},
+		{"regnet_y_16gf", 303, 320}, {"regnet_y_32gf", 335, 554},
+		// Detection / segmentation backbones.
+		{"fcn_resnet50", 178, 135}, {"deeplabv3_resnet101", 338, 233},
+		{"maskrcnn_resnet50_fpn", 255, 170}, {"retinanet_resnet50_fpn", 225, 130},
+		{"ssd300_vgg16", 95, 136},
+		// NLP family.
+		{"bert_base", 199, 418}, {"roberta_base", 199, 480}, {"roberta_large", 396, 1356},
+		{"distilbert_base", 100, 254}, {"albert_base_v2", 25, 45}, {"electra_base", 199, 418},
+		{"xlm_roberta_base", 199, 1064}, {"gpt2", 148, 498}, {"gpt2_medium", 290, 1354},
+		{"gpt2_large", 434, 2954}, {"t5_small", 131, 232}, {"t5_base", 257, 850},
+		{"bart_base", 259, 532}, {"longformer_base", 243, 567},
+		// Speech / recommendation.
+		{"wav2vec2_base", 215, 361}, {"deepspeech2", 42, 333}, {"dlrm_small", 26, 2048},
+		{"ncf", 12, 121}, {"din", 31, 64},
+	}
+	out := TableII()
+	for _, e := range families {
+		out = append(out, synthesize(e.name, e.layers, e.sizeMiB*mib, DefaultIterTime(e.sizeMiB*mib)))
+	}
+	return out
+}
+
+// DefaultIterTime estimates an iteration time for zoo models the paper
+// does not calibrate individually: compute scales sublinearly with
+// parameter bytes.
+func DefaultIterTime(sizeBytes int64) time.Duration {
+	ms := 20 + float64(sizeBytes)/float64(mib)*0.09
+	return time.Duration(ms * float64(time.Millisecond))
+}

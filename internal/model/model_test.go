@@ -1,0 +1,144 @@
+package model
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTableIIMatchesPaper(t *testing.T) {
+	want := map[string]struct {
+		layers  int
+		sizeMiB int64
+	}{
+		"alexnet":       {16, 233},
+		"convnext_base": {344, 338},
+		"resnet50":      {161, 97},
+		"swin_b":        {329, 335},
+		"vgg19_bn":      {70, 548},
+		"vit_l_32":      {296, 1169},
+		"bert_large":    {396, 1282},
+	}
+	specs := TableII()
+	if len(specs) != len(want) {
+		t.Fatalf("TableII has %d models, want %d", len(specs), len(want))
+	}
+	for _, s := range specs {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Errorf("unexpected model %q", s.Name)
+			continue
+		}
+		if s.NumTensors() != w.layers {
+			t.Errorf("%s: %d layers, want %d", s.Name, s.NumTensors(), w.layers)
+		}
+		if got := s.TotalSize(); got != w.sizeMiB*mib {
+			t.Errorf("%s: size %d, want %d MiB", s.Name, got, w.sizeMiB)
+		}
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := TableII()[0]
+	b := TableII()[0]
+	if len(a.Tensors) != len(b.Tensors) {
+		t.Fatal("nondeterministic tensor count")
+	}
+	for i := range a.Tensors {
+		if a.Tensors[i].Size != b.Tensors[i].Size || a.Tensors[i].Name != b.Tensors[i].Name {
+			t.Fatalf("tensor %d differs across calls", i)
+		}
+	}
+}
+
+func TestTensorSizesPositiveAndAligned(t *testing.T) {
+	for _, s := range Zoo() {
+		for _, tm := range s.Tensors {
+			if tm.Size < 4 || tm.Size%4 != 0 {
+				t.Fatalf("%s/%s: size %d", s.Name, tm.Name, tm.Size)
+			}
+			if len(tm.Dims) == 0 || len(tm.Dims) > 4 {
+				t.Fatalf("%s/%s: %d dims", s.Name, tm.Name, len(tm.Dims))
+			}
+		}
+	}
+}
+
+func TestGPTFamilySizes(t *testing.T) {
+	fam := GPTFamily()
+	if len(fam) != 4 {
+		t.Fatalf("GPT family has %d members", len(fam))
+	}
+	// Checkpoint sizes must span the paper's range: ~6 GB to ~89.6 GB.
+	small := fam[0].TotalSize()
+	big := fam[3].TotalSize()
+	if small < 5<<30 || small > 8<<30 {
+		t.Fatalf("gpt-1.5b checkpoint = %.1f GB, want ~6 GB", float64(small)/1e9)
+	}
+	if big < 85e9 || big > 95e9 {
+		t.Fatalf("gpt-22.4b checkpoint = %.1f GB, want ~89.6 GB", float64(big)/1e9)
+	}
+	// Parameter count of the flagship must be ~22.4B.
+	if p := GPT22B().NumParams(); p < 21e9 || p > 24e9 {
+		t.Fatalf("gpt-22.4b params = %.1fB", float64(p)/1e9)
+	}
+}
+
+func TestZooHas76Models(t *testing.T) {
+	zoo := Zoo()
+	if len(zoo) != 76 {
+		t.Fatalf("zoo has %d models, want 76 (the paper's evaluation set)", len(zoo))
+	}
+	seen := map[string]bool{}
+	for _, s := range zoo {
+		if seen[s.Name] {
+			t.Fatalf("duplicate zoo model %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.IterTime <= 0 {
+			t.Fatalf("%s: no iteration time", s.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("resnet50")
+	if err != nil || s.Name != "resnet50" {
+		t.Fatalf("ByName(resnet50) = %v, %v", s.Name, err)
+	}
+	if _, err := ByName("gpt-22.4b"); err != nil {
+		t.Fatalf("ByName(gpt-22.4b): %v", err)
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Fatal("ByName(nonexistent) succeeded")
+	}
+}
+
+func TestTensorSeedChangesWithIteration(t *testing.T) {
+	s := TableII()[0]
+	if s.TensorSeed(0, 1) == s.TensorSeed(0, 2) {
+		t.Fatal("seed does not change across iterations")
+	}
+	if s.TensorSeed(0, 1) == s.TensorSeed(1, 1) {
+		t.Fatal("seed does not change across tensors")
+	}
+	if s.TensorSeed(0, 1) != s.TensorSeed(0, 1) {
+		t.Fatal("seed not deterministic")
+	}
+}
+
+func TestGPTStructure(t *testing.T) {
+	g := GPT("g", 2, 64, 1000, time.Millisecond)
+	// 2 embeddings + 2*12 layer tensors + 2 final layernorm.
+	if got := g.NumTensors(); got != 2+24+2 {
+		t.Fatalf("tensors = %d", got)
+	}
+	if g.TotalSize()%4 != 0 {
+		t.Fatal("unaligned GPT size")
+	}
+}
+
+func TestDefaultIterTimeMonotone(t *testing.T) {
+	if DefaultIterTime(1<<20) >= DefaultIterTime(1<<30) {
+		t.Fatal("iteration time not increasing with model size")
+	}
+}

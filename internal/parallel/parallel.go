@@ -1,0 +1,123 @@
+// Package parallel implements Megatron-style model partitioning
+// (§II-A, Figure 1): pipeline parallelism splits a model's layers into
+// contiguous stages, and tensor parallelism splits each tensor within a
+// stage across ranks. Every (tensor-parallel rank, pipeline stage) pair
+// produces one shard — an independent model living on one GPU that
+// checkpoints on its own, exactly the concurrent-checkpoint workload
+// that motivates Portus's MIndex-per-shard design (§III-B).
+package parallel
+
+import (
+	"fmt"
+
+	"github.com/portus-sys/portus/internal/index"
+	"github.com/portus-sys/portus/internal/model"
+)
+
+// Shard is one partition of a model, resident on one GPU.
+type Shard struct {
+	// Spec is the shard's own model: its tensor slice with shard-scoped
+	// names. Checkpoint systems treat it as an independent model.
+	Spec model.Spec
+	// Parent is the unpartitioned model name.
+	Parent string
+	// TPRank and PPStage are the shard's coordinates.
+	TPRank  int
+	PPStage int
+}
+
+// Name returns the canonical shard checkpoint name, mirroring Megatron's
+// mp_rank_XX layout.
+func Name(parent string, tpRank, ppStage int) string {
+	return fmt.Sprintf("%s/mp_rank_%02d_pp_%02d", parent, tpRank, ppStage)
+}
+
+// Partition splits spec over tpSize tensor-parallel ranks and ppSize
+// pipeline stages, returning tpSize×ppSize shards. Every byte of the
+// model lands in exactly one shard: pipeline stages take contiguous
+// tensor ranges, and tensor parallelism divides each tensor's payload
+// evenly (the remainder goes to the last rank).
+func Partition(spec model.Spec, tpSize, ppSize int) ([]Shard, error) {
+	if tpSize < 1 || ppSize < 1 {
+		return nil, fmt.Errorf("parallel: invalid grid %dx%d", tpSize, ppSize)
+	}
+	if ppSize > len(spec.Tensors) {
+		return nil, fmt.Errorf("parallel: %d pipeline stages for %d tensors", ppSize, len(spec.Tensors))
+	}
+	shards := make([]Shard, 0, tpSize*ppSize)
+	for pp := 0; pp < ppSize; pp++ {
+		lo := len(spec.Tensors) * pp / ppSize
+		hi := len(spec.Tensors) * (pp + 1) / ppSize
+		stage := spec.Tensors[lo:hi]
+		for tp := 0; tp < tpSize; tp++ {
+			shard := Shard{Parent: spec.Name, TPRank: tp, PPStage: pp}
+			shard.Spec = model.Spec{
+				Name: Name(spec.Name, tp, pp),
+				// Pipeline stages run concurrently; a stage's iteration
+				// time is the whole model's (they advance in lockstep).
+				IterTime: spec.IterTime,
+			}
+			for _, tm := range stage {
+				part := splitTensor(tm, tp, tpSize)
+				if part.Size == 0 {
+					continue
+				}
+				shard.Spec.Tensors = append(shard.Spec.Tensors, part)
+			}
+			shards = append(shards, shard)
+		}
+	}
+	return shards, nil
+}
+
+// splitTensor gives rank tp its slice of the tensor payload. The first
+// dimension is divided when possible so shapes stay meaningful.
+func splitTensor(tm index.TensorMeta, tp, tpSize int) index.TensorMeta {
+	base := tm.Size / int64(tpSize) / 4 * 4
+	size := base
+	if tp == tpSize-1 {
+		size = tm.Size - base*int64(tpSize-1)
+	}
+	out := index.TensorMeta{
+		Name:  tm.Name,
+		DType: tm.DType,
+		Size:  size,
+		Dims:  append([]int64(nil), tm.Dims...),
+	}
+	if len(out.Dims) > 0 && out.Dims[0]%int64(tpSize) == 0 {
+		out.Dims[0] /= int64(tpSize)
+	}
+	return out
+}
+
+// Grid describes a full model-parallel job placement: which node and
+// GPU each shard runs on.
+type Placement struct {
+	Shard Shard
+	Node  int // compute-node index
+	GPU   int // GPU index within the node
+}
+
+// Place assigns shards round-robin over nodes×gpusPerNode devices,
+// pipeline-stage-major like Megatron: consecutive stages land on the
+// same node where possible.
+func Place(shards []Shard, nodes, gpusPerNode int) ([]Placement, error) {
+	total := nodes * gpusPerNode
+	if len(shards) > total {
+		return nil, fmt.Errorf("parallel: %d shards exceed %d GPUs", len(shards), total)
+	}
+	out := make([]Placement, len(shards))
+	for i, s := range shards {
+		out[i] = Placement{Shard: s, Node: i / gpusPerNode, GPU: i % gpusPerNode}
+	}
+	return out, nil
+}
+
+// TotalSize sums shard payloads — must equal the parent model's size.
+func TotalSize(shards []Shard) int64 {
+	var sum int64
+	for _, s := range shards {
+		sum += s.Spec.TotalSize()
+	}
+	return sum
+}

@@ -1,0 +1,54 @@
+package pmem
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDRAMFallbackLosesEverythingOnCrash(t *testing.T) {
+	d := New(Config{Name: "fallback", DataSize: 1 << 20, MetaSize: 4096, Materialized: true, Media: MediaDRAM})
+	if d.Media() != MediaDRAM {
+		t.Fatal("media not recorded")
+	}
+	d.WriteMeta(0, []byte("index"))
+	d.FlushMeta(0, 5)
+	d.Data().Write(0, []byte("weights"))
+	d.FlushData(0, 7)
+
+	d.Crash() // power failure: DRAM holds nothing
+
+	if got := d.MetaBytes(0, 5); !bytes.Equal(got, make([]byte, 5)) {
+		t.Fatalf("meta survived a DRAM crash: %q", got)
+	}
+	if got := d.Data().Bytes(0, 7); !bytes.Equal(got, make([]byte, 7)) {
+		t.Fatalf("data survived a DRAM crash: %q", got)
+	}
+}
+
+func TestDRAMFallbackStillServesFlushSemantics(t *testing.T) {
+	// Flush/Persist are no-ops durability-wise on DRAM but must remain
+	// callable so the daemon code path is identical on both media.
+	d := New(Config{Name: "fallback", DataSize: 4096, MetaSize: 4096, Media: MediaDRAM})
+	d.WriteMeta(0, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	d.Persist8(0)
+	if got := d.MetaBytes(0, 8); !bytes.Equal(got, []byte{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Fatal("reads broken on DRAM medium")
+	}
+}
+
+func TestMediaNames(t *testing.T) {
+	if MediaPMem.String() != "pmem" || MediaDRAM.String() != "dram" {
+		t.Fatal("media names wrong")
+	}
+}
+
+func TestDRAMDataZoneKindIsDRAM(t *testing.T) {
+	d := New(Config{Name: "fb", DataSize: 4096, Media: MediaDRAM})
+	if d.Data().Kind().String() != "dram" {
+		t.Fatalf("data zone kind = %v, want dram (drives the rate model)", d.Data().Kind())
+	}
+	p := New(Config{Name: "pm", DataSize: 4096})
+	if p.Data().Kind().String() != "pmem" {
+		t.Fatalf("default data zone kind = %v", p.Data().Kind())
+	}
+}

@@ -1,0 +1,171 @@
+package pmem
+
+import (
+	"bytes"
+	"testing"
+)
+
+func newTestDevice(materialized bool) *Device {
+	return New(Config{Name: "pmem0", DataSize: 1 << 20, MetaSize: 4096, Materialized: materialized})
+}
+
+func TestDefaults(t *testing.T) {
+	d := New(Config{Name: "p", DataSize: 1024})
+	if d.Mode() != Devdax {
+		t.Errorf("default mode = %v, want devdax", d.Mode())
+	}
+	if d.MetaSize() != 16<<20 {
+		t.Errorf("default meta size = %d, want 16MiB", d.MetaSize())
+	}
+	if Devdax.String() != "devdax" || Fsdax.String() != "fsdax" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestUnflushedWriteLostOnCrash(t *testing.T) {
+	d := newTestDevice(true)
+	d.WriteMeta(0, []byte("unflushed"))
+	d.Crash()
+	got := d.MetaBytes(0, 9)
+	if !bytes.Equal(got, make([]byte, 9)) {
+		t.Fatalf("unflushed write survived crash: %q", got)
+	}
+	if d.CrashCount() != 1 {
+		t.Fatalf("CrashCount = %d", d.CrashCount())
+	}
+}
+
+func TestFlushedWriteSurvivesCrash(t *testing.T) {
+	d := newTestDevice(true)
+	d.WriteMeta(10, []byte("durable"))
+	d.FlushMeta(10, 7)
+	d.WriteMeta(100, []byte("volatile"))
+	d.Crash()
+	if got := d.MetaBytes(10, 7); !bytes.Equal(got, []byte("durable")) {
+		t.Fatalf("flushed write lost: %q", got)
+	}
+	if got := d.MetaBytes(100, 8); !bytes.Equal(got, make([]byte, 8)) {
+		t.Fatalf("unflushed write survived: %q", got)
+	}
+}
+
+func TestPersist8Atomicity(t *testing.T) {
+	d := newTestDevice(true)
+	d.WriteMeta(64, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	d.Persist8(64)
+	d.WriteMeta(64, []byte{9, 9, 9, 9, 9, 9, 9, 9}) // not persisted
+	d.Crash()
+	if got := d.MetaBytes(64, 8); !bytes.Equal(got, []byte{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Fatalf("Persist8 state lost: %v", got)
+	}
+}
+
+func TestDataZoneCrashSemanticsMaterialized(t *testing.T) {
+	d := newTestDevice(true)
+	d.Data().Write(0, []byte("tensor-v1"))
+	d.FlushData(0, 9)
+	d.Data().Write(0, []byte("tensor-v2"))
+	d.Crash()
+	if got := d.Data().Bytes(0, 9); !bytes.Equal(got, []byte("tensor-v1")) {
+		t.Fatalf("data zone after crash: %q", got)
+	}
+}
+
+func TestDataZoneCrashSemanticsVirtual(t *testing.T) {
+	d := newTestDevice(false)
+	d.Data().WriteStamp(0, 4096, 111)
+	d.FlushData(0, 4096)
+	d.Data().WriteStamp(0, 4096, 222)
+	d.Crash()
+	if got := d.Data().StampOf(0, 4096); got != 111 {
+		t.Fatalf("data stamp after crash = %d, want 111", got)
+	}
+}
+
+func TestImageRoundTripMaterialized(t *testing.T) {
+	d := newTestDevice(true)
+	d.WriteMeta(0, []byte("index!"))
+	d.FlushMeta(0, 6)
+	d.Data().Write(128, []byte("payload"))
+	d.FlushData(128, 7)
+
+	var buf bytes.Buffer
+	if err := d.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadImage("copy", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.MetaBytes(0, 6), []byte("index!")) {
+		t.Fatal("meta zone lost in image round trip")
+	}
+	if !bytes.Equal(got.Data().Bytes(128, 7), []byte("payload")) {
+		t.Fatal("data zone lost in image round trip")
+	}
+	// Loaded state must be durable.
+	got.Crash()
+	if !bytes.Equal(got.Data().Bytes(128, 7), []byte("payload")) {
+		t.Fatal("loaded image not durable")
+	}
+}
+
+func TestImageRoundTripVirtual(t *testing.T) {
+	d := newTestDevice(false)
+	d.Data().WriteStamp(4096, 8192, 0xabc)
+	d.FlushData(4096, 8192)
+
+	var buf bytes.Buffer
+	if err := d.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadImage("copy", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Materialized() {
+		t.Fatal("virtual image loaded as materialized")
+	}
+	if s := got.Data().StampOf(4096, 8192); s != 0xabc {
+		t.Fatalf("stamp after image round trip = %#x, want 0xabc", s)
+	}
+}
+
+func TestImageOnlyContainsDurableState(t *testing.T) {
+	d := newTestDevice(true)
+	d.WriteMeta(0, []byte("volatile"))
+	var buf bytes.Buffer
+	if err := d.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadImage("copy", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.MetaBytes(0, 8), make([]byte, 8)) {
+		t.Fatal("image contained unflushed state")
+	}
+}
+
+func TestImageFileRoundTrip(t *testing.T) {
+	d := newTestDevice(true)
+	d.WriteMeta(0, []byte("hello"))
+	d.FlushMeta(0, 5)
+	path := t.TempDir() + "/pm.img"
+	if err := d.SaveImageFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadImageFile("copy", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.MetaBytes(0, 5), []byte("hello")) {
+		t.Fatal("file image round trip lost meta")
+	}
+}
+
+func TestLoadImageRejectsGarbage(t *testing.T) {
+	if _, err := LoadImage("x", bytes.NewReader([]byte("not an image at all........"))); err == nil {
+		t.Fatal("LoadImage accepted garbage")
+	}
+}

@@ -1,0 +1,53 @@
+package rbtree
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkPut(b *testing.B) {
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("model-%04d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := New[string, int64]()
+		for j, k := range keys {
+			tr.Put(k, int64(j))
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New[string, int64]()
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("model-%04d", i)
+		tr.Put(keys[i], int64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tr.Get(keys[i&1023]); !ok {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+func BenchmarkAscend(b *testing.B) {
+	tr := New[int, int]()
+	for i := 0; i < 4096; i++ {
+		tr.Put(i, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		tr.Ascend(func(int, int) bool { n++; return true })
+		if n != 4096 {
+			b.Fatal("short walk")
+		}
+	}
+}

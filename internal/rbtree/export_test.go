@@ -1,0 +1,4 @@
+package rbtree
+
+// CheckInvariants exposes the red-black invariant checker to tests.
+func (t *Tree[K, V]) CheckInvariants() error { return t.checkInvariants() }

@@ -1,0 +1,269 @@
+// Package rbtree implements a left-leaning red-black tree. The Portus
+// daemon uses it as ModelMap: the in-DRAM ordered index from model name
+// to the persistent MIndex offset, mirroring the sorted on-PMem
+// ModelTable (§III-D1).
+package rbtree
+
+import "cmp"
+
+// Tree is an ordered map. The zero value is an empty tree ready for use.
+type Tree[K cmp.Ordered, V any] struct {
+	root *node[K, V]
+	size int
+}
+
+type node[K cmp.Ordered, V any] struct {
+	key         K
+	val         V
+	left, right *node[K, V]
+	red         bool
+}
+
+// New returns an empty tree.
+func New[K cmp.Ordered, V any]() *Tree[K, V] { return &Tree[K, V]{} }
+
+// Len reports the number of entries.
+func (t *Tree[K, V]) Len() int { return t.size }
+
+// Get returns the value stored under key.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value under key.
+func (t *Tree[K, V]) Put(key K, val V) {
+	var added bool
+	t.root, added = t.put(t.root, key, val)
+	t.root.red = false
+	if added {
+		t.size++
+	}
+}
+
+func (t *Tree[K, V]) put(h *node[K, V], key K, val V) (*node[K, V], bool) {
+	if h == nil {
+		return &node[K, V]{key: key, val: val, red: true}, true
+	}
+	var added bool
+	switch {
+	case key < h.key:
+		h.left, added = t.put(h.left, key, val)
+	case key > h.key:
+		h.right, added = t.put(h.right, key, val)
+	default:
+		h.val = val
+	}
+	return fixUp(h), added
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree[K, V]) Delete(key K) bool {
+	if _, ok := t.Get(key); !ok {
+		return false
+	}
+	t.root = t.delete(t.root, key)
+	if t.root != nil {
+		t.root.red = false
+	}
+	t.size--
+	return true
+}
+
+func (t *Tree[K, V]) delete(h *node[K, V], key K) *node[K, V] {
+	if key < h.key {
+		if !isRed(h.left) && h.left != nil && !isRed(h.left.left) {
+			h = moveRedLeft(h)
+		}
+		h.left = t.delete(h.left, key)
+	} else {
+		if isRed(h.left) {
+			h = rotateRight(h)
+		}
+		if key == h.key && h.right == nil {
+			return nil
+		}
+		if !isRed(h.right) && h.right != nil && !isRed(h.right.left) {
+			h = moveRedRight(h)
+		}
+		if key == h.key {
+			m := min(h.right)
+			h.key, h.val = m.key, m.val
+			h.right = deleteMin(h.right)
+		} else {
+			h.right = t.delete(h.right, key)
+		}
+	}
+	return fixUp(h)
+}
+
+func min[K cmp.Ordered, V any](h *node[K, V]) *node[K, V] {
+	for h.left != nil {
+		h = h.left
+	}
+	return h
+}
+
+func deleteMin[K cmp.Ordered, V any](h *node[K, V]) *node[K, V] {
+	if h.left == nil {
+		return nil
+	}
+	if !isRed(h.left) && !isRed(h.left.left) {
+		h = moveRedLeft(h)
+	}
+	h.left = deleteMin(h.left)
+	return fixUp(h)
+}
+
+// Min returns the smallest key.
+func (t *Tree[K, V]) Min() (K, V, bool) {
+	if t.root == nil {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	n := min(t.root)
+	return n.key, n.val, true
+}
+
+// Ascend calls fn for every entry in key order until fn returns false.
+func (t *Tree[K, V]) Ascend(fn func(K, V) bool) {
+	var walk func(*node[K, V]) bool
+	walk = func(n *node[K, V]) bool {
+		if n == nil {
+			return true
+		}
+		if !walk(n.left) {
+			return false
+		}
+		if !fn(n.key, n.val) {
+			return false
+		}
+		return walk(n.right)
+	}
+	walk(t.root)
+}
+
+// Keys returns all keys in order.
+func (t *Tree[K, V]) Keys() []K {
+	out := make([]K, 0, t.size)
+	t.Ascend(func(k K, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+func isRed[K cmp.Ordered, V any](n *node[K, V]) bool { return n != nil && n.red }
+
+func rotateLeft[K cmp.Ordered, V any](h *node[K, V]) *node[K, V] {
+	x := h.right
+	h.right = x.left
+	x.left = h
+	x.red = h.red
+	h.red = true
+	return x
+}
+
+func rotateRight[K cmp.Ordered, V any](h *node[K, V]) *node[K, V] {
+	x := h.left
+	h.left = x.right
+	x.right = h
+	x.red = h.red
+	h.red = true
+	return x
+}
+
+func flip[K cmp.Ordered, V any](h *node[K, V]) {
+	h.red = !h.red
+	if h.left != nil {
+		h.left.red = !h.left.red
+	}
+	if h.right != nil {
+		h.right.red = !h.right.red
+	}
+}
+
+func moveRedLeft[K cmp.Ordered, V any](h *node[K, V]) *node[K, V] {
+	flip(h)
+	if h.right != nil && isRed(h.right.left) {
+		h.right = rotateRight(h.right)
+		h = rotateLeft(h)
+		flip(h)
+	}
+	return h
+}
+
+func moveRedRight[K cmp.Ordered, V any](h *node[K, V]) *node[K, V] {
+	flip(h)
+	if h.left != nil && isRed(h.left.left) {
+		h = rotateRight(h)
+		flip(h)
+	}
+	return h
+}
+
+func fixUp[K cmp.Ordered, V any](h *node[K, V]) *node[K, V] {
+	if isRed(h.right) && !isRed(h.left) {
+		h = rotateLeft(h)
+	}
+	if isRed(h.left) && isRed(h.left.left) {
+		h = rotateRight(h)
+	}
+	if isRed(h.left) && isRed(h.right) {
+		flip(h)
+	}
+	return h
+}
+
+// checkInvariants verifies red-black properties; exported to the test
+// file through export_test.go.
+func (t *Tree[K, V]) checkInvariants() error {
+	_, err := check(t.root, false)
+	return err
+}
+
+type rbError string
+
+func (e rbError) Error() string { return string(e) }
+
+func check[K cmp.Ordered, V any](n *node[K, V], parentRed bool) (int, error) {
+	if n == nil {
+		return 1, nil
+	}
+	if n.red && parentRed {
+		return 0, rbError("red node with red parent")
+	}
+	if n.left != nil && n.left.key >= n.key {
+		return 0, rbError("left child out of order")
+	}
+	if n.right != nil && n.right.key <= n.key {
+		return 0, rbError("right child out of order")
+	}
+	lh, err := check(n.left, n.red)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := check(n.right, n.red)
+	if err != nil {
+		return 0, err
+	}
+	if lh != rh {
+		return 0, rbError("black-height mismatch")
+	}
+	if n.red {
+		return lh, nil
+	}
+	return lh + 1, nil
+}

@@ -1,0 +1,174 @@
+package rbtree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	tr := New[string, int]()
+	tr.Put("bert", 1)
+	tr.Put("resnet50", 2)
+	tr.Put("vit", 3)
+	if v, ok := tr.Get("resnet50"); !ok || v != 2 {
+		t.Fatalf("Get(resnet50) = %d, %v", v, ok)
+	}
+	if _, ok := tr.Get("missing"); ok {
+		t.Fatal("Get(missing) succeeded")
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestPutReplacesValue(t *testing.T) {
+	tr := New[string, int]()
+	tr.Put("m", 1)
+	tr.Put("m", 2)
+	if v, _ := tr.Get("m"); v != 2 {
+		t.Fatalf("value after replace = %d", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len after replace = %d", tr.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New[int, string]()
+	for i := 0; i < 100; i++ {
+		tr.Put(i, fmt.Sprint(i))
+	}
+	for i := 0; i < 100; i += 2 {
+		if !tr.Delete(i) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+	}
+	if tr.Delete(2) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", tr.Len())
+	}
+	for i := 0; i < 100; i++ {
+		_, ok := tr.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) = %v, want %v", i, ok, want)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAscendIsSorted(t *testing.T) {
+	tr := New[int, int]()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		tr.Put(rng.Intn(1000), i)
+	}
+	keys := tr.Keys()
+	if !sort.IntsAreSorted(keys) {
+		t.Fatal("Keys not sorted")
+	}
+	// Early termination.
+	var n int
+	tr.Ascend(func(int, int) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("Ascend visited %d entries after early stop", n)
+	}
+}
+
+func TestMin(t *testing.T) {
+	tr := New[string, int]()
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree succeeded")
+	}
+	tr.Put("m2", 2)
+	tr.Put("m1", 1)
+	tr.Put("m3", 3)
+	if k, v, ok := tr.Min(); !ok || k != "m1" || v != 1 {
+		t.Fatalf("Min = %q, %d, %v", k, v, ok)
+	}
+}
+
+// Property: after any sequence of inserts, the tree preserves red-black
+// invariants and agrees with a reference map.
+func TestInsertInvariantsProperty(t *testing.T) {
+	prop := func(keys []uint16) bool {
+		tr := New[uint16, int]()
+		ref := make(map[uint16]int)
+		for i, k := range keys {
+			tr.Put(k, i)
+			ref[k] = i
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := tr.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaved inserts and deletes keep invariants and agree
+// with a reference map.
+func TestMixedOpsProperty(t *testing.T) {
+	prop := func(ops []int16) bool {
+		tr := New[int16, bool]()
+		ref := make(map[int16]bool)
+		for _, op := range ops {
+			if op >= 0 {
+				tr.Put(op, true)
+				ref[op] = true
+			} else {
+				k := -op
+				delOK := tr.Delete(k)
+				_, inRef := ref[k]
+				if delOK != inRef {
+					return false
+				}
+				delete(ref, k)
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				return false
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		keys := tr.Keys()
+		return sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeSequentialInsertStaysBalanced(t *testing.T) {
+	tr := New[int, int]()
+	for i := 0; i < 10000; i++ {
+		tr.Put(i, i)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 10000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}

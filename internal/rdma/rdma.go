@@ -1,0 +1,176 @@
+// Package rdma provides the verbs-level substrate Portus is built on:
+// memory regions with remote keys, queue pairs, one-sided READ/WRITE and
+// two-sided SEND/RECV operations.
+//
+// Two fabrics implement the wire:
+//
+//   - SimFabric runs in-process under the discrete-event engine. Data
+//     moves between memdev devices immediately (bytes or content
+//     stamps), and virtual time is charged on a chunked pipeline across
+//     the source device, both NICs, and the destination device — so NIC
+//     contention, the GPU BAR read cap, and PMem bandwidth limits all
+//     emerge naturally.
+//
+//   - TCPFabric runs over real sockets, one agent per node, in the
+//     spirit of SoftRoCE: one-sided verbs are served entirely by the
+//     remote agent, never by the remote application thread, preserving
+//     the property Portus depends on (the training process does not
+//     participate in checkpoint transfers).
+//
+// Verbs are blocking (post + poll-completion combined): Portus daemon
+// workers issue them from their own processes.
+package rdma
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/portus-sys/portus/internal/memdev"
+	"github.com/portus-sys/portus/internal/sim"
+)
+
+// Errors reported by verbs.
+var (
+	ErrBadRKey      = errors.New("rdma: unknown remote key")
+	ErrOutOfBounds  = errors.New("rdma: access outside memory region")
+	ErrNoRoute      = errors.New("rdma: unknown peer node")
+	ErrModeMismatch = errors.New("rdma: materialized/virtual mode mismatch between endpoints")
+)
+
+// MR is a registered memory region on the local node.
+type MR struct {
+	RKey uint64
+	Dev  *memdev.Device
+	Off  int64 // base offset within Dev
+	Len  int64
+}
+
+// RemoteMR is a handle to a memory region on a peer, as learned from a
+// registration packet.
+type RemoteMR struct {
+	Node string
+	RKey uint64
+	Len  int64
+}
+
+// Node is one RDMA-capable host: an RNIC plus its registered regions.
+type Node struct {
+	name  string
+	rates RateTable
+
+	mu   sync.Mutex
+	mrs  map[uint64]MR
+	next uint64
+
+	// Simulated resources (nil under a real environment).
+	nic     *sim.BandwidthResource
+	devRead map[*memdev.Device]*sim.BandwidthResource
+	devWrit map[*memdev.Device]*sim.BandwidthResource
+}
+
+// NewNode creates a node with the default rate table. Under a simulated
+// environment its NIC and device resources are created on env's engine.
+func NewNode(env sim.Env, name string) *Node {
+	return NewNodeWithRates(env, name, DefaultRates())
+}
+
+// NewNodeWithRates creates a node with an explicit rate table (used by
+// ablation benches, e.g. varying the BAR read cap).
+func NewNodeWithRates(env sim.Env, name string, rates RateTable) *Node {
+	n := &Node{
+		name:    name,
+		rates:   rates,
+		mrs:     make(map[uint64]MR),
+		devRead: make(map[*memdev.Device]*sim.BandwidthResource),
+		devWrit: make(map[*memdev.Device]*sim.BandwidthResource),
+	}
+	n.nic = sim.NewBandwidthResource(env, name+"/nic", rates.NICBandwidth)
+	return n
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// NIC exposes the node's simulated NIC resource (for utilization
+// reporting in experiments).
+func (n *Node) NIC() *sim.BandwidthResource { return n.nic }
+
+// RegisterMR registers [off, off+len) of dev and returns the region with
+// its remote key, as nv_peer_mem does for GPU memory.
+func (n *Node) RegisterMR(env sim.Env, dev *memdev.Device, off, length int64) MR {
+	if off < 0 || length < 0 || off+length > dev.Size() {
+		panic(fmt.Sprintf("rdma: register [%d,%d) outside device %s", off, off+length, dev.Name()))
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.next++
+	mr := MR{RKey: n.next, Dev: dev, Off: off, Len: length}
+	n.mrs[mr.RKey] = mr
+	n.ensureDevResourcesLocked(env, dev)
+	return mr
+}
+
+// DeregisterMR removes a region; subsequent remote access fails with
+// ErrBadRKey.
+func (n *Node) DeregisterMR(rkey uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.mrs, rkey)
+}
+
+// MRCount reports the number of live registrations.
+func (n *Node) MRCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.mrs)
+}
+
+func (n *Node) lookup(rkey uint64, off, length int64) (MR, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	mr, ok := n.mrs[rkey]
+	if !ok {
+		return MR{}, fmt.Errorf("%w: rkey %d on %s", ErrBadRKey, rkey, n.name)
+	}
+	if off < 0 || length < 0 || off+length > mr.Len {
+		return MR{}, fmt.Errorf("%w: [%d,%d) of MR len %d", ErrOutOfBounds, off, off+length, mr.Len)
+	}
+	return mr, nil
+}
+
+func (n *Node) ensureDevResourcesLocked(env sim.Env, dev *memdev.Device) {
+	if _, ok := n.devRead[dev]; ok {
+		return
+	}
+	dr := n.rates.ForKind(dev.Kind())
+	n.devRead[dev] = sim.NewBandwidthResource(env, dev.Name()+"/rd", dr.ReadBW)
+	n.devWrit[dev] = sim.NewBandwidthResource(env, dev.Name()+"/wr", dr.WriteBW)
+}
+
+// Slice names a byte range inside a local MR.
+type Slice struct {
+	MR  MR
+	Off int64 // offset within the MR
+	Len int64
+}
+
+// RemoteSlice names a byte range inside a peer's MR.
+type RemoteSlice struct {
+	MR  RemoteMR
+	Off int64
+	Len int64
+}
+
+// Fabric carries verbs between nodes.
+type Fabric interface {
+	// Read pulls remote bytes into the local slice (one-sided).
+	Read(env sim.Env, local *Node, l Slice, r RemoteSlice) error
+	// Write pushes local bytes into the remote slice (one-sided).
+	Write(env sim.Env, local *Node, l Slice, r RemoteSlice) error
+	// Send delivers a message to the peer's queue pair (two-sided); the
+	// payload size is charged at the two-sided protocol's rate.
+	Send(env sim.Env, local *Node, remote, qp string, payload []byte, size int64) error
+	// Recv blocks until a message for (node, qp) arrives.
+	Recv(env sim.Env, local *Node, qp string) ([]byte, int64, error)
+}

@@ -1,0 +1,49 @@
+package serialize
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/portus-sys/portus/internal/index"
+)
+
+func benchCheckpoint(tensors int, payload int64) *Checkpoint {
+	c := &Checkpoint{Model: "bench", Iteration: 1}
+	for i := 0; i < tensors; i++ {
+		c.Tensors = append(c.Tensors, Blob{
+			Meta: index.TensorMeta{Name: "layer.weight", DType: index.F32, Dims: []int64{payload / 4}, Size: payload},
+			Data: make([]byte, payload),
+		})
+	}
+	return c
+}
+
+func BenchmarkEncode(b *testing.B) {
+	c := benchCheckpoint(64, 1<<20) // 64 MiB container
+	b.SetBytes(c.EncodedSize())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Encode(io.Discard, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	c := benchCheckpoint(64, 1<<20)
+	var buf bytes.Buffer
+	if err := Encode(&buf, c); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

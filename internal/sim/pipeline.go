@@ -1,0 +1,92 @@
+package sim
+
+import "time"
+
+// Stage describes one hop of a multi-stage datapath: a shared resource
+// plus the per-flow rate cap and latency this transfer experiences on it.
+type Stage struct {
+	Res     *BandwidthResource
+	FlowCap float64 // bytes/sec; 0 = uncapped
+	Latency time.Duration
+}
+
+// PipelineTransfer moves size bytes through a sequence of stages in a
+// store-and-forward pipeline: the transfer is split into chunks and chunk
+// i occupies stage k while chunk i+1 occupies stage k−1, so sustained
+// throughput converges to the minimum stage rate while contention on each
+// stage is modeled independently. It blocks the calling process until the
+// last chunk clears the last stage. Under a real (wall-clock) environment
+// it returns immediately: modeled costs do not apply there.
+func PipelineTransfer(env Env, size, chunk int64, stages ...Stage) {
+	if !env.IsSim() || size <= 0 || len(stages) == 0 {
+		return
+	}
+	if chunk <= 0 || chunk > size {
+		chunk = size
+	}
+	if len(stages) == 1 {
+		transferChunks(env, size, chunk, stages[0])
+		return
+	}
+
+	// Connect consecutive stages with mailboxes carrying chunk sizes.
+	// Stage k (0..n−2) runs on a spawned process; the caller runs the
+	// final stage so it naturally blocks until completion.
+	in := make([]*Mailbox[int64], len(stages))
+	for i := 1; i < len(stages); i++ {
+		in[i] = NewMailbox[int64](env)
+	}
+	for k := 0; k < len(stages)-1; k++ {
+		k := k
+		env.Go("pipe-stage", func(env Env) {
+			st := stages[k]
+			pump := func(n int64) {
+				st.Res.Transfer(env, n, st.FlowCap, st.Latency)
+				in[k+1].Send(env, n)
+			}
+			if k == 0 {
+				for sent := int64(0); sent < size; {
+					n := min64(chunk, size-sent)
+					pump(n)
+					sent += n
+				}
+				in[1].Close(env)
+			} else {
+				for {
+					n, ok := in[k].Recv(env)
+					if !ok {
+						in[k+1].Close(env)
+						return
+					}
+					pump(n)
+				}
+			}
+		})
+	}
+	last := stages[len(stages)-1]
+	for {
+		n, ok := in[len(stages)-1].Recv(env)
+		if !ok {
+			return
+		}
+		last.Res.Transfer(env, n, last.FlowCap, last.Latency)
+	}
+}
+
+// transferChunks pushes size bytes through a single stage. Latency is
+// charged once (verbs are posted back-to-back).
+func transferChunks(env Env, size, chunk int64, st Stage) {
+	st.Res.Transfer(env, min64(chunk, size), st.FlowCap, st.Latency)
+	for sent := min64(chunk, size); sent < size; {
+		n := min64(chunk, size-sent)
+		st.Res.Transfer(env, n, st.FlowCap, 0)
+		sent += n
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

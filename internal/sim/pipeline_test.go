@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPipelineThroughputIsMinStage(t *testing.T) {
+	// 16 GiB through a 16 GiB/s stage then a 4 GiB/s stage with 1 GiB
+	// chunks: one chunk of fill through stage a (1/16 s), then stage b
+	// runs back-to-back for 16 chunks at 1/4 s each ⇒ 4.0625 s.
+	e := NewEngine()
+	var done time.Duration
+	e.Go("x", func(env Env) {
+		a := NewBandwidthResource(env, "a", 16*gb)
+		b := NewBandwidthResource(env, "b", 4*gb)
+		PipelineTransfer(env, 16*gb, gb, Stage{Res: a}, Stage{Res: b})
+		done = env.Now()
+	})
+	e.Run()
+	want := 4062500 * time.Microsecond
+	if !approxEqual(done, want) {
+		t.Fatalf("pipeline took %v, want ~%v", done, want)
+	}
+}
+
+func TestPipelineSlowFirstStage(t *testing.T) {
+	// Bottleneck in stage 1: 8 GiB at 2 GiB/s then 16 GiB/s ⇒ ~4s + tail.
+	e := NewEngine()
+	var done time.Duration
+	e.Go("x", func(env Env) {
+		a := NewBandwidthResource(env, "a", 2*gb)
+		b := NewBandwidthResource(env, "b", 16*gb)
+		PipelineTransfer(env, 8*gb, gb, Stage{Res: a}, Stage{Res: b})
+		done = env.Now()
+	})
+	e.Run()
+	want := 4*time.Second + 62500*time.Microsecond // 4s + 1GiB/16GiBps tail
+	if !approxEqual(done, want) {
+		t.Fatalf("pipeline took %v, want ~%v", done, want)
+	}
+}
+
+func TestPipelineSingleStageEqualsTransfer(t *testing.T) {
+	e := NewEngine()
+	var done time.Duration
+	e.Go("x", func(env Env) {
+		a := NewBandwidthResource(env, "a", 4*gb)
+		PipelineTransfer(env, 8*gb, gb, Stage{Res: a, Latency: time.Millisecond})
+		done = env.Now()
+	})
+	e.Run()
+	if !approxEqual(done, 2*time.Second+time.Millisecond) {
+		t.Fatalf("single-stage pipeline took %v, want ~2.001s", done)
+	}
+}
+
+func TestPipelineFlowCapApplies(t *testing.T) {
+	e := NewEngine()
+	var done time.Duration
+	e.Go("x", func(env Env) {
+		a := NewBandwidthResource(env, "a", 16*gb)
+		PipelineTransfer(env, 8*gb, 0, Stage{Res: a, FlowCap: 2 * gb})
+		done = env.Now()
+	})
+	e.Run()
+	if !approxEqual(done, 4*time.Second) {
+		t.Fatalf("capped pipeline took %v, want ~4s", done)
+	}
+}
+
+func TestPipelineContentionDegradesAggregate(t *testing.T) {
+	// α=1: two flows see capacity/2 total, i.e. 1/4 rate each ⇒ 4× slower
+	// than a lone flow.
+	e := NewEngine()
+	var solo, duo time.Duration
+	e.Go("solo", func(env Env) {
+		r := NewBandwidthResource(env, "svc", 4*gb)
+		r.SetContention(1.0)
+		r.Transfer(env, 4*gb, 0, 0)
+		solo = env.Now()
+	})
+	e.Run()
+	e2 := NewEngine()
+	e2.Go("root", func(env Env) {
+		r := NewBandwidthResource(env, "svc", 4*gb)
+		r.SetContention(1.0)
+		for i := 0; i < 2; i++ {
+			env.Go("f", func(env Env) {
+				r.Transfer(env, 4*gb, 0, 0)
+				if env.Now() > duo {
+					duo = env.Now()
+				}
+			})
+		}
+	})
+	e2.Run()
+	if !approxEqual(solo, time.Second) {
+		t.Fatalf("solo flow took %v, want ~1s", solo)
+	}
+	if !approxEqual(duo, 4*time.Second) {
+		t.Fatalf("contended flows took %v, want ~4s", duo)
+	}
+}
+
+func TestPipelineRealEnvReturnsImmediately(t *testing.T) {
+	env := NewRealEnv()
+	a := NewBandwidthResource(env, "a", gb)
+	start := time.Now()
+	PipelineTransfer(env, 100*gb, gb, Stage{Res: a})
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("PipelineTransfer under RealEnv should be immediate")
+	}
+}

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+const gb = 1 << 30
+
+// approxEqual reports whether two durations agree within 1%.
+func approxEqual(a, b time.Duration) bool {
+	diff := math.Abs(float64(a - b))
+	return diff <= 0.01*math.Max(float64(a), float64(b))
+}
+
+func TestSingleTransferTime(t *testing.T) {
+	e := NewEngine()
+	var done time.Duration
+	e.Go("xfer", func(env Env) {
+		r := NewBandwidthResource(env, "nic", 10*gb)
+		r.Transfer(env, 10*gb, 0, 0)
+		done = env.Now()
+	})
+	e.Run()
+	if !approxEqual(done, time.Second) {
+		t.Fatalf("10GiB at 10GiB/s took %v, want ~1s", done)
+	}
+}
+
+func TestTransferLatencyAdds(t *testing.T) {
+	e := NewEngine()
+	var done time.Duration
+	e.Go("xfer", func(env Env) {
+		r := NewBandwidthResource(env, "nic", 10*gb)
+		r.Transfer(env, 10*gb, 0, 100*time.Millisecond)
+		done = env.Now()
+	})
+	e.Run()
+	if !approxEqual(done, 1100*time.Millisecond) {
+		t.Fatalf("transfer with latency took %v, want ~1.1s", done)
+	}
+}
+
+func TestFairSharingTwoFlows(t *testing.T) {
+	// Two simultaneous 5 GiB transfers through a 10 GiB/s resource each
+	// get 5 GiB/s and both finish at t=1s.
+	e := NewEngine()
+	var finish []time.Duration
+	var r *BandwidthResource
+	e.Go("root", func(env Env) {
+		r = NewBandwidthResource(env, "nic", 10*gb)
+		for i := 0; i < 2; i++ {
+			env.Go("f", func(env Env) {
+				r.Transfer(env, 5*gb, 0, 0)
+				finish = append(finish, env.Now())
+			})
+		}
+	})
+	e.Run()
+	if len(finish) != 2 {
+		t.Fatalf("only %d transfers finished", len(finish))
+	}
+	for _, f := range finish {
+		if !approxEqual(f, time.Second) {
+			t.Fatalf("shared transfer finished at %v, want ~1s", f)
+		}
+	}
+}
+
+func TestDepartureSpeedsUpSurvivor(t *testing.T) {
+	// Flow A: 5 GiB, flow B: 15 GiB, capacity 10 GiB/s.
+	// Both share 5 GiB/s until A finishes at t=1s; B then has 10 GiB left
+	// at full 10 GiB/s and finishes at t=2s (vs 3s under FIFO).
+	e := NewEngine()
+	var aDone, bDone time.Duration
+	e.Go("root", func(env Env) {
+		r := NewBandwidthResource(env, "nic", 10*gb)
+		env.Go("a", func(env Env) {
+			r.Transfer(env, 5*gb, 0, 0)
+			aDone = env.Now()
+		})
+		env.Go("b", func(env Env) {
+			r.Transfer(env, 15*gb, 0, 0)
+			bDone = env.Now()
+		})
+	})
+	e.Run()
+	if !approxEqual(aDone, time.Second) {
+		t.Fatalf("flow A finished at %v, want ~1s", aDone)
+	}
+	if !approxEqual(bDone, 2*time.Second) {
+		t.Fatalf("flow B finished at %v, want ~2s", bDone)
+	}
+}
+
+func TestPerFlowCap(t *testing.T) {
+	// A 10 GiB transfer capped at 2 GiB/s through a 10 GiB/s resource
+	// takes 5s; an uncapped companion gets the remaining 8 GiB/s.
+	e := NewEngine()
+	var capped, free time.Duration
+	e.Go("root", func(env Env) {
+		r := NewBandwidthResource(env, "nic", 10*gb)
+		env.Go("capped", func(env Env) {
+			r.Transfer(env, 10*gb, 2*gb, 0)
+			capped = env.Now()
+		})
+		env.Go("free", func(env Env) {
+			r.Transfer(env, 8*gb, 0, 0)
+			free = env.Now()
+		})
+	})
+	e.Run()
+	if !approxEqual(capped, 5*time.Second) {
+		t.Fatalf("capped flow finished at %v, want ~5s", capped)
+	}
+	if !approxEqual(free, time.Second) {
+		t.Fatalf("uncapped flow finished at %v, want ~1s", free)
+	}
+}
+
+func TestLateArrivalShares(t *testing.T) {
+	// Flow A (20 GiB) starts at t=0 at 10 GiB/s. Flow B (5 GiB) arrives
+	// at t=1s; both then run at 5 GiB/s. B finishes at t=2s; A has 5 GiB
+	// left at t=2s, full rate again, finishing at t=2.5s.
+	e := NewEngine()
+	var aDone, bDone time.Duration
+	e.Go("root", func(env Env) {
+		r := NewBandwidthResource(env, "nic", 10*gb)
+		env.Go("a", func(env Env) {
+			r.Transfer(env, 20*gb, 0, 0)
+			aDone = env.Now()
+		})
+		env.Go("b", func(env Env) {
+			env.Sleep(time.Second)
+			r.Transfer(env, 5*gb, 0, 0)
+			bDone = env.Now()
+		})
+	})
+	e.Run()
+	if !approxEqual(bDone, 2*time.Second) {
+		t.Fatalf("flow B finished at %v, want ~2s", bDone)
+	}
+	if !approxEqual(aDone, 2500*time.Millisecond) {
+		t.Fatalf("flow A finished at %v, want ~2.5s", aDone)
+	}
+}
+
+func TestZeroByteTransferIsFree(t *testing.T) {
+	e := NewEngine()
+	var done time.Duration
+	e.Go("x", func(env Env) {
+		r := NewBandwidthResource(env, "nic", gb)
+		r.Transfer(env, 0, 0, 0)
+		done = env.Now()
+	})
+	e.Run()
+	if done != 0 {
+		t.Fatalf("zero-byte transfer took %v", done)
+	}
+}
+
+func TestManyFlowsConserveCapacity(t *testing.T) {
+	// N equal flows through the resource must take N times as long as one.
+	const n = 8
+	e := NewEngine()
+	var last time.Duration
+	e.Go("root", func(env Env) {
+		r := NewBandwidthResource(env, "nic", 10*gb)
+		for i := 0; i < n; i++ {
+			env.Go("f", func(env Env) {
+				r.Transfer(env, 10*gb, 0, 0)
+				if env.Now() > last {
+					last = env.Now()
+				}
+			})
+		}
+	})
+	e.Run()
+	if !approxEqual(last, n*time.Second) {
+		t.Fatalf("%d shared flows finished at %v, want ~%ds", n, last, n)
+	}
+}
+
+func TestTransferTimeClosedForm(t *testing.T) {
+	got := TransferTime(10*gb, 10*gb, 0, 0)
+	if !approxEqual(got, time.Second) {
+		t.Fatalf("TransferTime = %v, want ~1s", got)
+	}
+	got = TransferTime(10*gb, 10*gb, 2*gb, time.Millisecond)
+	if !approxEqual(got, 5*time.Second+time.Millisecond) {
+		t.Fatalf("capped TransferTime = %v, want ~5.001s", got)
+	}
+	if TransferTime(0, gb, 0, time.Microsecond) != time.Microsecond {
+		t.Fatal("zero-size TransferTime should be pure latency")
+	}
+}
+
+func TestRealEnvTransferIsImmediate(t *testing.T) {
+	env := NewRealEnv()
+	r := NewBandwidthResource(env, "nic", gb)
+	start := time.Now()
+	r.Transfer(env, 100*gb, 0, 0)
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("Transfer under RealEnv should not block")
+	}
+}

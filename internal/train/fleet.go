@@ -1,0 +1,93 @@
+package train
+
+import (
+	"fmt"
+
+	"github.com/portus-sys/portus/internal/sim"
+)
+
+// Fleet fans a checkpoint policy out over the ranks of a model-parallel
+// job: every shard checkpoints concurrently (as Megatron ranks do), and
+// the training loop's stall is the slowest rank's stall — the
+// synchronization overhead the paper highlights for distributed
+// checkpoints (§II-A).
+type Fleet struct {
+	Members []Checkpointer
+	label   string
+}
+
+// NewFleet groups per-shard checkpointers under one policy.
+func NewFleet(label string, members []Checkpointer) *Fleet {
+	return &Fleet{Members: members, label: label}
+}
+
+// Name identifies the fleet.
+func (f *Fleet) Name() string {
+	return fmt.Sprintf("%s x%d", f.label, len(f.Members))
+}
+
+// fanOut runs op on every member concurrently and waits for all.
+func (f *Fleet) fanOut(env sim.Env, op func(i int, m Checkpointer, env sim.Env) error) error {
+	g := sim.NewGroup(env)
+	errs := make([]error, len(f.Members))
+	for i, m := range f.Members {
+		i, m := i, m
+		g.Add(env, 1)
+		env.Go("fleet-rank", func(env sim.Env) {
+			defer g.Done(env)
+			errs[i] = op(i, m, env)
+		})
+	}
+	g.Wait(env)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint triggers every rank's checkpoint and waits for all ranks to
+// return (synchronous members block here; asynchronous members only
+// trigger).
+func (f *Fleet) Checkpoint(env sim.Env, iteration uint64) error {
+	return f.fanOut(env, func(_ int, m Checkpointer, env sim.Env) error {
+		return m.Checkpoint(env, iteration)
+	})
+}
+
+// BeforeUpdate runs every rank's update barrier.
+func (f *Fleet) BeforeUpdate(env sim.Env, iteration uint64) {
+	_ = f.fanOut(env, func(_ int, m Checkpointer, env sim.Env) error {
+		m.BeforeUpdate(env, iteration)
+		return nil
+	})
+}
+
+// Drain completes all ranks' background work.
+func (f *Fleet) Drain(env sim.Env) {
+	_ = f.fanOut(env, func(_ int, m Checkpointer, env sim.Env) error {
+		m.Drain(env)
+		return nil
+	})
+}
+
+// Restore reloads every shard and returns their common iteration; ranks
+// disagreeing on the restored iteration is a consistency violation.
+func (f *Fleet) Restore(env sim.Env) (uint64, error) {
+	iters := make([]uint64, len(f.Members))
+	err := f.fanOut(env, func(i int, m Checkpointer, env sim.Env) error {
+		it, err := m.Restore(env)
+		iters[i] = it
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, it := range iters[1:] {
+		if it != iters[0] {
+			return 0, fmt.Errorf("train: shards restored inconsistent iterations %d and %d", iters[0], it)
+		}
+	}
+	return iters[0], nil
+}

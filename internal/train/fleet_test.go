@@ -1,0 +1,126 @@
+package train_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/portus-sys/portus/internal/sim"
+	"github.com/portus-sys/portus/internal/train"
+)
+
+// stubPolicy is a scripted checkpointer for fleet unit tests.
+type stubPolicy struct {
+	name        string
+	ckptDelay   time.Duration
+	restoreIter uint64
+	checkpoints int
+	barriers    int
+	drains      int
+	failOn      uint64
+}
+
+func (s *stubPolicy) Name() string { return s.name }
+
+func (s *stubPolicy) Checkpoint(env sim.Env, iteration uint64) error {
+	s.checkpoints++
+	if s.failOn != 0 && iteration == s.failOn {
+		return fmt.Errorf("%s: scripted failure at %d", s.name, iteration)
+	}
+	env.Sleep(s.ckptDelay)
+	return nil
+}
+
+func (s *stubPolicy) BeforeUpdate(env sim.Env, iteration uint64) { s.barriers++ }
+func (s *stubPolicy) Drain(env sim.Env)                          { s.drains++ }
+func (s *stubPolicy) Restore(env sim.Env) (uint64, error)        { return s.restoreIter, nil }
+
+func TestFleetStallIsSlowestRank(t *testing.T) {
+	eng := sim.NewEngine()
+	var elapsed time.Duration
+	members := []*stubPolicy{
+		{name: "r0", ckptDelay: 10 * time.Millisecond, restoreIter: 1},
+		{name: "r1", ckptDelay: 80 * time.Millisecond, restoreIter: 1},
+		{name: "r2", ckptDelay: 30 * time.Millisecond, restoreIter: 1},
+	}
+	eng.Go("test", func(env sim.Env) {
+		var cs []train.Checkpointer
+		for _, m := range members {
+			cs = append(cs, m)
+		}
+		fleet := train.NewFleet("stub", cs)
+		start := env.Now()
+		if err := fleet.Checkpoint(env, 1); err != nil {
+			t.Fatal(err)
+		}
+		elapsed = env.Now() - start
+	})
+	eng.Run()
+	if elapsed != 80*time.Millisecond {
+		t.Fatalf("fleet checkpoint took %v, want the slowest rank's 80ms", elapsed)
+	}
+	for _, m := range members {
+		if m.checkpoints != 1 {
+			t.Fatalf("%s ran %d checkpoints", m.name, m.checkpoints)
+		}
+	}
+}
+
+func TestFleetPropagatesMemberFailure(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		fleet := train.NewFleet("stub", []train.Checkpointer{
+			&stubPolicy{name: "ok"},
+			&stubPolicy{name: "bad", failOn: 7},
+		})
+		if err := fleet.Checkpoint(env, 7); err == nil || !strings.Contains(err.Error(), "scripted failure") {
+			t.Fatalf("fleet err = %v", err)
+		}
+	})
+	eng.Run()
+}
+
+func TestFleetRestoreConsistencyCheck(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		agree := train.NewFleet("stub", []train.Checkpointer{
+			&stubPolicy{restoreIter: 9},
+			&stubPolicy{restoreIter: 9},
+		})
+		if iter, err := agree.Restore(env); err != nil || iter != 9 {
+			t.Fatalf("agreeing fleet restore = %d, %v", iter, err)
+		}
+		disagree := train.NewFleet("stub", []train.Checkpointer{
+			&stubPolicy{restoreIter: 9},
+			&stubPolicy{restoreIter: 8},
+		})
+		if _, err := disagree.Restore(env); err == nil || !strings.Contains(err.Error(), "inconsistent") {
+			t.Fatalf("disagreeing fleet restore err = %v", err)
+		}
+	})
+	eng.Run()
+}
+
+func TestFleetFansOutBarriersAndDrains(t *testing.T) {
+	eng := sim.NewEngine()
+	a := &stubPolicy{name: "a"}
+	b := &stubPolicy{name: "b"}
+	eng.Go("test", func(env sim.Env) {
+		fleet := train.NewFleet("stub", []train.Checkpointer{a, b})
+		fleet.BeforeUpdate(env, 1)
+		fleet.BeforeUpdate(env, 2)
+		fleet.Drain(env)
+	})
+	eng.Run()
+	if a.barriers != 2 || b.barriers != 2 || a.drains != 1 || b.drains != 1 {
+		t.Fatalf("fanout counts: a=%+v b=%+v", a, b)
+	}
+}
+
+func TestFleetName(t *testing.T) {
+	fleet := train.NewFleet("portus-async", make([]train.Checkpointer, 16))
+	if got := fleet.Name(); got != "portus-async x16" {
+		t.Fatalf("Name = %q", got)
+	}
+}

@@ -1,0 +1,217 @@
+// Package train simulates DNN training loops at iteration granularity:
+// forward pass (F), backpropagation (B), and parameter update (U), with
+// checkpoint policies hooked between B and U exactly where frameworks
+// trigger them (§III-E, Figure 8). The loop accounts GPU busy time
+// versus checkpoint stalls, producing the throughput and utilization
+// numbers behind Figures 2, 15, and 16, and supports failure injection
+// with restore-based recovery.
+package train
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/portus-sys/portus/internal/gpu"
+	"github.com/portus-sys/portus/internal/metrics"
+	"github.com/portus-sys/portus/internal/model"
+	"github.com/portus-sys/portus/internal/sim"
+)
+
+// Checkpointer is the policy hook the loop drives. Implementations:
+// baseline.TorchSave, baseline.CheckFreq, client.Sync, client.Async.
+type Checkpointer interface {
+	Name() string
+	// Checkpoint triggers persistence of iteration's weights; it is
+	// called between backward and update. Time spent inside counts as a
+	// training stall.
+	Checkpoint(env sim.Env, iteration uint64) error
+	// BeforeUpdate is called before every update phase — the WAR
+	// barrier for asynchronous policies.
+	BeforeUpdate(env sim.Env, iteration uint64)
+	// Drain completes outstanding background work.
+	Drain(env sim.Env)
+	// Restore reloads the newest checkpoint, returning its iteration.
+	Restore(env sim.Env) (uint64, error)
+}
+
+// Phase split of one iteration (Figure 8): forward, backward, update.
+const (
+	forwardFrac = 0.30
+	updateFrac  = 0.20
+)
+
+// Config drives one training run.
+type Config struct {
+	Spec model.Spec
+	// Placed, when set, receives real weight updates each iteration so
+	// checkpoint content is verifiable end-to-end.
+	Placed *gpu.PlacedModel
+	// Policy is the checkpointer; nil trains without checkpoints.
+	Policy Checkpointer
+	// Interval checkpoints every N iterations (0 = never).
+	Interval int
+	// Iterations is the number of steps to run.
+	Iterations int
+	// StartIteration numbers the first step (useful after restore).
+	StartIteration uint64
+	// FailAt injects a crash after iteration FailAt completes its F and
+	// B phases (0 = no failure). Recovery restores the newest
+	// checkpoint and replays lost iterations.
+	FailAt int
+	// FailEvery injects a crash every FailEvery executed iterations —
+	// the sustained-churn regime of Oobleck/Bamboo (a failure every few
+	// minutes, §I). Mutually exclusive with FailAt.
+	FailEvery int
+}
+
+// Result summarizes a run.
+type Result struct {
+	Iterations  int
+	Elapsed     time.Duration
+	ComputeTime time.Duration
+	StallTime   time.Duration
+	Checkpoints int
+	// Failures counts injected crashes.
+	Failures int
+	// LostIterations counts replayed work after injected failures.
+	LostIterations int
+	RecoveryTime   time.Duration
+	Timeline       *metrics.Timeline
+}
+
+// Throughput reports iterations per second of wall (virtual) time.
+func (r Result) Throughput() float64 {
+	if r.Elapsed == 0 {
+		return 0
+	}
+	return float64(r.Iterations) / r.Elapsed.Seconds()
+}
+
+// GPUUtilization reports the busy fraction of the run.
+func (r Result) GPUUtilization() float64 { return r.Timeline.Utilization() }
+
+// Run executes the training loop under env.
+func Run(env sim.Env, cfg Config) (Result, error) {
+	if cfg.Iterations <= 0 {
+		return Result{}, fmt.Errorf("train: no iterations configured")
+	}
+	if cfg.FailEvery > 0 && cfg.Interval >= cfg.FailEvery {
+		// Every inter-failure window must fit at least one checkpoint or
+		// the run can replay forever.
+		return Result{}, fmt.Errorf("train: checkpoint interval %d must be below failure interval %d",
+			cfg.Interval, cfg.FailEvery)
+	}
+	res := Result{Timeline: &metrics.Timeline{}}
+	start := env.Now()
+
+	fTime := time.Duration(float64(cfg.Spec.IterTime) * forwardFrac)
+	uTime := time.Duration(float64(cfg.Spec.IterTime) * updateFrac)
+	bTime := cfg.Spec.IterTime - fTime - uTime
+
+	busy := func(d time.Duration) {
+		t0 := env.Now()
+		env.Sleep(d)
+		res.Timeline.Add(t0, env.Now(), true)
+		res.ComputeTime += d
+	}
+	stall := func(fn func()) {
+		t0 := env.Now()
+		fn()
+		if env.Now() > t0 {
+			res.Timeline.Add(t0, env.Now(), false)
+			res.StallTime += env.Now() - t0
+		}
+	}
+
+	iter := cfg.StartIteration
+	done := 0
+	failed := false
+	executed := 0 // iterations executed since the last failure
+	for done < cfg.Iterations {
+		iter++
+		busy(fTime)
+		busy(bTime)
+
+		crashNow := false
+		if cfg.FailAt > 0 && !failed && done+1 == cfg.FailAt {
+			failed = true
+			crashNow = true
+		}
+		if cfg.FailEvery > 0 && executed+1 == cfg.FailEvery {
+			crashNow = true
+		}
+		if crashNow {
+			// Crash: lose in-GPU state, restore the newest checkpoint.
+			if cfg.Policy == nil {
+				return res, fmt.Errorf("train: failure injected with no checkpointer")
+			}
+			executed = 0
+			res.Failures++
+			var restored uint64
+			recoverStart := env.Now()
+			stall(func() {
+				var err error
+				restored, err = cfg.Policy.Restore(env)
+				if err != nil {
+					// No checkpoint yet: restart from scratch.
+					restored = cfg.StartIteration
+				}
+			})
+			res.RecoveryTime += env.Now() - recoverStart
+			lost := int(iter - 1 - restored)
+			res.LostIterations += lost
+			done -= lost // lost work must be replayed
+			iter = restored
+			continue
+		}
+		executed++
+
+		// The WAR barrier: an asynchronous pull triggered at the end of a
+		// previous iteration had this iteration's F and B to finish;
+		// the optimizer must not mutate tensors still being read.
+		if cfg.Policy != nil {
+			stall(func() { cfg.Policy.BeforeUpdate(env, iter) })
+		}
+		busy(uTime)
+		if cfg.Placed != nil {
+			cfg.Placed.ApplyUpdate(iter)
+		}
+		// Checkpoint the just-updated weights at the iteration boundary.
+		if cfg.Policy != nil && cfg.Interval > 0 && int(iter)%cfg.Interval == 0 {
+			res.Checkpoints++
+			stall(func() {
+				if err := cfg.Policy.Checkpoint(env, iter); err != nil {
+					panic(fmt.Sprintf("train: checkpoint at iter %d: %v", iter, err))
+				}
+			})
+		}
+		done++
+	}
+	if cfg.Policy != nil {
+		stall(func() { cfg.Policy.Drain(env) })
+	}
+	res.Iterations = cfg.Iterations
+	res.Elapsed = env.Now() - start
+	return res, nil
+}
+
+// NoCheckpoint is the null policy: it never persists anything. Restore
+// always fails.
+type NoCheckpoint struct{}
+
+// Name identifies the policy.
+func (NoCheckpoint) Name() string { return "none" }
+
+// Checkpoint does nothing.
+func (NoCheckpoint) Checkpoint(env sim.Env, iteration uint64) error { return nil }
+
+// BeforeUpdate does nothing.
+func (NoCheckpoint) BeforeUpdate(env sim.Env, iteration uint64) {}
+
+// Drain does nothing.
+func (NoCheckpoint) Drain(env sim.Env) {}
+
+// Restore fails: nothing was saved.
+func (NoCheckpoint) Restore(env sim.Env) (uint64, error) {
+	return 0, fmt.Errorf("train: no checkpointing policy active")
+}

@@ -1,0 +1,278 @@
+package train_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/portus-sys/portus/internal/baseline"
+	"github.com/portus-sys/portus/internal/client"
+	"github.com/portus-sys/portus/internal/cluster"
+	"github.com/portus-sys/portus/internal/daemon"
+	"github.com/portus-sys/portus/internal/fsim"
+	"github.com/portus-sys/portus/internal/gpu"
+	"github.com/portus-sys/portus/internal/model"
+	"github.com/portus-sys/portus/internal/sim"
+	"github.com/portus-sys/portus/internal/train"
+	"github.com/portus-sys/portus/internal/wire"
+)
+
+func tinySpec(name string, iterTime time.Duration) model.Spec {
+	s := model.GPT(name, 2, 64, 512, iterTime)
+	return s
+}
+
+func TestRunWithoutCheckpointing(t *testing.T) {
+	eng := sim.NewEngine()
+	var res train.Result
+	eng.Go("t", func(env sim.Env) {
+		var err error
+		res, err = train.Run(env, train.Config{
+			Spec:       tinySpec("m", 100*time.Millisecond),
+			Iterations: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	eng.Run()
+	if res.Elapsed != time.Second {
+		t.Fatalf("10 iterations of 100ms took %v", res.Elapsed)
+	}
+	if res.GPUUtilization() != 1.0 {
+		t.Fatalf("utilization = %.3f, want 1.0 with no checkpointing", res.GPUUtilization())
+	}
+	if res.StallTime != 0 || res.Checkpoints != 0 {
+		t.Fatalf("unexpected stalls/checkpoints: %+v", res)
+	}
+}
+
+func TestRunRejectsZeroIterations(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("t", func(env sim.Env) {
+		if _, err := train.Run(env, train.Config{Spec: tinySpec("m", time.Millisecond)}); err == nil {
+			t.Error("zero iterations accepted")
+		}
+	})
+	eng.Run()
+}
+
+func TestCheckpointIntervalCounts(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("t", func(env sim.Env) {
+		res, err := train.Run(env, train.Config{
+			Spec:       tinySpec("m", 10*time.Millisecond),
+			Policy:     train.NoCheckpoint{},
+			Interval:   5,
+			Iterations: 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Checkpoints != 4 {
+			t.Fatalf("checkpoints = %d, want 4", res.Checkpoints)
+		}
+	})
+	eng.Run()
+}
+
+// portusSetup builds a cluster + daemon + registered Portus client for
+// training tests.
+func portusSetup(t *testing.T, env sim.Env, spec model.Spec) (*gpu.PlacedModel, *client.Client) {
+	t.Helper()
+	cl, err := cluster.New(env, cluster.Config{
+		ComputeNodes: 1, GPUsPerNode: 1,
+		GPUMemBytes: 8 << 20, PMemBytes: 32 << 20, Materialized: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := daemon.New(env, daemon.Config{PMem: cl.Storage.PMem, RNode: cl.Storage.RNode, Fabric: cl.Fabric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := wire.NewSimNet()
+	l, err := net.Listen(env, "storage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Go("serve", func(env sim.Env) { d.Serve(env, l) })
+	placed, err := gpu.Place(cl.GPU(0, 0), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial(env, "storage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := client.Register(env, conn, cl.Compute[0].RNode, placed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return placed, c
+}
+
+func TestTrainingWithPortusSyncVerifiesContent(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("t", func(env sim.Env) {
+		spec := tinySpec("job", 20*time.Millisecond)
+		placed, c := portusSetup(t, env, spec)
+		res, err := train.Run(env, train.Config{
+			Spec:       spec,
+			Placed:     placed,
+			Policy:     &client.Sync{C: c},
+			Interval:   3,
+			Iterations: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Checkpoints != 3 {
+			t.Fatalf("checkpoints = %d, want 3", res.Checkpoints)
+		}
+		if res.StallTime == 0 {
+			t.Fatal("sync policy reported no stalls")
+		}
+		// Restore and confirm the weights equal iteration 9's exactly.
+		placed.ApplyUpdate(1000)
+		iter, err := c.Restore(env)
+		if err != nil || iter != 9 {
+			t.Fatalf("restore = %d, %v", iter, err)
+		}
+		if bad := placed.VerifyIteration(9); bad != -1 {
+			t.Fatalf("tensor %d wrong after training restore", bad)
+		}
+	})
+	eng.Run()
+}
+
+func TestFailureInjectionRecoversFromLastCheckpoint(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("t", func(env sim.Env) {
+		spec := tinySpec("job", 20*time.Millisecond)
+		placed, c := portusSetup(t, env, spec)
+		res, err := train.Run(env, train.Config{
+			Spec:       spec,
+			Placed:     placed,
+			Policy:     &client.Sync{C: c},
+			Interval:   4,
+			Iterations: 12,
+			FailAt:     10, // crash during iteration 10; last checkpoint at 8
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.LostIterations != 1 {
+			// Crash happens in iteration 10 after 9 completed; restore
+			// to 8 loses iteration 9.
+			t.Fatalf("lost iterations = %d, want 1", res.LostIterations)
+		}
+		if res.Iterations != 12 {
+			t.Fatalf("completed %d iterations, want 12", res.Iterations)
+		}
+		if res.RecoveryTime == 0 {
+			t.Fatal("no recovery time recorded")
+		}
+		// Final weights are iteration 12's.
+		if bad := placed.VerifyIteration(12); bad != -1 {
+			t.Fatalf("tensor %d wrong after recovery run", bad)
+		}
+	})
+	eng.Run()
+}
+
+func TestAsyncPolicyBeatsSyncThroughput(t *testing.T) {
+	// With checkpoints every iteration, Portus-Async must finish the
+	// run faster than Portus-Sync (the pull hides behind F+B).
+	run := func(mkPolicy func(c *client.Client) train.Checkpointer) train.Result {
+		eng := sim.NewEngine()
+		var res train.Result
+		eng.Go("t", func(env sim.Env) {
+			spec := tinySpec("job", 50*time.Millisecond)
+			placed, c := portusSetup(t, env, spec)
+			_ = placed
+			var err error
+			res, err = train.Run(env, train.Config{
+				Spec:       spec,
+				Policy:     mkPolicy(c),
+				Interval:   1,
+				Iterations: 20,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		eng.Run()
+		return res
+	}
+	syncRes := run(func(c *client.Client) train.Checkpointer { return &client.Sync{C: c} })
+	asyncRes := run(func(c *client.Client) train.Checkpointer { return &client.Async{C: c} })
+	if asyncRes.Elapsed >= syncRes.Elapsed {
+		t.Fatalf("async (%v) not faster than sync (%v)", asyncRes.Elapsed, syncRes.Elapsed)
+	}
+	if asyncRes.GPUUtilization() <= syncRes.GPUUtilization() {
+		t.Fatalf("async utilization %.3f not above sync %.3f",
+			asyncRes.GPUUtilization(), syncRes.GPUUtilization())
+	}
+}
+
+func TestCheckFreqPolicyInTrainingLoop(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("t", func(env sim.Env) {
+		cl, err := cluster.New(env, cluster.Config{
+			ComputeNodes: 1, GPUsPerNode: 1,
+			GPUMemBytes: 8 << 20, PMemBytes: 16 << 20, Materialized: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := tinySpec("cf-job", 20*time.Millisecond)
+		placed, err := gpu.Place(cl.GPU(0, 0), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cf := baseline.NewCheckFreq(fsim.NewBeeGFS(cl.Storage), cl.Compute[0], placed)
+		res, err := train.Run(env, train.Config{
+			Spec:       spec,
+			Placed:     placed,
+			Policy:     cf,
+			Interval:   5,
+			Iterations: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Checkpoints != 2 {
+			t.Fatalf("checkpoints = %d", res.Checkpoints)
+		}
+		iter, err := cf.Restore(env)
+		if err != nil || iter != 10 {
+			t.Fatalf("restore = %d, %v", iter, err)
+		}
+	})
+	eng.Run()
+}
+
+func TestUtilizationSeriesShape(t *testing.T) {
+	eng := sim.NewEngine()
+	var res train.Result
+	eng.Go("t", func(env sim.Env) {
+		var err error
+		res, err = train.Run(env, train.Config{
+			Spec:       tinySpec("m", 100*time.Millisecond),
+			Iterations: 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	eng.Run()
+	series := res.Timeline.Series(2*time.Second, 500*time.Millisecond)
+	if len(series) != 4 {
+		t.Fatalf("series has %d points", len(series))
+	}
+	for i, u := range series {
+		if u < 0.99 {
+			t.Fatalf("window %d utilization = %.3f, want ~1", i, u)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+// Package wire is the Portus control plane: the TCP-over-IPoIB socket
+// protocol between Portus Client and Portus Daemon (§III-B). It carries
+// model registration packets (tensor metadata plus RDMA remote keys),
+// the DO_CHECKPOINT / CHECKPOINT_DONE exchange, restore requests, and
+// portusctl management traffic. Bulk tensor data never travels here —
+// that is the one-sided RDMA datapath's job.
+//
+// Two transports implement the same Conn interface: an in-process
+// simulated network (virtual-time latency per message) and real TCP with
+// gob encoding.
+package wire
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/portus-sys/portus/internal/perfmodel"
+	"github.com/portus-sys/portus/internal/sim"
+)
+
+// Type discriminates control messages.
+type Type uint8
+
+// Message types.
+const (
+	TRegister Type = iota + 1
+	TRegisterOK
+	TDoCheckpoint
+	TCheckpointDone
+	TRestore
+	TRestoreDone
+	TList
+	TListResp
+	TDelete
+	TDeleteOK
+	TDump
+	TDumpResp
+	TError
+)
+
+// String names a message type.
+func (t Type) String() string {
+	names := map[Type]string{
+		TRegister: "REGISTER", TRegisterOK: "REGISTER_OK",
+		TDoCheckpoint: "DO_CHECKPOINT", TCheckpointDone: "CHECKPOINT_DONE",
+		TRestore: "RESTORE", TRestoreDone: "RESTORE_DONE",
+		TList: "LIST", TListResp: "LIST_RESP",
+		TDelete: "DELETE", TDeleteOK: "DELETE_OK",
+		TDump: "DUMP", TDumpResp: "DUMP_RESP",
+		TError: "ERROR",
+	}
+	if n, ok := names[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// TensorRef is one tensor's registration record: metadata plus the
+// remote key of its GPU memory region.
+type TensorRef struct {
+	Name  string
+	DType uint8
+	Dims  []int64
+	Size  int64
+	RKey  uint64
+}
+
+// ModelInfo summarizes a stored model for LIST responses.
+type ModelInfo struct {
+	Name       string
+	Tensors    int
+	Bytes      int64
+	Slot0      string // version-state names
+	Slot1      string
+	LatestIter uint64
+	HasDone    bool
+}
+
+// Msg is one control-plane message.
+type Msg struct {
+	Type       Type
+	Model      string
+	ClientNode string // RDMA node name of the client (for verbs routing)
+	FabricAddr string // client agent address (TCP fabric peer exchange)
+	Iteration  uint64
+	Slot       int
+	Error      string
+	// InReplyTo carries the request type an ERROR responds to, so
+	// clients can release the right waiter.
+	InReplyTo Type
+	Tensors   []TensorRef
+	Models    []ModelInfo
+	// Payload carries a serialized checkpoint container (DUMP_RESP).
+	Payload []byte
+}
+
+// approxSize estimates the wire size for latency modeling.
+func (m *Msg) approxSize() int64 {
+	size := int64(64 + len(m.Model) + len(m.ClientNode) + len(m.Error))
+	for _, t := range m.Tensors {
+		size += int64(len(t.Name)) + 48
+	}
+	size += int64(len(m.Models)) * 96
+	size += int64(len(m.Payload))
+	return size
+}
+
+// ErrClosed reports operations on a closed connection.
+var ErrClosed = errors.New("wire: connection closed")
+
+// Conn is a bidirectional control channel.
+type Conn interface {
+	Send(env sim.Env, m *Msg) error
+	Recv(env sim.Env) (*Msg, error)
+	Close() error
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	Accept(env sim.Env) (Conn, error)
+	Close() error
+}
+
+// SimNet is the in-process network for virtual-time runs.
+type SimNet struct {
+	listeners map[string]*SimListener
+}
+
+// NewSimNet creates an empty network.
+func NewSimNet() *SimNet {
+	return &SimNet{listeners: make(map[string]*SimListener)}
+}
+
+// SimListener is a simulated listening socket.
+type SimListener struct {
+	name   string
+	accept *sim.Mailbox[*simConn]
+}
+
+// Listen binds name on the simulated network.
+func (n *SimNet) Listen(env sim.Env, name string) (*SimListener, error) {
+	if _, ok := n.listeners[name]; ok {
+		return nil, fmt.Errorf("wire: address %q already bound", name)
+	}
+	l := &SimListener{name: name, accept: sim.NewMailbox[*simConn](env)}
+	n.listeners[name] = l
+	return l, nil
+}
+
+// Accept blocks until a client dials.
+func (l *SimListener) Accept(env sim.Env) (Conn, error) {
+	c, ok := l.accept.Recv(env)
+	if !ok {
+		return nil, ErrClosed
+	}
+	return c, nil
+}
+
+// Close unbinds the listener.
+func (l *SimListener) Close() error {
+	return nil
+}
+
+// Dial connects to a bound name, charging one control-message latency.
+func (n *SimNet) Dial(env sim.Env, name string) (Conn, error) {
+	l, ok := n.listeners[name]
+	if !ok {
+		return nil, fmt.Errorf("wire: no listener at %q", name)
+	}
+	a2b := sim.NewMailbox[*Msg](env)
+	b2a := sim.NewMailbox[*Msg](env)
+	client := &simConn{in: b2a, out: a2b}
+	server := &simConn{in: a2b, out: b2a}
+	env.Sleep(perfmodel.TCPLatency)
+	l.accept.Send(env, server)
+	return client, nil
+}
+
+type simConn struct {
+	in, out *sim.Mailbox[*Msg]
+	closed  bool
+}
+
+// Send charges the one-way control latency plus transmission time at an
+// IPoIB-class gigabyte per second, then delivers.
+func (c *simConn) Send(env sim.Env, m *Msg) error {
+	if c.closed {
+		return ErrClosed
+	}
+	env.Sleep(perfmodel.TCPLatency/2 + sim.TransferTime(m.approxSize(), 1e9, 0, 0))
+	c.out.Send(env, m)
+	return nil
+}
+
+func (c *simConn) Recv(env sim.Env) (*Msg, error) {
+	m, ok := c.in.Recv(env)
+	if !ok {
+		return nil, ErrClosed
+	}
+	return m, nil
+}
+
+func (c *simConn) Close() error {
+	if !c.closed {
+		c.closed = true
+	}
+	return nil
+}
+
+// NetConn is a gob-encoded control channel over a real socket.
+type NetConn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+	wmu sync.Mutex
+}
+
+// NewNetConn wraps a connected socket.
+func NewNetConn(c net.Conn) *NetConn {
+	return &NetConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+// Send encodes m onto the socket. Safe for concurrent use.
+func (c *NetConn) Send(env sim.Env, m *Msg) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.enc.Encode(m); err != nil {
+		return fmt.Errorf("wire: send: %w", err)
+	}
+	return nil
+}
+
+// Recv decodes the next message. Only one goroutine may call Recv.
+func (c *NetConn) Recv(env sim.Env) (*Msg, error) {
+	var m Msg
+	if err := c.dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("wire: recv: %w", err)
+	}
+	return &m, nil
+}
+
+// Close closes the socket.
+func (c *NetConn) Close() error { return c.c.Close() }
+
+// NetListener adapts a net.Listener.
+type NetListener struct{ L net.Listener }
+
+// Accept waits for a TCP client.
+func (l NetListener) Accept(env sim.Env) (Conn, error) {
+	c, err := l.L.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewNetConn(c), nil
+}
+
+// Close stops listening.
+func (l NetListener) Close() error { return l.L.Close() }

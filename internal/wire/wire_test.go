@@ -1,0 +1,190 @@
+package wire
+
+import (
+	"net"
+	"reflect"
+	"testing"
+
+	"github.com/portus-sys/portus/internal/sim"
+)
+
+func sampleMsg() *Msg {
+	return &Msg{
+		Type:       TRegister,
+		Model:      "bert-large",
+		ClientNode: "client0",
+		FabricAddr: "127.0.0.1:9999",
+		Iteration:  42,
+		Tensors: []TensorRef{
+			{Name: "embedding.weight", DType: 1, Dims: []int64{512, 1024}, Size: 2097152, RKey: 7},
+			{Name: "encoder.bias", DType: 1, Dims: []int64{1024}, Size: 4096, RKey: 8},
+		},
+	}
+}
+
+func TestSimNetRoundTrip(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		n := NewSimNet()
+		l, err := n.Listen(env, "storage")
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.Go("server", func(env sim.Env) {
+			conn, err := l.Accept(env)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			m, err := conn.Recv(env)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			m.Type = TRegisterOK
+			if err := conn.Send(env, m); err != nil {
+				t.Error(err)
+			}
+		})
+		conn, err := n.Dial(env, "storage")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := conn.Send(env, sampleMsg()); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := conn.Recv(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Type != TRegisterOK || resp.Model != "bert-large" {
+			t.Fatalf("resp = %+v", resp)
+		}
+	})
+	eng.Run()
+}
+
+func TestSimNetLatencyCharged(t *testing.T) {
+	eng := sim.NewEngine()
+	var sendTime int64
+	eng.Go("test", func(env sim.Env) {
+		n := NewSimNet()
+		l, err := n.Listen(env, "s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.Go("server", func(env sim.Env) {
+			conn, _ := l.Accept(env)
+			conn.Recv(env)
+		})
+		conn, err := n.Dial(env, "s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := env.Now()
+		if err := conn.Send(env, sampleMsg()); err != nil {
+			t.Fatal(err)
+		}
+		sendTime = int64(env.Now() - start)
+	})
+	eng.Run()
+	if sendTime == 0 {
+		t.Fatal("control-plane send charged no virtual time")
+	}
+}
+
+func TestSimNetDuplicateBindFails(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		n := NewSimNet()
+		if _, err := n.Listen(env, "x"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.Listen(env, "x"); err == nil {
+			t.Error("duplicate bind succeeded")
+		}
+		if _, err := n.Dial(env, "nowhere"); err == nil {
+			t.Error("dial to unbound name succeeded")
+		}
+	})
+	eng.Run()
+}
+
+func TestSimConnClosedSendFails(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		n := NewSimNet()
+		l, _ := n.Listen(env, "s")
+		env.Go("server", func(env sim.Env) { l.Accept(env) })
+		conn, _ := n.Dial(env, "s")
+		conn.Close()
+		if err := conn.Send(env, sampleMsg()); err != ErrClosed {
+			t.Errorf("send after close = %v, want ErrClosed", err)
+		}
+	})
+	eng.Run()
+}
+
+func TestNetConnGobRoundTrip(t *testing.T) {
+	env := sim.NewRealEnv()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan *Msg, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		nc := NewNetConn(c)
+		m, err := nc.Recv(env)
+		if err != nil {
+			return
+		}
+		done <- m
+		nc.Send(env, &Msg{Type: TRegisterOK, Model: m.Model})
+	}()
+	sock, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := NewNetConn(sock)
+	want := sampleMsg()
+	if err := nc.Send(env, want); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("gob round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	resp, err := nc.Recv(env)
+	if err != nil || resp.Type != TRegisterOK {
+		t.Fatalf("resp = %+v, %v", resp, err)
+	}
+	nc.Close()
+}
+
+func TestTypeNames(t *testing.T) {
+	for ty, want := range map[Type]string{
+		TRegister: "REGISTER", TDoCheckpoint: "DO_CHECKPOINT",
+		TCheckpointDone: "CHECKPOINT_DONE", TRestore: "RESTORE",
+		TError: "ERROR",
+	} {
+		if ty.String() != want {
+			t.Errorf("%d.String() = %q, want %q", ty, ty.String(), want)
+		}
+	}
+	if Type(200).String() == "" {
+		t.Error("unknown type has empty name")
+	}
+}
+
+func TestApproxSizeGrowsWithContent(t *testing.T) {
+	small := (&Msg{Type: TList}).approxSize()
+	big := sampleMsg().approxSize()
+	if big <= small {
+		t.Fatalf("approxSize: big %d <= small %d", big, small)
+	}
+}

@@ -1,0 +1,386 @@
+// Package portus is an open reproduction of "Portus: Efficient DNN
+// Checkpointing to Persistent Memory with Zero-Copy" (ICDCS 2024): a
+// checkpointing system that moves DNN model state between GPU memory and
+// persistent memory with one-sided RDMA — no serialization, no
+// intermediate copies, no kernel crossings — behind a three-level
+// persistent index with double-mapped version slots for crash
+// consistency.
+//
+// Because the paper's hardware (GPUDirect-capable GPUs, Intel Optane DC
+// PMem, InfiniBand RNICs) has no Go ecosystem, the substrates are
+// simulated but real: devices hold actual content (bytes or content
+// fingerprints), the RDMA fabric has two interchangeable
+// implementations (an in-process virtual-time fabric for deterministic
+// experiments and a TCP soft-RDMA fabric for genuinely distributed
+// deployments), and the persistent-memory device enforces
+// flush-or-lose crash semantics.
+//
+// Two entry points:
+//
+//   - Server and Job run the system over real TCP sockets — the
+//     portusd / portus-train / portusctl executables are thin wrappers.
+//   - Testbed wires the paper's evaluation cluster under the
+//     discrete-event engine for deterministic experiments; package-level
+//     aliases re-export the model zoo, Megatron partitioning, and the
+//     training-loop simulator.
+package portus
+
+import (
+	"fmt"
+	"net"
+
+	"github.com/portus-sys/portus/internal/client"
+	"github.com/portus-sys/portus/internal/cluster"
+	"github.com/portus-sys/portus/internal/daemon"
+	"github.com/portus-sys/portus/internal/gpu"
+	"github.com/portus-sys/portus/internal/index"
+	"github.com/portus-sys/portus/internal/model"
+	"github.com/portus-sys/portus/internal/parallel"
+	"github.com/portus-sys/portus/internal/pmem"
+	"github.com/portus-sys/portus/internal/rdma"
+	"github.com/portus-sys/portus/internal/sim"
+	"github.com/portus-sys/portus/internal/train"
+	"github.com/portus-sys/portus/internal/wire"
+)
+
+// Env is the execution environment: virtual time under the simulation
+// engine, wall-clock time otherwise.
+type Env = sim.Env
+
+// NewRealEnv returns the wall-clock environment used by TCP deployments.
+func NewRealEnv() *sim.RealEnv { return sim.NewRealEnv() }
+
+// NewSimulation returns a fresh discrete-event engine. Spawn processes
+// with Engine.Go and drive them with Engine.Run.
+func NewSimulation() *sim.Engine { return sim.NewEngine() }
+
+// Model-zoo re-exports.
+type (
+	// Spec describes one trainable model.
+	Spec = model.Spec
+	// TensorMeta describes one tensor.
+	TensorMeta = index.TensorMeta
+	// Shard is one Megatron partition of a model.
+	Shard = parallel.Shard
+)
+
+// Zoo returns the full 76-model evaluation set.
+func Zoo() []Spec { return model.Zoo() }
+
+// TableII returns the paper's seven representative models.
+func TableII() []Spec { return model.TableII() }
+
+// GPTFamily returns GPT at 1.5B, 5B, 10B, and 22.4B parameters.
+func GPTFamily() []Spec { return model.GPTFamily() }
+
+// ModelByName resolves a zoo or GPT model by name.
+func ModelByName(name string) (Spec, error) { return model.ByName(name) }
+
+// Partition splits a model Megatron-style over tensor-parallel ranks and
+// pipeline stages.
+func Partition(spec Spec, tpSize, ppSize int) ([]Shard, error) {
+	return parallel.Partition(spec, tpSize, ppSize)
+}
+
+// Training-loop re-exports.
+type (
+	// Checkpointer is the policy interface the training loop drives.
+	Checkpointer = train.Checkpointer
+	// TrainConfig configures one training run.
+	TrainConfig = train.Config
+	// TrainResult summarizes a run.
+	TrainResult = train.Result
+)
+
+// Train runs a simulated training loop under env.
+func Train(env Env, cfg TrainConfig) (TrainResult, error) { return train.Run(env, cfg) }
+
+// NewFleet groups per-shard checkpointers into one model-parallel
+// policy.
+func NewFleet(label string, members []Checkpointer) Checkpointer {
+	return train.NewFleet(label, members)
+}
+
+// ServerConfig sizes a TCP-mode Portus server.
+type ServerConfig struct {
+	// PMemBytes is the devdax data-zone capacity (default 4 GiB).
+	PMemBytes int64
+	// MetaBytes is the metadata-zone capacity (default 64 MiB).
+	MetaBytes int64
+	// Materialized stores real checkpoint bytes (true) or content
+	// fingerprints (false). Default false.
+	Materialized bool
+	// Workers sizes the daemon thread pool.
+	Workers int
+	// CtrlAddr and FabricAddr bind the control and data listeners
+	// (empty = ephemeral loopback ports).
+	CtrlAddr   string
+	FabricAddr string
+	// ImagePath, when set, loads an existing namespace image at startup
+	// (SaveImage persists one).
+	ImagePath string
+}
+
+// Server is a running Portus storage server over TCP.
+type Server struct {
+	env    *sim.RealEnv
+	fabric *rdma.TCPFabric
+	node   *rdma.Node
+	pm     *pmem.Device
+	d      *daemon.Daemon
+	ln     net.Listener
+
+	// CtrlAddr and FabricAddr are the bound listener addresses.
+	CtrlAddr   string
+	FabricAddr string
+}
+
+// NewServer builds and starts a server: PMem namespace (fresh or from an
+// image), soft-RDMA agent, daemon worker pool, and control listener.
+// Call Serve to start accepting clients.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.PMemBytes == 0 {
+		cfg.PMemBytes = 4 << 30
+	}
+	if cfg.MetaBytes == 0 {
+		cfg.MetaBytes = 64 << 20
+	}
+	env := sim.NewRealEnv()
+	var pm *pmem.Device
+	if cfg.ImagePath != "" {
+		var err error
+		pm, err = pmem.LoadImageFile("pmem0", cfg.ImagePath)
+		if err != nil {
+			return nil, fmt.Errorf("portus: loading namespace image: %w", err)
+		}
+	} else {
+		pm = pmem.New(pmem.Config{
+			Name:         "pmem0",
+			DataSize:     cfg.PMemBytes,
+			MetaSize:     cfg.MetaBytes,
+			Materialized: cfg.Materialized,
+			Mode:         pmem.Devdax,
+		})
+	}
+	fabric := rdma.NewTCPFabric(env)
+	node := rdma.NewNode(env, "storage")
+	fabricAddr, err := fabric.Serve(node, cfg.FabricAddr)
+	if err != nil {
+		return nil, fmt.Errorf("portus: starting fabric agent: %w", err)
+	}
+	d, err := daemon.New(env, daemon.Config{
+		PMem: pm, RNode: node, Fabric: fabric, Workers: cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctrlAddr := cfg.CtrlAddr
+	if ctrlAddr == "" {
+		ctrlAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", ctrlAddr)
+	if err != nil {
+		fabric.Close()
+		return nil, fmt.Errorf("portus: control listener: %w", err)
+	}
+	return &Server{
+		env: env, fabric: fabric, node: node, pm: pm, d: d, ln: ln,
+		CtrlAddr: ln.Addr().String(), FabricAddr: fabricAddr,
+	}, nil
+}
+
+// Serve accepts client connections until Close. It blocks; run it on its
+// own goroutine when embedding.
+func (s *Server) Serve() { s.d.Serve(s.env, wire.NetListener{L: s.ln}) }
+
+// Daemon exposes the underlying daemon (stats, store).
+func (s *Server) Daemon() *daemon.Daemon { return s.d }
+
+// PMem exposes the namespace (for image persistence).
+func (s *Server) PMem() *pmem.Device { return s.pm }
+
+// SaveImage persists the namespace's durable state to path.
+func (s *Server) SaveImage(path string) error { return s.pm.SaveImageFile(path) }
+
+// Close stops the listeners.
+func (s *Server) Close() {
+	s.ln.Close()
+	s.fabric.Close()
+}
+
+// JobConfig connects a training job to a server.
+type JobConfig struct {
+	// ServerCtrlAddr and ServerFabricAddr are the server's two bound
+	// addresses.
+	ServerCtrlAddr   string
+	ServerFabricAddr string
+	// NodeName identifies this client on the fabric (default "client0").
+	NodeName string
+	// GPUMemBytes sizes the simulated GPU (default 4 GiB).
+	GPUMemBytes int64
+	// Materialized must match the server's setting.
+	Materialized bool
+}
+
+// Job is a training process connected to a Portus server.
+type Job struct {
+	env    *sim.RealEnv
+	fabric *rdma.TCPFabric
+	node   *rdma.Node
+	gpu    *gpu.GPU
+	cfg    JobConfig
+}
+
+// NewJob sets up the client side: a simulated GPU, a fabric agent, and
+// the node identity.
+func NewJob(cfg JobConfig) (*Job, error) {
+	if cfg.NodeName == "" {
+		cfg.NodeName = "client0"
+	}
+	if cfg.GPUMemBytes == 0 {
+		cfg.GPUMemBytes = 4 << 30
+	}
+	env := sim.NewRealEnv()
+	fabric := rdma.NewTCPFabric(env)
+	node := rdma.NewNode(env, cfg.NodeName)
+	if _, err := fabric.Serve(node, ""); err != nil {
+		return nil, fmt.Errorf("portus: client fabric agent: %w", err)
+	}
+	fabric.AddPeer("storage", cfg.ServerFabricAddr)
+	return &Job{
+		env:    env,
+		fabric: fabric,
+		node:   node,
+		gpu:    gpu.New(cfg.NodeName+"/gpu0", cfg.GPUMemBytes, cfg.Materialized),
+		cfg:    cfg,
+	}, nil
+}
+
+// Env returns the job's environment.
+func (j *Job) Env() Env { return j.env }
+
+// GPU returns the job's device.
+func (j *Job) GPU() *gpu.GPU { return j.gpu }
+
+// Close tears down the job's fabric agent.
+func (j *Job) Close() { j.fabric.Close() }
+
+// RegisterModel places spec's tensors on the job's GPU, fills
+// iteration-0 weights, and registers the model with the server. The
+// returned Model is ready to checkpoint.
+func (j *Job) RegisterModel(spec Spec) (*Model, error) {
+	placed, err := gpu.Place(j.gpu, spec)
+	if err != nil {
+		return nil, err
+	}
+	sock, err := net.Dial("tcp", j.cfg.ServerCtrlAddr)
+	if err != nil {
+		return nil, fmt.Errorf("portus: dialing server: %w", err)
+	}
+	fabricAddr := ""
+	if addr, ok := j.fabricSelfAddr(); ok {
+		fabricAddr = addr
+	}
+	c, err := client.RegisterOpts(j.env, wire.NewNetConn(sock), j.node, placed,
+		client.Options{FabricAddr: fabricAddr})
+	if err != nil {
+		return nil, err
+	}
+	return &Model{placed: placed, c: c}, nil
+}
+
+// fabricSelfAddr looks up this job's agent address.
+func (j *Job) fabricSelfAddr() (string, bool) {
+	return j.fabric.PeerAddr(j.node.Name())
+}
+
+// Model is a registered model handle. Blocking methods take the calling
+// process's Env: under the simulation engine every process has its own
+// environment, and using another process's would corrupt scheduling.
+type Model struct {
+	placed *gpu.PlacedModel
+	c      *client.Client
+}
+
+// Placed exposes tensor placement (for tests and weight updates).
+func (m *Model) Placed() *gpu.PlacedModel { return m.placed }
+
+// ApplyUpdate simulates one optimizer step: the GPU-resident weights
+// become iteration's deterministic content.
+func (m *Model) ApplyUpdate(iteration uint64) { m.placed.ApplyUpdate(iteration) }
+
+// Checkpoint persists the current weights synchronously.
+func (m *Model) Checkpoint(env Env, iteration uint64) error {
+	return m.c.CheckpointSync(env, iteration)
+}
+
+// CheckpointAsync triggers a pull without waiting.
+func (m *Model) CheckpointAsync(env Env, iteration uint64) (*client.Completion, error) {
+	return m.c.CheckpointAsync(env, iteration)
+}
+
+// Restore writes the newest complete checkpoint back into GPU memory and
+// returns its iteration.
+func (m *Model) Restore(env Env) (uint64, error) { return m.c.Restore(env) }
+
+// SyncPolicy returns this model's synchronous checkpoint policy for the
+// training loop.
+func (m *Model) SyncPolicy() Checkpointer { return &client.Sync{C: m.c} }
+
+// AsyncPolicy returns the asynchronous policy (Figure 9(d)).
+func (m *Model) AsyncPolicy() Checkpointer { return &client.Async{C: m.c} }
+
+// Close tears down the control connection.
+func (m *Model) Close() error { return m.c.Close() }
+
+// Testbed wires the paper's evaluation cluster under the simulation
+// engine: compute nodes with GPUs, the PMem storage node, a running
+// daemon, and the control network. Create one inside a simulation
+// process (Engine.Go).
+type Testbed struct {
+	Cluster *cluster.Cluster
+	Daemon  *daemon.Daemon
+	net     *wire.SimNet
+}
+
+// TestbedConfig re-exports the cluster configuration.
+type TestbedConfig = cluster.Config
+
+// NewTestbed builds the simulated cluster plus a served daemon.
+func NewTestbed(env Env, cfg TestbedConfig) (*Testbed, error) {
+	cl, err := cluster.New(env, cfg)
+	if err != nil {
+		return nil, err
+	}
+	d, err := daemon.New(env, daemon.Config{
+		PMem: cl.Storage.PMem, RNode: cl.Storage.RNode, Fabric: cl.Fabric,
+	})
+	if err != nil {
+		return nil, err
+	}
+	net := wire.NewSimNet()
+	l, err := net.Listen(env, "storage")
+	if err != nil {
+		return nil, err
+	}
+	env.Go("portusd", func(env Env) { d.Serve(env, l) })
+	return &Testbed{Cluster: cl, Daemon: d, net: net}, nil
+}
+
+// PlaceModel puts spec on (node, gpu), registers it with the daemon, and
+// returns the model handle.
+func (tb *Testbed) PlaceModel(env Env, node, gpuIdx int, spec Spec) (*Model, error) {
+	placed, err := gpu.Place(tb.Cluster.GPU(node, gpuIdx), spec)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := tb.net.Dial(env, "storage")
+	if err != nil {
+		return nil, err
+	}
+	c, err := client.Register(env, conn, tb.Cluster.Compute[node].RNode, placed)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{placed: placed, c: c}, nil
+}

@@ -1,0 +1,251 @@
+package portus_test
+
+import (
+	"testing"
+
+	portus "github.com/portus-sys/portus"
+)
+
+func smallSpec(t *testing.T) portus.Spec {
+	t.Helper()
+	spec, err := portus.ModelByName("squeezenet1_0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestServerJobRoundTrip drives the whole public TCP API: server up,
+// job connects, checkpoint, restore, verify content, shut down.
+func TestServerJobRoundTrip(t *testing.T) {
+	srv, err := portus.NewServer(portus.ServerConfig{
+		PMemBytes: 64 << 20, MetaBytes: 16 << 20, Materialized: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go srv.Serve()
+
+	job, err := portus.NewJob(portus.JobConfig{
+		ServerCtrlAddr:   srv.CtrlAddr,
+		ServerFabricAddr: srv.FabricAddr,
+		GPUMemBytes:      32 << 20,
+		Materialized:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Close()
+
+	m, err := job.RegisterModel(smallSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	m.ApplyUpdate(12)
+	if err := m.Checkpoint(job.Env(), 12); err != nil {
+		t.Fatal(err)
+	}
+	m.ApplyUpdate(13)
+	iter, err := m.Restore(job.Env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iter != 12 {
+		t.Fatalf("restored iteration %d, want 12", iter)
+	}
+	if bad := m.Placed().VerifyIteration(12); bad != -1 {
+		t.Fatalf("tensor %d wrong after restore through public API", bad)
+	}
+	if st := srv.Daemon().Stats(); st.Checkpoints != 1 || st.Restores != 1 {
+		t.Fatalf("server stats = %+v", st)
+	}
+}
+
+// TestServerImagePersistence checkpoints through one server, saves the
+// namespace image, and restores through a brand-new server process
+// loading that image.
+func TestServerImagePersistence(t *testing.T) {
+	img := t.TempDir() + "/ns.img"
+	spec := smallSpec(t)
+
+	srv, err := portus.NewServer(portus.ServerConfig{
+		PMemBytes: 64 << 20, MetaBytes: 16 << 20, Materialized: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	job, err := portus.NewJob(portus.JobConfig{
+		ServerCtrlAddr: srv.CtrlAddr, ServerFabricAddr: srv.FabricAddr,
+		GPUMemBytes: 32 << 20, Materialized: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := job.RegisterModel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ApplyUpdate(7)
+	if err := m.Checkpoint(job.Env(), 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SaveImage(img); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	job.Close()
+	srv.Close()
+
+	srv2, err := portus.NewServer(portus.ServerConfig{ImagePath: img})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	go srv2.Serve()
+	job2, err := portus.NewJob(portus.JobConfig{
+		ServerCtrlAddr: srv2.CtrlAddr, ServerFabricAddr: srv2.FabricAddr,
+		GPUMemBytes: 32 << 20, Materialized: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job2.Close()
+	m2, err := job2.RegisterModel(spec) // re-register same structure
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	iter, err := m2.Restore(job2.Env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iter != 7 {
+		t.Fatalf("restored %d from image, want 7", iter)
+	}
+	if bad := m2.Placed().VerifyIteration(7); bad != -1 {
+		t.Fatalf("tensor %d wrong after image round trip", bad)
+	}
+}
+
+// TestTestbedSimulation drives the public simulation API: testbed,
+// model, training loop with the async policy.
+func TestTestbedSimulation(t *testing.T) {
+	eng := portus.NewSimulation()
+	var res portus.TrainResult
+	eng.Go("experiment", func(env portus.Env) {
+		tb, err := portus.NewTestbed(env, portus.TestbedConfig{
+			ComputeNodes: 1, GPUsPerNode: 1,
+			GPUMemBytes: 8 << 30, PMemBytes: 16 << 30,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := portus.TableII()[2] // resnet50
+		m, err := tb.PlaceModel(env, 0, 0, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err = portus.Train(env, portus.TrainConfig{
+			Spec:       spec,
+			Policy:     m.AsyncPolicy(),
+			Interval:   10,
+			Iterations: 50,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	eng.Run()
+	if res.Checkpoints != 5 {
+		t.Fatalf("checkpoints = %d, want 5", res.Checkpoints)
+	}
+	if res.GPUUtilization() < 0.9 {
+		t.Fatalf("async utilization = %.3f, want >0.9 for resnet50 at interval 10", res.GPUUtilization())
+	}
+	if res.Elapsed <= 0 || res.Throughput() <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+}
+
+// TestPartitionPublicAPI sanity-checks the Megatron re-export.
+func TestPartitionPublicAPI(t *testing.T) {
+	shards, err := portus.Partition(portus.GPTFamily()[0], 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 8 {
+		t.Fatalf("got %d shards", len(shards))
+	}
+	var total int64
+	for _, s := range shards {
+		total += s.Spec.TotalSize()
+	}
+	if total != portus.GPTFamily()[0].TotalSize() {
+		t.Fatal("partition does not conserve bytes")
+	}
+}
+
+// TestFleetPublicAPI exercises NewFleet with two sync members on a
+// testbed.
+func TestFleetPublicAPI(t *testing.T) {
+	eng := portus.NewSimulation()
+	eng.Go("experiment", func(env portus.Env) {
+		tb, err := portus.NewTestbed(env, portus.TestbedConfig{
+			ComputeNodes: 1, GPUsPerNode: 2,
+			GPUMemBytes: 8 << 30, PMemBytes: 16 << 30,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := portus.TableII()[0]
+		shards, err := portus.Partition(spec, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var members []portus.Checkpointer
+		for i, sh := range shards {
+			m, err := tb.PlaceModel(env, 0, i, sh.Spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			members = append(members, m.SyncPolicy())
+		}
+		fleet := portus.NewFleet("portus-sync", members)
+		res, err := portus.Train(env, portus.TrainConfig{
+			Spec:       spec,
+			Policy:     fleet,
+			Interval:   5,
+			Iterations: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Checkpoints != 2 {
+			t.Fatalf("fleet checkpoints = %d", res.Checkpoints)
+		}
+		if tb.Daemon.Stats().Checkpoints != 4 { // 2 checkpoints x 2 shards
+			t.Fatalf("daemon saw %d shard checkpoints", tb.Daemon.Stats().Checkpoints)
+		}
+	})
+	eng.Run()
+}
+
+// TestZooAccessors covers the zoo re-exports.
+func TestZooAccessors(t *testing.T) {
+	if len(portus.Zoo()) != 76 {
+		t.Fatalf("Zoo() = %d models", len(portus.Zoo()))
+	}
+	if len(portus.TableII()) != 7 || len(portus.GPTFamily()) != 4 {
+		t.Fatal("headline sets wrong")
+	}
+	if _, err := portus.ModelByName("definitely-not-a-model"); err == nil {
+		t.Fatal("bogus model resolved")
+	}
+	if portus.TableII()[6].IterTime <= 0 {
+		t.Fatal("calibrated iteration time missing")
+	}
+}
