@@ -1,0 +1,24 @@
+# Pre-PR gate: run `make check` before sending changes for review.
+GO ?= go
+
+.PHONY: check build test race vet fmt
+
+check: fmt vet race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi

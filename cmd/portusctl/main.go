@@ -14,13 +14,21 @@
 //	portusctl -addr 127.0.0.1:7470 list
 //	portusctl -addr 127.0.0.1:7470 dump MODEL out.ckpt
 //	portusctl -addr 127.0.0.1:7470 delete MODEL
+//
+// Observability (against portusd -admin):
+//
+//	portusctl -admin 127.0.0.1:7472 stats
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
+	"sort"
+	"strings"
+	"time"
 
 	"github.com/portus-sys/portus/internal/index"
 	"github.com/portus-sys/portus/internal/metrics"
@@ -28,6 +36,7 @@ import (
 	"github.com/portus-sys/portus/internal/repack"
 	"github.com/portus-sys/portus/internal/serialize"
 	"github.com/portus-sys/portus/internal/sim"
+	"github.com/portus-sys/portus/internal/telemetry"
 	"github.com/portus-sys/portus/internal/wire"
 )
 
@@ -35,27 +44,126 @@ func main() {
 	var (
 		image = flag.String("image", "", "namespace image path (offline mode)")
 		addr  = flag.String("addr", "", "daemon control address (online mode)")
+		admin = flag.String("admin", "", "daemon admin HTTP address (stats mode)")
 	)
 	flag.Parse()
-	if err := run(*image, *addr, flag.Args()); err != nil {
+	if err := run(*image, *addr, *admin, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "portusctl: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(image, addr string, args []string) error {
+func run(image, addr, admin string, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: portusctl [-image FILE | -addr HOST:PORT] view|inspect|dump|repack|list|delete ...")
+		return fmt.Errorf("usage: portusctl [-image FILE | -addr HOST:PORT | -admin HOST:PORT] view|inspect|dump|repack|list|delete|stats ...")
 	}
 	switch {
 	case image != "":
 		return runOffline(image, args)
+	case admin != "":
+		return runAdmin(admin, args)
 	case addr != "":
 		return runOnline(addr, args)
 	default:
-		return fmt.Errorf("one of -image or -addr is required")
+		return fmt.Errorf("one of -image, -addr, or -admin is required")
 	}
 }
+
+// runAdmin talks to the daemon's admin HTTP endpoint.
+func runAdmin(admin string, args []string) error {
+	if args[0] != "stats" {
+		return fmt.Errorf("unknown admin command %q (want stats)", args[0])
+	}
+	resp, err := http.Get("http://" + admin + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("admin endpoint: HTTP %d", resp.StatusCode)
+	}
+	samples, err := telemetry.ParseText(resp.Body)
+	if err != nil {
+		return fmt.Errorf("parsing /metrics: %w", err)
+	}
+	renderStats(samples)
+	return nil
+}
+
+// renderStats prints the daemon counters plus latency quantiles from
+// the scraped histograms.
+func renderStats(samples []telemetry.Sample) {
+	value := func(name string) float64 {
+		for _, s := range samples {
+			if s.Name == name && len(s.Labels) == 0 {
+				return s.Value
+			}
+		}
+		return 0
+	}
+	fmt.Println("DAEMON")
+	rows := []struct{ label, name string }{
+		{"registered models", "portus_daemon_registered_total"},
+		{"checkpoints", "portus_daemon_checkpoints_total"},
+		{"restores", "portus_daemon_restores_total"},
+		{"errors", "portus_daemon_errors_total"},
+		{"queue depth", "portus_daemon_queue_depth"},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-22s %12.0f\n", r.label, value(r.name))
+	}
+	fmt.Printf("  %-22s %12s\n", "bytes pulled", metrics.FormatBytes(int64(value("portus_daemon_bytes_pulled_total"))))
+	fmt.Printf("  %-22s %12s\n", "bytes pushed", metrics.FormatBytes(int64(value("portus_daemon_bytes_pushed_total"))))
+	for _, r := range []struct{ label, name string }{
+		{"pull time (cum)", "portus_daemon_pull_seconds_total"},
+		{"flush time (cum)", "portus_daemon_flush_seconds_total"},
+		{"push time (cum)", "portus_daemon_push_seconds_total"},
+	} {
+		fmt.Printf("  %-22s %12s\n", r.label, metrics.FormatDuration(secs(value(r.name))))
+	}
+
+	fmt.Println("\nLATENCY (from histograms)")
+	fmt.Printf("  %-34s %10s %10s %10s %8s\n", "HISTOGRAM", "p50", "p99", "mean", "count")
+	hists := histogramNames(samples)
+	for _, name := range hists {
+		p50, _ := telemetry.HistogramQuantile(samples, name, 0.50)
+		p99, ok := telemetry.HistogramQuantile(samples, name, 0.99)
+		if !ok {
+			continue
+		}
+		count := value(name + "_count")
+		mean := 0.0
+		if count > 0 {
+			mean = value(name+"_sum") / count
+		}
+		fmt.Printf("  %-34s %10s %10s %10s %8.0f\n",
+			strings.TrimPrefix(name, "portus_"),
+			metrics.FormatDuration(secs(p50)), metrics.FormatDuration(secs(p99)),
+			metrics.FormatDuration(secs(mean)), count)
+	}
+
+	fmt.Println("\nPMEM")
+	fmt.Printf("  %-22s %12.0f\n", "flush ops", value("portus_pmem_flush_ops_total"))
+	fmt.Printf("  %-22s %12s\n", "flush bytes", metrics.FormatBytes(int64(value("portus_pmem_flush_bytes_total"))))
+}
+
+// histogramNames finds the unlabeled histogram families in a scrape.
+func histogramNames(samples []telemetry.Sample) []string {
+	seen := map[string]bool{}
+	for _, s := range samples {
+		if strings.HasSuffix(s.Name, "_bucket") && len(s.Labels) == 1 { // only le
+			seen[strings.TrimSuffix(s.Name, "_bucket")] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func secs(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }
 
 // runOffline operates on a namespace image directly, exactly as the
 // paper's tool reads a PMem device (§IV-b).

@@ -5,7 +5,13 @@
 //
 // Example:
 //
-//	portusd -ctrl :7470 -fabric :7471 -pmem-gib 8 -image /var/lib/portus/ns.img
+//	portusd -ctrl :7470 -fabric :7471 -admin :7472 -pmem-gib 8 -image /var/lib/portus/ns.img
+//
+// With -admin set, an HTTP listener serves /metrics (Prometheus text
+// format), /debug/traces (JSON span trees of recent checkpoints), and
+// /healthz; portusctl stats renders the same data as a table. With
+// -verbose, every completed checkpoint/restore logs a one-line summary
+// sourced from the trace ring buffer.
 //
 // On SIGINT/SIGTERM the daemon persists the namespace image (when -image
 // is set) and exits.
@@ -20,6 +26,8 @@ import (
 	"syscall"
 
 	portus "github.com/portus-sys/portus"
+	"github.com/portus-sys/portus/internal/metrics"
+	"github.com/portus-sys/portus/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +39,8 @@ func main() {
 		workers      = flag.Int("workers", 8, "daemon thread-pool width")
 		materialized = flag.Bool("materialized", false, "store real checkpoint bytes instead of content fingerprints")
 		image        = flag.String("image", "", "namespace image path: loaded at startup if present, saved at shutdown")
+		admin        = flag.String("admin", "", "admin HTTP listen address serving /metrics, /debug/traces, /healthz (empty = disabled)")
+		verbose      = flag.Bool("verbose", false, "log a one-line summary for every completed checkpoint and restore")
 	)
 	flag.Parse()
 
@@ -41,6 +51,7 @@ func main() {
 		Materialized: *materialized,
 		CtrlAddr:     *ctrl,
 		FabricAddr:   *fabric,
+		AdminAddr:    *admin,
 	}
 	if *image != "" {
 		if _, err := os.Stat(*image); err == nil {
@@ -53,9 +64,15 @@ func main() {
 	}
 	fmt.Printf("portusd: control %s, fabric %s, pmem %d GiB (%s)\n",
 		srv.CtrlAddr, srv.FabricAddr, *pmemGiB, map[bool]string{true: "materialized", false: "virtual"}[*materialized])
+	if srv.AdminAddr != "" {
+		fmt.Printf("portusd: admin http://%s (/metrics, /debug/traces, /healthz)\n", srv.AdminAddr)
+	}
 	if cfg.ImagePath != "" {
 		fmt.Printf("portusd: restored namespace from %s (%d models)\n",
 			cfg.ImagePath, len(srv.Daemon().ModelNames()))
+	}
+	if *verbose {
+		srv.Traces().OnComplete(logTrace)
 	}
 
 	done := make(chan os.Signal, 1)
@@ -70,4 +87,30 @@ func main() {
 		fmt.Printf("portusd: namespace image saved to %s\n", *image)
 	}
 	srv.Close()
+}
+
+// logTrace prints the one-line per-operation summary behind -verbose,
+// sourced from the completed trace rather than ad-hoc prints on the
+// datapath.
+func logTrace(tr *telemetry.Trace) {
+	if tr.Err != "" {
+		log.Printf("%s model=%s iter=%d error=%q", tr.Kind, tr.Model, tr.Iteration, tr.Err)
+		return
+	}
+	stage := func(name string) string {
+		if sp := tr.Root.Find(name); sp != nil {
+			return metrics.FormatDuration(sp.Dur())
+		}
+		return "-"
+	}
+	switch tr.Kind {
+	case "checkpoint":
+		log.Printf("checkpoint model=%s iter=%d bytes=%s wait=%s pull=%s flush=%s total=%s",
+			tr.Model, tr.Iteration, metrics.FormatBytes(tr.Bytes),
+			stage("enqueue-wait"), stage("pull"), stage("flush"), metrics.FormatDuration(tr.Duration))
+	default:
+		log.Printf("%s model=%s iter=%d bytes=%s wait=%s push=%s total=%s",
+			tr.Kind, tr.Model, tr.Iteration, metrics.FormatBytes(tr.Bytes),
+			stage("enqueue-wait"), stage("push"), metrics.FormatDuration(tr.Duration))
+	}
 }

@@ -1,7 +1,10 @@
 package portus_test
 
 import (
+	"encoding/json"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -28,13 +31,16 @@ func TestBinariesEndToEnd(t *testing.T) {
 	}
 	ctrl := freeAddr(t)
 	fabric := freeAddr(t)
+	admin := freeAddr(t)
 	image := filepath.Join(t.TempDir(), "ns.img")
 
-	// Start the daemon.
+	// Start the daemon with the admin endpoint and verbose trace log.
 	daemon := exec.Command(filepath.Join(bin, "portusd"),
-		"-ctrl", ctrl, "-fabric", fabric, "-pmem-gib", "1", "-image", image)
-	daemon.Stdout = os.Stderr
-	daemon.Stderr = os.Stderr
+		"-ctrl", ctrl, "-fabric", fabric, "-admin", admin, "-verbose",
+		"-pmem-gib", "1", "-image", image)
+	dlog := &strings.Builder{}
+	daemon.Stdout = io.MultiWriter(os.Stderr, dlog)
+	daemon.Stderr = io.MultiWriter(os.Stderr, dlog)
 	if err := daemon.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -52,6 +58,46 @@ func TestBinariesEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "15 iterations") {
 		t.Fatalf("train output missing completion: %s", out)
+	}
+
+	// Admin endpoint: health, metrics exposition, trace span trees.
+	if body := adminGet(t, admin, "/healthz"); !strings.Contains(body, "ok") {
+		t.Fatalf("healthz = %q", body)
+	}
+	metricsBody := adminGet(t, admin, "/metrics")
+	for _, want := range []string{
+		"portus_daemon_checkpoints_total",
+		"portus_checkpoint_seconds_bucket",
+		"portus_rdma_bytes_total",
+		"portus_pmem_flush_ops_total",
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Fatalf("/metrics missing %s:\n%s", want, metricsBody)
+		}
+	}
+	tracesBody := adminGet(t, admin, "/debug/traces")
+	var traces []map[string]any
+	if err := json.Unmarshal([]byte(tracesBody), &traces); err != nil {
+		t.Fatalf("/debug/traces is not JSON: %v\n%s", err, tracesBody)
+	}
+	if len(traces) == 0 || traces[0]["kind"] != "checkpoint" {
+		t.Fatalf("/debug/traces has no checkpoint traces: %s", tracesBody)
+	}
+
+	// portusctl stats renders the scraped counters and quantiles.
+	stats, err := exec.Command(filepath.Join(bin, "portusctl"), "-admin", admin, "stats").CombinedOutput()
+	if err != nil {
+		t.Fatalf("portusctl stats: %v\n%s", err, stats)
+	}
+	for _, want := range []string{"checkpoints", "p50", "p99", "checkpoint_seconds"} {
+		if !strings.Contains(string(stats), want) {
+			t.Fatalf("stats output missing %q:\n%s", want, stats)
+		}
+	}
+
+	// The -verbose flag logged per-checkpoint summaries from the ring.
+	if !strings.Contains(dlog.String(), "checkpoint model=squeezenet1_0") {
+		t.Fatalf("daemon log missing verbose checkpoint line:\n%s", dlog.String())
 	}
 
 	// Live inspection.
@@ -133,6 +179,24 @@ func TestBinariesEndToEnd(t *testing.T) {
 	}
 	daemon2.Process.Signal(os.Interrupt)
 	daemon2.Wait()
+}
+
+// adminGet fetches a path from the daemon's admin endpoint.
+func adminGet(t *testing.T, admin, path string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + admin + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
 }
 
 // freeAddr grabs an unused loopback port.

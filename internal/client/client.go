@@ -28,6 +28,7 @@ import (
 	"github.com/portus-sys/portus/internal/perfmodel"
 	"github.com/portus-sys/portus/internal/rdma"
 	"github.com/portus-sys/portus/internal/sim"
+	"github.com/portus-sys/portus/internal/telemetry"
 	"github.com/portus-sys/portus/internal/wire"
 )
 
@@ -51,6 +52,13 @@ type Client struct {
 	// Stalled accumulates training time lost waiting for checkpoint
 	// completion (sync waits plus async update-phase stalls).
 	Stalled time.Duration
+
+	// Telemetry handles; nil (a no-op) unless Options.Telemetry was set.
+	ckpts      *telemetry.Counter
+	errs       *telemetry.Counter
+	syncLat    *telemetry.Histogram
+	ckptLat    *telemetry.Histogram
+	restoreLat *telemetry.Histogram
 }
 
 type pendingKey struct {
@@ -77,6 +85,9 @@ type Options struct {
 	// the registration packet so the daemon's fabric can reach the
 	// client's memory regions across processes (TCP deployments only).
 	FabricAddr string
+	// Telemetry, when set, receives client-side checkpoint/restore
+	// latency histograms and error counters labeled by model.
+	Telemetry *telemetry.Registry
 }
 
 // Register collects tensor pointers, registers each as an RDMA MR, and
@@ -93,6 +104,14 @@ func RegisterOpts(env sim.Env, conn wire.Conn, node *rdma.Node, m *gpu.PlacedMod
 		node:    node,
 		model:   m,
 		pending: make(map[pendingKey]*reply),
+	}
+	if reg := opts.Telemetry; reg != nil {
+		ml := telemetry.L("model", m.Spec.Name)
+		c.ckpts = reg.Counter("portus_client_checkpoints_total", "checkpoints completed by this client", ml)
+		c.errs = reg.Counter("portus_client_errors_total", "client-visible daemon/connection errors", ml)
+		c.syncLat = reg.Histogram("portus_client_checkpoint_sync_seconds", "blocking checkpoint latency as seen by training", nil, ml)
+		c.ckptLat = reg.Histogram("portus_client_checkpoint_seconds", "request-to-commit checkpoint latency (sync and async)", nil, ml)
+		c.restoreLat = reg.Histogram("portus_client_restore_seconds", "restore latency as seen by training", nil, ml)
 	}
 	// Queue-pair setup plus pinning the tensor address space for DMA —
 	// paid once per training job thanks to the pre-allocated version
@@ -220,6 +239,7 @@ func (c *Client) CheckpointSync(env sim.Env, iteration uint64) error {
 		return fmt.Errorf("client: checkpoint %d: %w", iteration, err)
 	}
 	c.Stalled += env.Now() - start
+	c.syncLat.ObserveDuration(env.Now() - start)
 	return nil
 }
 
@@ -228,16 +248,19 @@ func (c *Client) CheckpointSync(env sim.Env, iteration uint64) error {
 func (c *Client) CheckpointAsync(env sim.Env, iteration uint64) (*Completion, error) {
 	r := c.expect(env, wire.TCheckpointDone, iteration)
 	if err := c.conn.Send(env, &wire.Msg{Type: wire.TDoCheckpoint, Model: c.model.Spec.Name, Iteration: iteration}); err != nil {
+		c.errs.Inc()
 		return nil, fmt.Errorf("client: DO_CHECKPOINT: %w", err)
 	}
-	return &Completion{r: r}, nil
+	return &Completion{r: r, c: c, start: env.Now()}, nil
 }
 
 // Completion is an in-flight checkpoint handle.
 type Completion struct {
-	r   *reply
-	err error
-	ok  bool
+	r     *reply
+	c     *Client
+	start time.Duration
+	err   error
+	ok    bool
 }
 
 // Wait blocks until the checkpoint commits.
@@ -248,6 +271,14 @@ func (cp *Completion) Wait(env sim.Env) error {
 	_, err := cp.r.wait(env)
 	cp.ok = true
 	cp.err = err
+	if cp.c != nil {
+		if err != nil {
+			cp.c.errs.Inc()
+		} else {
+			cp.c.ckpts.Inc()
+			cp.c.ckptLat.ObserveDuration(env.Now() - cp.start)
+		}
+	}
 	return err
 }
 
@@ -260,15 +291,19 @@ func (cp *Completion) Done(env sim.Env) bool {
 // memory (the model object must already be placed, "empty"), blocking
 // until the write completes. It returns the restored iteration.
 func (c *Client) Restore(env sim.Env) (uint64, error) {
+	start := env.Now()
 	r := c.expect(env, wire.TRestoreDone, restoreKey)
 	if err := c.conn.Send(env, &wire.Msg{Type: wire.TRestore, Model: c.model.Spec.Name}); err != nil {
+		c.errs.Inc()
 		return 0, fmt.Errorf("client: RESTORE: %w", err)
 	}
 	msg, err := r.wait(env)
 	if err != nil {
+		c.errs.Inc()
 		return 0, fmt.Errorf("client: restore: %w", err)
 	}
 	c.model.Iteration = msg.Iteration
+	c.restoreLat.ObserveDuration(env.Now() - start)
 	return msg.Iteration, nil
 }
 

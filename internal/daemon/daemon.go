@@ -33,6 +33,7 @@ import (
 	"github.com/portus-sys/portus/internal/rdma"
 	"github.com/portus-sys/portus/internal/serialize"
 	"github.com/portus-sys/portus/internal/sim"
+	"github.com/portus-sys/portus/internal/telemetry"
 	"github.com/portus-sys/portus/internal/wire"
 )
 
@@ -51,18 +52,41 @@ type Config struct {
 	// StageThroughHost adds a host-DRAM staging hop on the storage node
 	// instead of the zero-copy pull (ablation only).
 	StageThroughHost bool
+	// Telemetry receives the daemon's counters, gauges, and latency
+	// histograms; nil creates a private registry (readable through
+	// Daemon.Telemetry).
+	Telemetry *telemetry.Registry
+	// TraceDepth sizes the ring buffer of completed checkpoint/restore
+	// traces; defaults to 64.
+	TraceDepth int
 }
 
-// Stats counts daemon work. PullTime and FlushTime give the cumulative
-// stage breakdown of the Portus datapath (Figure 13).
+// Stats is a consistent snapshot of the daemon's cumulative counters:
+//
+//   - Registered, Checkpoints, Restores count successfully completed
+//     registrations, committed checkpoint versions, and finished
+//     restores.
+//   - Errors counts every error the daemon has reported to a client
+//     (malformed requests, busy rejections, and datapath failures).
+//   - QueueDepth is the number of jobs currently enqueued for the
+//     worker pool but not yet picked up (an instantaneous gauge, not a
+//     cumulative count).
+//   - BytesPulled and BytesPushed total the checkpoint (GPU→PMem) and
+//     restore (PMem→GPU) data volumes.
+//   - PullTime, FlushTime, and PushTime give the cumulative stage
+//     breakdown of the datapath (Figure 13): one-sided READ pulls,
+//     PMem flushes, and restore-side one-sided WRITE pushes.
 type Stats struct {
 	Registered  int64
 	Checkpoints int64
 	Restores    int64
+	Errors      int64
+	QueueDepth  int64
 	BytesPulled int64
 	BytesPushed int64
 	PullTime    time.Duration
 	FlushTime   time.Duration
+	PushTime    time.Duration
 }
 
 // Daemon is a running Portus server.
@@ -80,14 +104,69 @@ type Daemon struct {
 		registered  atomic.Int64
 		checkpoints atomic.Int64
 		restores    atomic.Int64
+		errors      atomic.Int64
+		queueDepth  atomic.Int64
 		bytesPulled atomic.Int64
 		bytesPushed atomic.Int64
 		pullNanos   atomic.Int64
 		flushNanos  atomic.Int64
+		pushNanos   atomic.Int64
 	}
+
+	tel telem
 
 	// staging resources for the ablation path
 	hostStage *sim.BandwidthResource
+}
+
+// telem bundles the daemon's registered metric handles and the
+// completed-trace ring.
+type telem struct {
+	reg    *telemetry.Registry
+	traces *telemetry.TraceRing
+
+	registered, checkpoints, restores, errors *telemetry.Counter
+	bytesPulled, bytesPushed                  *telemetry.Counter
+	queueDepth                                *telemetry.Gauge
+
+	ckptLatency    *telemetry.Histogram // enqueue → commit, end to end
+	enqueueWait    *telemetry.Histogram
+	pullStage      *telemetry.Histogram
+	flushStage     *telemetry.Histogram
+	restoreLatency *telemetry.Histogram
+}
+
+func newTelem(reg *telemetry.Registry, traceDepth int, pm *pmem.Device) telem {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	if traceDepth == 0 {
+		traceDepth = 64
+	}
+	t := telem{
+		reg:         reg,
+		traces:      telemetry.NewTraceRing(traceDepth),
+		registered:  reg.Counter("portus_daemon_registered_total", "model registrations accepted"),
+		checkpoints: reg.Counter("portus_daemon_checkpoints_total", "checkpoint versions committed"),
+		restores:    reg.Counter("portus_daemon_restores_total", "restores completed"),
+		errors:      reg.Counter("portus_daemon_errors_total", "errors reported to clients"),
+		bytesPulled: reg.Counter("portus_daemon_bytes_pulled_total", "checkpoint bytes pulled from GPU memory"),
+		bytesPushed: reg.Counter("portus_daemon_bytes_pushed_total", "restore bytes pushed to GPU memory"),
+		queueDepth:  reg.Gauge("portus_daemon_queue_depth", "jobs enqueued but not yet picked up by a worker"),
+
+		ckptLatency:    reg.Histogram("portus_checkpoint_seconds", "end-to-end checkpoint latency (enqueue to commit)", nil),
+		enqueueWait:    reg.Histogram("portus_checkpoint_enqueue_wait_seconds", "time a checkpoint job waits for a worker", nil),
+		pullStage:      reg.Histogram("portus_checkpoint_pull_seconds", "one-sided RDMA pull stage duration", nil),
+		flushStage:     reg.Histogram("portus_checkpoint_flush_seconds", "PMem flush stage duration", nil),
+		restoreLatency: reg.Histogram("portus_restore_seconds", "end-to-end restore latency (enqueue to done)", nil),
+	}
+	reg.CounterFunc("portus_pmem_flush_ops_total", "data-zone flush operations",
+		func() float64 { return float64(pm.DataFlushOps()) })
+	reg.CounterFunc("portus_pmem_flush_bytes_total", "bytes covered by data-zone flushes",
+		func() float64 { return float64(pm.DataFlushBytes()) })
+	reg.CounterFunc("portus_pmem_meta_flush_ops_total", "metadata-zone flush operations (incl. version-flag commits)",
+		func() float64 { return float64(pm.MetaFlushOps()) })
+	return t
 }
 
 // session is the live state of one registered model: the client's GPU
@@ -107,10 +186,11 @@ const (
 )
 
 type job struct {
-	kind      jobKind
-	sess      *session
-	iteration uint64
-	conn      wire.Conn
+	kind       jobKind
+	sess       *session
+	iteration  uint64
+	conn       wire.Conn
+	enqueuedAt time.Duration // env.Now() when the job entered the queue
 }
 
 // New opens (or formats) the namespace and starts the worker pool.
@@ -134,7 +214,11 @@ func New(env sim.Env, cfg Config) (*Daemon, error) {
 		jobs:     sim.NewMailbox[*job](env),
 		modelMap: rbtree.New[string, int64](),
 		sessions: make(map[string]*session),
+		tel:      newTelem(cfg.Telemetry, cfg.TraceDepth, cfg.PMem),
 	}
+	// Route all data-plane verbs through the instrumented fabric so
+	// per-op bytes and latency land in the registry.
+	d.cfg.Fabric = rdma.Instrument("data", cfg.Fabric, d.tel.reg)
 	// Register the whole data zone once; verbs address TensorData by
 	// offset within it.
 	d.dataMR = cfg.RNode.RegisterMR(env, cfg.PMem.Data(), 0, cfg.PMem.DataSize())
@@ -149,6 +233,14 @@ func New(env sim.Env, cfg Config) (*Daemon, error) {
 	for _, m := range models {
 		d.modelMap.Put(m.Name, m.InfoOff())
 	}
+	// Cumulative stage times, sampled from the stats atomics at scrape
+	// time (the Figure 13 breakdown as counters).
+	d.tel.reg.CounterFunc("portus_daemon_pull_seconds_total", "cumulative RDMA pull stage time",
+		func() float64 { return time.Duration(d.stats.pullNanos.Load()).Seconds() })
+	d.tel.reg.CounterFunc("portus_daemon_flush_seconds_total", "cumulative PMem flush stage time",
+		func() float64 { return time.Duration(d.stats.flushNanos.Load()).Seconds() })
+	d.tel.reg.CounterFunc("portus_daemon_push_seconds_total", "cumulative restore push stage time",
+		func() float64 { return time.Duration(d.stats.pushNanos.Load()).Seconds() })
 	for w := 0; w < cfg.Workers; w++ {
 		env.Go(fmt.Sprintf("portusd-worker-%d", w), d.worker)
 	}
@@ -158,16 +250,28 @@ func New(env sim.Env, cfg Config) (*Daemon, error) {
 // Store exposes the persistent index (for portusctl and the repacker).
 func (d *Daemon) Store() *index.Store { return d.store }
 
-// Stats snapshots the daemon counters.
+// Telemetry exposes the daemon's metrics registry (served by the admin
+// endpoint's /metrics).
+func (d *Daemon) Telemetry() *telemetry.Registry { return d.tel.reg }
+
+// Traces exposes the ring of recently completed checkpoint/restore
+// traces (served by /debug/traces; portusd's -verbose log subscribes
+// via OnComplete).
+func (d *Daemon) Traces() *telemetry.TraceRing { return d.tel.traces }
+
+// Stats snapshots the daemon counters; see Stats for field semantics.
 func (d *Daemon) Stats() Stats {
 	return Stats{
 		Registered:  d.stats.registered.Load(),
 		Checkpoints: d.stats.checkpoints.Load(),
 		Restores:    d.stats.restores.Load(),
+		Errors:      d.stats.errors.Load(),
+		QueueDepth:  d.stats.queueDepth.Load(),
 		BytesPulled: d.stats.bytesPulled.Load(),
 		BytesPushed: d.stats.bytesPushed.Load(),
 		PullTime:    time.Duration(d.stats.pullNanos.Load()),
 		FlushTime:   time.Duration(d.stats.flushNanos.Load()),
+		PushTime:    time.Duration(d.stats.pushNanos.Load()),
 	}
 }
 
@@ -223,6 +327,8 @@ func (d *Daemon) sendErr(env sim.Env, conn wire.Conn, model, msg string) {
 // mean the client is gone; the connection loop observes it on the next
 // Recv.
 func (d *Daemon) sendErrFor(env sim.Env, conn wire.Conn, inReplyTo wire.Type, iter uint64, model, msg string) {
+	d.stats.errors.Add(1)
+	d.tel.errors.Inc()
 	_ = conn.Send(env, &wire.Msg{
 		Type: wire.TError, InReplyTo: inReplyTo, Iteration: iter, Model: model, Error: msg,
 	})
@@ -282,6 +388,7 @@ func (d *Daemon) handleRegister(env sim.Env, conn wire.Conn, m *wire.Msg) {
 	d.mu.Unlock()
 
 	d.stats.registered.Add(1)
+	d.tel.registered.Inc()
 	if err := conn.Send(env, &wire.Msg{Type: wire.TRegisterOK, Model: m.Model}); err != nil {
 		return
 	}
@@ -328,7 +435,9 @@ func (d *Daemon) enqueue(env sim.Env, conn wire.Conn, m *wire.Msg, kind jobKind)
 		d.sendErrFor(env, conn, m.Type, m.Iteration, m.Model, "operation already in flight for this model")
 		return
 	}
-	d.jobs.Send(env, &job{kind: kind, sess: sess, iteration: m.Iteration, conn: conn})
+	d.stats.queueDepth.Add(1)
+	d.tel.queueDepth.Inc()
+	d.jobs.Send(env, &job{kind: kind, sess: sess, iteration: m.Iteration, conn: conn, enqueuedAt: env.Now()})
 }
 
 // worker is one thread-pool member: it owns whole jobs, touching only
@@ -339,6 +448,8 @@ func (d *Daemon) worker(env sim.Env) {
 		if !ok {
 			return
 		}
+		d.stats.queueDepth.Add(-1)
+		d.tel.queueDepth.Dec()
 		switch j.kind {
 		case jobCheckpoint:
 			d.doCheckpoint(env, j)
@@ -350,37 +461,63 @@ func (d *Daemon) worker(env sim.Env) {
 }
 
 // doCheckpoint pulls the model from GPU memory into the target version
-// slot.
+// slot, building the span tree of the request lifecycle as it goes:
+// enqueue-wait, per-tensor pulls, flush, and the version-flag commit.
 func (d *Daemon) doCheckpoint(env sim.Env, j *job) {
 	m := j.sess.model
 	slot := m.TargetSlot()
 	m.SetActive(slot, j.iteration)
 
-	var pulled int64
+	tr := telemetry.NewTrace("checkpoint", m.Name, j.iteration, j.enqueuedAt)
 	t0 := env.Now()
+	wait := tr.Root.Child("enqueue-wait", j.enqueuedAt)
+	wait.EndAt(t0)
+
+	var pulled int64
+	pull := tr.Root.Child("pull", t0)
 	for i, tm := range m.Tensors {
 		ext := m.TensorData(i, slot)
+		sp := pull.Child("pull:"+tm.Name, env.Now())
 		env.Sleep(perfmodel.RDMAReadIssueCost)
 		if err := d.pullTensor(env, j.sess, i, ext); err != nil {
-			d.sendErrFor(env, j.conn, wire.TDoCheckpoint, j.iteration, m.Name,
-				fmt.Sprintf("pulling %s: %v", tm.Name, err))
+			tr.Err = fmt.Sprintf("pulling %s: %v", tm.Name, err)
+			tr.Finish(env.Now())
+			d.tel.traces.Add(tr)
+			d.sendErrFor(env, j.conn, wire.TDoCheckpoint, j.iteration, m.Name, tr.Err)
 			return
 		}
 		pulled += ext.Size
+		sp.SetAttr("bytes", fmt.Sprint(ext.Size))
+		sp.EndAt(env.Now())
 	}
 	t1 := env.Now()
+	pull.EndAt(t1)
 	// Flush TensorData, then commit the version flag.
+	flush := tr.Root.Child("flush", t1)
 	for i := range m.Tensors {
 		ext := m.TensorData(i, slot)
 		d.cfg.PMem.FlushData(ext.Off, ext.Size)
 	}
 	env.Sleep(flushCost(pulled))
+	t2 := env.Now()
+	flush.EndAt(t2)
 	d.stats.pullNanos.Add(int64(t1 - t0))
-	d.stats.flushNanos.Add(int64(env.Now() - t1))
+	d.stats.flushNanos.Add(int64(t2 - t1))
+	commit := tr.Root.Child("commit", t2)
 	m.SetDone(slot, j.iteration, time.Unix(0, int64(env.Now())))
+	commit.EndAt(env.Now())
 
 	d.stats.checkpoints.Add(1)
 	d.stats.bytesPulled.Add(pulled)
+	tr.Bytes = pulled
+	tr.Finish(env.Now())
+	d.tel.checkpoints.Inc()
+	d.tel.bytesPulled.Add(pulled)
+	d.tel.ckptLatency.ObserveDuration(tr.Duration)
+	d.tel.enqueueWait.ObserveDuration(wait.Dur())
+	d.tel.pullStage.ObserveDuration(pull.Dur())
+	d.tel.flushStage.ObserveDuration(flush.Dur())
+	d.tel.traces.Add(tr)
 	if err := j.conn.Send(env, &wire.Msg{
 		Type: wire.TCheckpointDone, Model: m.Name, Iteration: j.iteration, Slot: slot,
 	}); err != nil {
@@ -427,20 +564,40 @@ func (d *Daemon) doRestore(env sim.Env, j *job) {
 		d.sendErrFor(env, j.conn, wire.TRestore, 0, m.Name, "no complete checkpoint version on PMem")
 		return
 	}
+	tr := telemetry.NewTrace("restore", m.Name, v.Iteration, j.enqueuedAt)
+	t0 := env.Now()
+	wait := tr.Root.Child("enqueue-wait", j.enqueuedAt)
+	wait.EndAt(t0)
+	push := tr.Root.Child("push", t0)
 	var pushed int64
 	for i, tm := range m.Tensors {
 		ext := m.TensorData(i, slot)
+		sp := push.Child("push:"+tm.Name, env.Now())
 		env.Sleep(perfmodel.RDMAReadIssueCost)
 		local := rdma.Slice{MR: d.dataMR, Off: ext.Off, Len: ext.Size}
 		remote := rdma.RemoteSlice{MR: j.sess.mrs[i], Off: 0, Len: ext.Size}
 		if err := d.cfg.Fabric.Write(env, d.cfg.RNode, local, remote); err != nil {
-			d.sendErrFor(env, j.conn, wire.TRestore, 0, m.Name, fmt.Sprintf("restoring %s: %v", tm.Name, err))
+			tr.Err = fmt.Sprintf("restoring %s: %v", tm.Name, err)
+			tr.Finish(env.Now())
+			d.tel.traces.Add(tr)
+			d.sendErrFor(env, j.conn, wire.TRestore, 0, m.Name, tr.Err)
 			return
 		}
 		pushed += ext.Size
+		sp.SetAttr("bytes", fmt.Sprint(ext.Size))
+		sp.EndAt(env.Now())
 	}
+	push.EndAt(env.Now())
+	d.stats.pushNanos.Add(int64(push.Dur()))
 	d.stats.restores.Add(1)
 	d.stats.bytesPushed.Add(pushed)
+	tr.Bytes = pushed
+	tr.Finish(env.Now())
+	d.tel.restores.Inc()
+	d.tel.bytesPushed.Add(pushed)
+	d.tel.restoreLatency.ObserveDuration(tr.Duration)
+	d.tel.enqueueWait.ObserveDuration(wait.Dur())
+	d.tel.traces.Add(tr)
 	if err := j.conn.Send(env, &wire.Msg{
 		Type: wire.TRestoreDone, Model: m.Name, Iteration: v.Iteration, Slot: slot,
 	}); err != nil {

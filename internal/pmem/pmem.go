@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 
 	"github.com/portus-sys/portus/internal/memdev"
 )
@@ -97,6 +98,13 @@ type Device struct {
 	data       *memdev.Device
 	dataDur    *memdev.Device // durable (flushed) image of data
 	crashCount int
+
+	// Flush accounting (atomic: daemon workers flush concurrently under
+	// the real runtime). The daemon exports these through its telemetry
+	// registry.
+	dataFlushOps   atomic.Int64
+	dataFlushBytes atomic.Int64
+	metaFlushOps   atomic.Int64
 }
 
 // New creates a namespace.
@@ -158,6 +166,7 @@ func (d *Device) MetaBytes(off, n int64) []byte { return d.meta.Bytes(off, n) }
 // FlushMeta persists metadata-zone region [off, off+n), standing in for
 // CLWB of each line plus SFENCE.
 func (d *Device) FlushMeta(off, n int64) {
+	d.metaFlushOps.Add(1)
 	memdev.Copy(d.metaDur, off, d.meta, off, n)
 }
 
@@ -167,8 +176,21 @@ func (d *Device) Persist8(off int64) { d.FlushMeta(off, 8) }
 
 // FlushData persists data-zone region [off, off+n).
 func (d *Device) FlushData(off, n int64) {
+	d.dataFlushOps.Add(1)
+	d.dataFlushBytes.Add(n)
 	memdev.Copy(d.dataDur, off, d.data, off, n)
 }
+
+// DataFlushOps reports how many data-zone flushes have run.
+func (d *Device) DataFlushOps() int64 { return d.dataFlushOps.Load() }
+
+// DataFlushBytes reports the cumulative bytes covered by data-zone
+// flushes.
+func (d *Device) DataFlushBytes() int64 { return d.dataFlushBytes.Load() }
+
+// MetaFlushOps reports how many metadata-zone flushes (including
+// Persist8 version-flag commits) have run.
+func (d *Device) MetaFlushOps() int64 { return d.metaFlushOps.Load() }
 
 // Crash simulates a power failure: all writes not covered by a flush are
 // lost, and the device state reverts to the durable image. On the DRAM

@@ -1,0 +1,73 @@
+package rdma_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/portus-sys/portus/internal/memdev"
+	"github.com/portus-sys/portus/internal/rdma"
+	"github.com/portus-sys/portus/internal/sim"
+	"github.com/portus-sys/portus/internal/telemetry"
+)
+
+func TestInstrumentedFabricCountsVerbs(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		reg := telemetry.NewRegistry()
+		inner := rdma.NewSimFabric()
+		fab := rdma.Instrument("sim", inner, reg)
+
+		a := rdma.NewNode(env, "a")
+		b := rdma.NewNode(env, "b")
+		inner.AddNode(a)
+		inner.AddNode(b)
+		devA := memdev.New("a/mem", memdev.DRAM, 4096, true)
+		devB := memdev.New("b/mem", memdev.DRAM, 4096, true)
+		mrA := a.RegisterMR(env, devA, 0, 4096)
+		mrB := b.RegisterMR(env, devB, 0, 4096)
+		devB.Write(0, bytes.Repeat([]byte{7}, 1024))
+
+		local := rdma.Slice{MR: mrA, Off: 0, Len: 1024}
+		remote := rdma.RemoteSlice{MR: rdma.RemoteMR{Node: "b", RKey: mrB.RKey, Len: 4096}, Len: 1024}
+		if err := fab.Read(env, a, local, remote); err != nil {
+			t.Fatal(err)
+		}
+		if err := fab.Write(env, a, local, remote); err != nil {
+			t.Fatal(err)
+		}
+		// A verb against an unknown rkey counts as an error.
+		bad := remote
+		bad.MR.RKey = 999
+		if err := fab.Read(env, a, local, bad); err == nil {
+			t.Fatal("expected bad-rkey error")
+		}
+
+		var buf bytes.Buffer
+		reg.WritePrometheus(&buf)
+		out := buf.String()
+		for _, want := range []string{
+			`portus_rdma_ops_total{fabric="sim",op="read"} 1`,
+			`portus_rdma_ops_total{fabric="sim",op="write"} 1`,
+			`portus_rdma_bytes_total{fabric="sim",op="read"} 1024`,
+			`portus_rdma_errors_total{fabric="sim"} 1`,
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("exposition missing %q:\n%s", want, out)
+			}
+		}
+		// Latency histograms must have recorded the simulated transfer
+		// time of successful verbs.
+		samples, err := telemetry.ParseText(strings.NewReader(out))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := telemetry.HistogramQuantile(samples, "portus_rdma_op_seconds", 0.5); !ok {
+			t.Error("no rdma op latency histogram in exposition")
+		}
+		if fab.Inner() != inner {
+			t.Error("Inner must return the wrapped fabric")
+		}
+	})
+	eng.Run()
+}

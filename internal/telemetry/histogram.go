@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefLatencyBuckets is the default bucket layout for latency histograms
+// (seconds): exponential from 50µs to ~52s, sized for the Portus
+// datapath, whose checkpoint latencies span sub-millisecond small
+// models to tens of seconds for GPT-22B class pulls.
+func DefLatencyBuckets() []float64 {
+	bounds := make([]float64, 0, 21)
+	for v := 50e-6; v < 60; v *= 2 {
+		bounds = append(bounds, v)
+	}
+	return bounds
+}
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counts.
+// Observations are float64 values (latencies are observed in seconds);
+// quantiles are estimated by linear interpolation inside the target
+// bucket, as Prometheus's histogram_quantile does.
+type Histogram struct {
+	bounds  []float64 // strictly increasing upper bounds
+	counts  []atomic.Uint64
+	infCnt  atomic.Uint64 // observations above the last bound
+	total   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefLatencyBuckets()
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not increasing at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)),
+	}
+}
+
+// NewHistogram builds a standalone histogram (registry-free; tests and
+// ad-hoc aggregation).
+func NewHistogram(bounds []float64) *Histogram { return newHistogram(bounds) }
+
+// Observe records v. Buckets are upper-inclusive (le semantics).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.infCnt.Add(1)
+	}
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Sum reports the running sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Bounds returns the bucket upper bounds.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// Cumulative returns the cumulative bucket counts aligned with
+// Bounds(), plus the +Inf total as the final element.
+func (h *Histogram) Cumulative() []uint64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]uint64, len(h.bounds)+1)
+	var cum uint64
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	out[len(h.bounds)] = cum + h.infCnt.Load()
+	return out
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution by linear interpolation within the target bucket. It
+// returns 0 with no observations; observations beyond the last bound
+// clamp to it.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return QuantileFromBuckets(h.bounds, h.Cumulative(), q)
+}
+
+// QuantileFromBuckets estimates a quantile from cumulative bucket
+// counts: bounds are the finite upper bounds and cum has len(bounds)+1
+// entries, the last being the all-observations total (+Inf bucket).
+// portusctl uses this to compute p50/p99 from a scraped exposition.
+func QuantileFromBuckets(bounds []float64, cum []uint64, q float64) float64 {
+	if len(cum) == 0 || cum[len(cum)-1] == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := cum[len(cum)-1]
+	rank := q * float64(total)
+	for i, bound := range bounds {
+		if float64(cum[i]) < rank {
+			continue
+		}
+		lower, lowerCum := 0.0, uint64(0)
+		if i > 0 {
+			lower, lowerCum = bounds[i-1], cum[i-1]
+		}
+		inBucket := cum[i] - lowerCum
+		if inBucket == 0 {
+			return bound
+		}
+		frac := (rank - float64(lowerCum)) / float64(inBucket)
+		if frac < 0 {
+			frac = 0
+		}
+		return lower + (bound-lower)*frac
+	}
+	// Rank falls in the +Inf bucket: clamp to the largest finite bound.
+	if len(bounds) == 0 {
+		return 0
+	}
+	return bounds[len(bounds)-1]
+}
+
+func (h *Histogram) writeSeries(w io.Writer, name, labels string) {
+	cum := h.Cumulative()
+	for i, bound := range h.bounds {
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, braced(joinLabels(labels, fmt.Sprintf("le=%q", formatFloat(bound)))), cum[i])
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, braced(joinLabels(labels, `le="+Inf"`)), cum[len(cum)-1])
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, braced(labels), formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, braced(labels), h.Count())
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}

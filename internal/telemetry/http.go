@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the admin surface for a registry + trace ring:
+//
+//	/metrics       Prometheus text exposition format
+//	/debug/traces  JSON array of recent span trees, newest first
+//	/healthz       200 "ok"
+//
+// Either argument may be nil (the corresponding endpoint serves an
+// empty document).
+func Handler(reg *Registry, traces *TraceRing) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			reg.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		snap := traces.Snapshot()
+		if snap == nil {
+			snap = []*Trace{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return mux
+}

@@ -1,0 +1,110 @@
+package telemetry_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/portus-sys/portus/internal/telemetry"
+)
+
+func newAdminServer(t *testing.T) (*httptest.Server, *telemetry.Registry, *telemetry.TraceRing) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	ring := telemetry.NewTraceRing(8)
+	srv := httptest.NewServer(telemetry.Handler(reg, ring))
+	t.Cleanup(srv.Close)
+	return srv, reg, ring
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestMetricsEndpointExpositionFormat(t *testing.T) {
+	srv, reg, _ := newAdminServer(t)
+	reg.Counter("portus_daemon_checkpoints_total", "completed checkpoints").Add(5)
+	reg.Histogram("portus_checkpoint_seconds", "latency", []float64{0.1, 1}).Observe(0.2)
+
+	code, body, hdr := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	samples, err := telemetry.ParseText(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("exposition did not parse: %v\n%s", err, body)
+	}
+	found := false
+	for _, s := range samples {
+		if s.Name == "portus_daemon_checkpoints_total" && s.Value == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("counter not in exposition:\n%s", body)
+	}
+	if _, ok := telemetry.HistogramQuantile(samples, "portus_checkpoint_seconds", 0.5); !ok {
+		t.Fatalf("histogram not scrapeable:\n%s", body)
+	}
+}
+
+func TestTracesEndpointJSON(t *testing.T) {
+	srv, _, ring := newAdminServer(t)
+	tr := telemetry.NewTrace("checkpoint", "bert", 3, 0)
+	sp := tr.Root.Child("pull", 0)
+	sp.EndAt(2 * time.Millisecond)
+	tr.Bytes = 1 << 20
+	tr.Finish(3 * time.Millisecond)
+	ring.Add(tr)
+
+	code, body, hdr := get(t, srv.URL+"/debug/traces")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var traces []*telemetry.Trace
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatalf("traces did not decode: %v\n%s", err, body)
+	}
+	if len(traces) != 1 || traces[0].Model != "bert" || traces[0].Iteration != 3 {
+		t.Fatalf("traces = %+v", traces)
+	}
+	if len(traces[0].Root.Children) != 1 || traces[0].Root.Children[0].Name != "pull" {
+		t.Fatalf("span tree lost in JSON: %+v", traces[0].Root)
+	}
+}
+
+func TestTracesEndpointEmptyIsArray(t *testing.T) {
+	srv, _, _ := newAdminServer(t)
+	_, body, _ := get(t, srv.URL+"/debug/traces")
+	if strings.TrimSpace(body) != "[]" {
+		t.Fatalf("empty traces body = %q, want []", body)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _, _ := newAdminServer(t)
+	code, body, _ := get(t, srv.URL+"/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+}

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryGetOrCreateIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("ops_total", "ops", L("kind", "read"))
+	b := r.Counter("ops_total", "ops", L("kind", "read"))
+	c := r.Counter("ops_total", "ops", L("kind", "write"))
+	if a != b {
+		t.Fatal("same (name, labels) must return the same counter")
+	}
+	if a == c {
+		t.Fatal("different labels must return different counters")
+	}
+	a.Add(2)
+	if b.Value() != 2 {
+		t.Fatalf("shared handle value = %d, want 2", b.Value())
+	}
+}
+
+func TestRegistryPrometheusOutput(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("portus_checkpoints_total", "completed checkpoints").Add(3)
+	r.Gauge("portus_queue_depth", "jobs waiting").Set(2)
+	r.CounterFunc("portus_flush_bytes_total", "flushed bytes", func() float64 { return 4096 })
+	h := r.Histogram("portus_checkpoint_seconds", "e2e latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP portus_checkpoints_total completed checkpoints",
+		"# TYPE portus_checkpoints_total counter",
+		"portus_checkpoints_total 3",
+		"# TYPE portus_queue_depth gauge",
+		"portus_queue_depth 2",
+		"portus_flush_bytes_total 4096",
+		"# TYPE portus_checkpoint_seconds histogram",
+		`portus_checkpoint_seconds_bucket{le="0.1"} 1`,
+		`portus_checkpoint_seconds_bucket{le="1"} 2`,
+		`portus_checkpoint_seconds_bucket{le="+Inf"} 3`,
+		"portus_checkpoint_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families must be sorted by name.
+	if strings.Index(out, "portus_checkpoint_seconds") > strings.Index(out, "portus_queue_depth") {
+		t.Error("families not sorted by name")
+	}
+	// The output must parse back.
+	samples, err := ParseText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("ParseText on own output: %v", err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples parsed")
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("c_total", "c").Inc()
+				r.Gauge("g", "g").Add(1)
+				r.Histogram("h_seconds", "h", nil, L("worker", string(rune('a'+g)))).Observe(float64(i) * 1e-4)
+				if i%50 == 0 {
+					var buf bytes.Buffer
+					r.WritePrometheus(&buf)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", "c").Value(); got != 8*200 {
+		t.Fatalf("counter = %d, want %d", got, 8*200)
+	}
+	if got := r.Histogram("h_seconds", "h", nil, L("worker", "a")).Count(); got != 200 {
+		t.Fatalf("histogram count = %d, want 200", got)
+	}
+}
+
+func TestParseTextSamples(t *testing.T) {
+	in := `# HELP x help text
+# TYPE x counter
+x 42
+y{a="1",b="two words"} 3.5
+z_bucket{le="+Inf"} 7
+`
+	samples, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("parsed %d samples, want 3", len(samples))
+	}
+	if samples[0].Name != "x" || samples[0].Value != 42 {
+		t.Fatalf("sample 0 = %+v", samples[0])
+	}
+	if samples[1].Labels["b"] != "two words" || samples[1].Value != 3.5 {
+		t.Fatalf("sample 1 = %+v", samples[1])
+	}
+	if samples[2].Labels["le"] != "+Inf" {
+		t.Fatalf("sample 2 = %+v", samples[2])
+	}
+}
+
+func TestHistogramQuantileFromSamples(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "lat", []float64{0.01, 0.1, 1})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.05) // all in the (0.01, 0.1] bucket
+	}
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	samples, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p50, ok := HistogramQuantile(samples, "lat_seconds", 0.5)
+	if !ok {
+		t.Fatal("no histogram found in samples")
+	}
+	if p50 < 0.01 || p50 > 0.1 {
+		t.Fatalf("p50 = %v, want within (0.01, 0.1]", p50)
+	}
+	if _, ok := HistogramQuantile(samples, "missing_seconds", 0.5); ok {
+		t.Fatal("quantile of missing histogram must report !ok")
+	}
+}

@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one timed stage of a request, possibly with nested child
+// stages. Times are env.Now() values (virtual under the simulation
+// engine, elapsed wall-clock otherwise), so durations are exact in both
+// runtimes. Spans are built by the single worker that owns the request
+// and must not be mutated after the trace is added to a ring.
+type Span struct {
+	Name     string            `json:"name"`
+	Start    time.Duration     `json:"start"`
+	End      time.Duration     `json:"end"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []*Span           `json:"children,omitempty"`
+}
+
+// Child opens a nested span starting at start.
+func (s *Span) Child(name string, start time.Duration) *Span {
+	c := &Span{Name: name, Start: start}
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// EndAt closes the span at end.
+func (s *Span) EndAt(end time.Duration) { s.End = end }
+
+// Dur reports the span's duration.
+func (s *Span) Dur() time.Duration { return s.End - s.Start }
+
+// SetAttr attaches a key=value annotation.
+func (s *Span) SetAttr(key, value string) {
+	if s.Attrs == nil {
+		s.Attrs = make(map[string]string)
+	}
+	s.Attrs[key] = value
+}
+
+// Find returns the first child (depth-first, including s itself) with
+// the given name, or nil.
+func (s *Span) Find(name string) *Span {
+	if s.Name == name {
+		return s
+	}
+	for _, c := range s.Children {
+		if m := c.Find(name); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// Trace is one completed request lifecycle: a root span tree plus
+// request identity. Kind is "checkpoint" or "restore".
+type Trace struct {
+	Kind      string        `json:"kind"`
+	Model     string        `json:"model"`
+	Iteration uint64        `json:"iteration"`
+	Bytes     int64         `json:"bytes"`
+	Err       string        `json:"error,omitempty"`
+	Root      *Span         `json:"root"`
+	Duration  time.Duration `json:"duration"`
+}
+
+// NewTrace opens a trace whose root span starts at start.
+func NewTrace(kind, model string, iteration uint64, start time.Duration) *Trace {
+	return &Trace{
+		Kind:      kind,
+		Model:     model,
+		Iteration: iteration,
+		Root:      &Span{Name: kind, Start: start},
+	}
+}
+
+// Finish closes the root span at end and records the total duration.
+func (t *Trace) Finish(end time.Duration) {
+	t.Root.EndAt(end)
+	t.Duration = t.Root.Dur()
+}
+
+// TraceRing keeps the last N completed traces and notifies observers as
+// traces complete. Safe for concurrent use; traces are immutable once
+// added.
+type TraceRing struct {
+	mu       sync.Mutex
+	buf      []*Trace
+	next     int
+	total    int64
+	handlers []func(*Trace)
+}
+
+// NewTraceRing creates a ring holding up to capacity traces (minimum 1).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRing{buf: make([]*Trace, 0, capacity)}
+}
+
+// Add records a completed trace, evicting the oldest when full, then
+// invokes completion handlers synchronously (handlers must be fast —
+// they run on the datapath worker).
+func (r *TraceRing) Add(t *Trace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, t)
+	} else {
+		r.buf[r.next] = t
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+	handlers := r.handlers
+	r.mu.Unlock()
+	for _, h := range handlers {
+		h(t)
+	}
+}
+
+// OnComplete registers fn to run for every subsequently added trace.
+func (r *TraceRing) OnComplete(fn func(*Trace)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.handlers = append(r.handlers, fn)
+}
+
+// Snapshot returns the retained traces, newest first.
+func (r *TraceRing) Snapshot() []*Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, 0, len(r.buf))
+	// buf[next-1] is the newest once the ring has wrapped; before that,
+	// the newest is the last appended element.
+	for i := 0; i < len(r.buf); i++ {
+		idx := (r.next - 1 - i + len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
+// Total reports how many traces have ever been added.
+func (r *TraceRing) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

@@ -1,0 +1,112 @@
+package telemetry_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/portus-sys/portus/internal/sim"
+	"github.com/portus-sys/portus/internal/telemetry"
+)
+
+// TestSpanNestingUnderSimClock builds a span tree from a simulated
+// process's virtual clock and checks stage durations are exact.
+func TestSpanNestingUnderSimClock(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		tr := telemetry.NewTrace("checkpoint", "bert", 7, env.Now())
+		wait := tr.Root.Child("enqueue-wait", env.Now())
+		env.Sleep(3 * time.Millisecond)
+		wait.EndAt(env.Now())
+
+		pull := tr.Root.Child("pull", env.Now())
+		for i := 0; i < 2; i++ {
+			sp := pull.Child("pull:tensor", env.Now())
+			env.Sleep(5 * time.Millisecond)
+			sp.EndAt(env.Now())
+		}
+		pull.EndAt(env.Now())
+
+		flush := tr.Root.Child("flush", env.Now())
+		env.Sleep(2 * time.Millisecond)
+		flush.EndAt(env.Now())
+		tr.Finish(env.Now())
+
+		if tr.Duration != 15*time.Millisecond {
+			t.Errorf("trace duration = %v, want 15ms", tr.Duration)
+		}
+		if got := wait.Dur(); got != 3*time.Millisecond {
+			t.Errorf("enqueue-wait = %v, want 3ms", got)
+		}
+		if got := pull.Dur(); got != 10*time.Millisecond {
+			t.Errorf("pull = %v, want 10ms", got)
+		}
+		if len(pull.Children) != 2 {
+			t.Errorf("pull children = %d, want 2", len(pull.Children))
+		}
+		// Children must sum to the root duration (contiguous stages).
+		var sum time.Duration
+		for _, c := range tr.Root.Children {
+			sum += c.Dur()
+		}
+		if sum != tr.Duration {
+			t.Errorf("stage sum %v != trace duration %v", sum, tr.Duration)
+		}
+		if tr.Root.Find("flush") != flush {
+			t.Error("Find(flush) did not locate the span")
+		}
+		if tr.Root.Find("nope") != nil {
+			t.Error("Find of missing span must be nil")
+		}
+	})
+	eng.Run()
+}
+
+func TestTraceRingEvictionAndOrder(t *testing.T) {
+	ring := telemetry.NewTraceRing(3)
+	for i := 0; i < 5; i++ {
+		tr := telemetry.NewTrace("checkpoint", "m", uint64(i), 0)
+		tr.Finish(time.Duration(i))
+		ring.Add(tr)
+	}
+	snap := ring.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot len = %d, want 3", len(snap))
+	}
+	for i, wantIter := range []uint64{4, 3, 2} { // newest first
+		if snap[i].Iteration != wantIter {
+			t.Fatalf("snapshot[%d].Iteration = %d, want %d", i, snap[i].Iteration, wantIter)
+		}
+	}
+	if ring.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", ring.Total())
+	}
+}
+
+func TestTraceRingOnComplete(t *testing.T) {
+	ring := telemetry.NewTraceRing(2)
+	var seen []uint64
+	ring.OnComplete(func(tr *telemetry.Trace) { seen = append(seen, tr.Iteration) })
+	for i := 0; i < 3; i++ {
+		ring.Add(telemetry.NewTrace("restore", "m", uint64(i), 0))
+	}
+	if len(seen) != 3 || seen[0] != 0 || seen[2] != 2 {
+		t.Fatalf("OnComplete saw %v, want [0 1 2]", seen)
+	}
+}
+
+func TestNilTraceRingIsNoOp(t *testing.T) {
+	var ring *telemetry.TraceRing
+	ring.Add(telemetry.NewTrace("checkpoint", "m", 0, 0))
+	ring.OnComplete(func(*telemetry.Trace) {})
+	if ring.Snapshot() != nil || ring.Total() != 0 {
+		t.Fatal("nil ring must read as empty")
+	}
+}
+
+func TestSpanAttrs(t *testing.T) {
+	sp := &telemetry.Span{Name: "pull"}
+	sp.SetAttr("bytes", "4096")
+	if sp.Attrs["bytes"] != "4096" {
+		t.Fatalf("attrs = %v", sp.Attrs)
+	}
+}

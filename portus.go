@@ -28,6 +28,7 @@ package portus
 import (
 	"fmt"
 	"net"
+	"net/http"
 
 	"github.com/portus-sys/portus/internal/client"
 	"github.com/portus-sys/portus/internal/cluster"
@@ -39,6 +40,7 @@ import (
 	"github.com/portus-sys/portus/internal/pmem"
 	"github.com/portus-sys/portus/internal/rdma"
 	"github.com/portus-sys/portus/internal/sim"
+	"github.com/portus-sys/portus/internal/telemetry"
 	"github.com/portus-sys/portus/internal/train"
 	"github.com/portus-sys/portus/internal/wire"
 )
@@ -116,6 +118,11 @@ type ServerConfig struct {
 	// (empty = ephemeral loopback ports).
 	CtrlAddr   string
 	FabricAddr string
+	// AdminAddr, when set, binds an HTTP admin listener serving
+	// /metrics (Prometheus text format), /debug/traces (JSON span
+	// trees of recent checkpoints/restores), and /healthz. Use ":0"
+	// for an ephemeral port (the bound address is Server.AdminAddr).
+	AdminAddr string
 	// ImagePath, when set, loads an existing namespace image at startup
 	// (SaveImage persists one).
 	ImagePath string
@@ -123,16 +130,19 @@ type ServerConfig struct {
 
 // Server is a running Portus storage server over TCP.
 type Server struct {
-	env    *sim.RealEnv
-	fabric *rdma.TCPFabric
-	node   *rdma.Node
-	pm     *pmem.Device
-	d      *daemon.Daemon
-	ln     net.Listener
+	env     *sim.RealEnv
+	fabric  *rdma.TCPFabric
+	node    *rdma.Node
+	pm      *pmem.Device
+	d       *daemon.Daemon
+	ln      net.Listener
+	adminLn net.Listener
 
 	// CtrlAddr and FabricAddr are the bound listener addresses.
 	CtrlAddr   string
 	FabricAddr string
+	// AdminAddr is the bound admin HTTP address ("" when disabled).
+	AdminAddr string
 }
 
 // NewServer builds and starts a server: PMem namespace (fresh or from an
@@ -183,10 +193,22 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		fabric.Close()
 		return nil, fmt.Errorf("portus: control listener: %w", err)
 	}
-	return &Server{
+	s := &Server{
 		env: env, fabric: fabric, node: node, pm: pm, d: d, ln: ln,
 		CtrlAddr: ln.Addr().String(), FabricAddr: fabricAddr,
-	}, nil
+	}
+	if cfg.AdminAddr != "" {
+		adminLn, err := net.Listen("tcp", cfg.AdminAddr)
+		if err != nil {
+			ln.Close()
+			fabric.Close()
+			return nil, fmt.Errorf("portus: admin listener: %w", err)
+		}
+		s.adminLn = adminLn
+		s.AdminAddr = adminLn.Addr().String()
+		go func() { _ = http.Serve(adminLn, telemetry.Handler(d.Telemetry(), d.Traces())) }()
+	}
+	return s, nil
 }
 
 // Serve accepts client connections until Close. It blocks; run it on its
@@ -195,6 +217,14 @@ func (s *Server) Serve() { s.d.Serve(s.env, wire.NetListener{L: s.ln}) }
 
 // Daemon exposes the underlying daemon (stats, store).
 func (s *Server) Daemon() *daemon.Daemon { return s.d }
+
+// Telemetry exposes the server's metrics registry (what /metrics
+// serves).
+func (s *Server) Telemetry() *telemetry.Registry { return s.d.Telemetry() }
+
+// Traces exposes the ring of recently completed checkpoint/restore
+// span trees (what /debug/traces serves).
+func (s *Server) Traces() *telemetry.TraceRing { return s.d.Traces() }
 
 // PMem exposes the namespace (for image persistence).
 func (s *Server) PMem() *pmem.Device { return s.pm }
@@ -205,6 +235,9 @@ func (s *Server) SaveImage(path string) error { return s.pm.SaveImageFile(path) 
 // Close stops the listeners.
 func (s *Server) Close() {
 	s.ln.Close()
+	if s.adminLn != nil {
+		s.adminLn.Close()
+	}
 	s.fabric.Close()
 }
 
