@@ -41,17 +41,23 @@ func main() {
 		image        = flag.String("image", "", "namespace image path: loaded at startup if present, saved at shutdown")
 		admin        = flag.String("admin", "", "admin HTTP listen address serving /metrics, /debug/traces, /healthz (empty = disabled)")
 		verbose      = flag.Bool("verbose", false, "log a one-line summary for every completed checkpoint and restore")
+		depth        = flag.Int("depth", 1, "datapath pipeline depth: chunks in flight past the pull stage (>= 2 overlaps flush with pull)")
+		lanes        = flag.Int("lanes", 1, "queue-pair lanes checkpoint/restore transfers stripe chunks across")
+		chunkMiB     = flag.Int64("chunk-mib", 0, "split tensors into transfer chunks of at most this many MiB (0 = one chunk per tensor)")
 	)
 	flag.Parse()
 
 	cfg := portus.ServerConfig{
-		PMemBytes:    *pmemGiB << 30,
-		MetaBytes:    *metaMiB << 20,
-		Workers:      *workers,
-		Materialized: *materialized,
-		CtrlAddr:     *ctrl,
-		FabricAddr:   *fabric,
-		AdminAddr:    *admin,
+		PMemBytes:     *pmemGiB << 30,
+		MetaBytes:     *metaMiB << 20,
+		Workers:       *workers,
+		Materialized:  *materialized,
+		CtrlAddr:      *ctrl,
+		FabricAddr:    *fabric,
+		AdminAddr:     *admin,
+		PipelineDepth: *depth,
+		Lanes:         *lanes,
+		ChunkBytes:    *chunkMiB << 20,
 	}
 	if *image != "" {
 		if _, err := os.Stat(*image); err == nil {

@@ -9,6 +9,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -38,7 +39,7 @@ func TestBinariesEndToEnd(t *testing.T) {
 	daemon := exec.Command(filepath.Join(bin, "portusd"),
 		"-ctrl", ctrl, "-fabric", fabric, "-admin", admin, "-verbose",
 		"-pmem-gib", "1", "-image", image)
-	dlog := &strings.Builder{}
+	dlog := &lockedBuf{}
 	daemon.Stdout = io.MultiWriter(os.Stderr, dlog)
 	daemon.Stderr = io.MultiWriter(os.Stderr, dlog)
 	if err := daemon.Start(); err != nil {
@@ -162,7 +163,7 @@ func TestBinariesEndToEnd(t *testing.T) {
 	fabric2 := freeAddr(t)
 	daemon2 := exec.Command(filepath.Join(bin, "portusd"),
 		"-ctrl", ctrl2, "-fabric", fabric2, "-image", image)
-	d2out := &strings.Builder{}
+	d2out := &lockedBuf{}
 	daemon2.Stdout = d2out
 	daemon2.Stderr = d2out
 	if err := daemon2.Start(); err != nil {
@@ -179,6 +180,25 @@ func TestBinariesEndToEnd(t *testing.T) {
 	}
 	daemon2.Process.Signal(os.Interrupt)
 	daemon2.Wait()
+}
+
+// lockedBuf collects a child process's output; the stdout and stderr
+// pipe readers write it from separate goroutines.
+type lockedBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (w *lockedBuf) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *lockedBuf) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
 }
 
 // adminGet fetches a path from the daemon's admin endpoint.

@@ -25,7 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"github.com/portus-sys/portus/internal/alloc"
+	"github.com/portus-sys/portus/internal/datapath"
 	"github.com/portus-sys/portus/internal/index"
 	"github.com/portus-sys/portus/internal/perfmodel"
 	"github.com/portus-sys/portus/internal/pmem"
@@ -52,6 +52,20 @@ type Config struct {
 	// StageThroughHost adds a host-DRAM staging hop on the storage node
 	// instead of the zero-copy pull (ablation only).
 	StageThroughHost bool
+	// PipelineDepth bounds the chunks in flight past the pull stage:
+	// depth 1 (the default) is the strictly sequential
+	// pull-everything-then-flush datapath; depth d >= 2 overlaps the
+	// PMem flush of chunk N with the pull of chunk N+1.
+	PipelineDepth int
+	// Lanes is the number of queue pairs checkpoint/restore transfers
+	// stripe chunks across; defaults to 1. Each lane beyond the first
+	// pays one queue-pair connection at daemon startup.
+	Lanes int
+	// ChunkSize splits tensors into transfer chunks of at most this
+	// many bytes; 0 (the default) keeps one chunk per tensor. Pipelining
+	// and striping schedule whole chunks, so splitting only matters for
+	// models dominated by a few huge tensors.
+	ChunkSize int64
 	// Telemetry receives the daemon's counters, gauges, and latency
 	// histograms; nil creates a private registry (readable through
 	// Daemon.Telemetry).
@@ -115,6 +129,10 @@ type Daemon struct {
 
 	tel telem
 
+	// engine executes checkpoint pulls and restore pushes over the
+	// chunked, optionally pipelined/striped datapath.
+	engine *datapath.Engine
+
 	// staging resources for the ablation path
 	hostStage *sim.BandwidthResource
 }
@@ -133,6 +151,7 @@ type telem struct {
 	enqueueWait    *telemetry.Histogram
 	pullStage      *telemetry.Histogram
 	flushStage     *telemetry.Histogram
+	pushStage      *telemetry.Histogram
 	restoreLatency *telemetry.Histogram
 }
 
@@ -158,6 +177,7 @@ func newTelem(reg *telemetry.Registry, traceDepth int, pm *pmem.Device) telem {
 		enqueueWait:    reg.Histogram("portus_checkpoint_enqueue_wait_seconds", "time a checkpoint job waits for a worker", nil),
 		pullStage:      reg.Histogram("portus_checkpoint_pull_seconds", "one-sided RDMA pull stage duration", nil),
 		flushStage:     reg.Histogram("portus_checkpoint_flush_seconds", "PMem flush stage duration", nil),
+		pushStage:      reg.Histogram("portus_restore_push_seconds", "one-sided RDMA push stage duration", nil),
 		restoreLatency: reg.Histogram("portus_restore_seconds", "end-to-end restore latency (enqueue to done)", nil),
 	}
 	reg.CounterFunc("portus_pmem_flush_ops_total", "data-zone flush operations",
@@ -225,6 +245,24 @@ func New(env sim.Env, cfg Config) (*Daemon, error) {
 	if cfg.StageThroughHost {
 		d.hostStage = sim.NewBandwidthResource(env, "daemon/host-stage", perfmodel.ServerDRAMBW)
 	}
+	// The ablation variants are datapath strategies, not branches: the
+	// engine's chunking, pipelining, and lane striping apply to all of
+	// them uniformly.
+	var strat datapath.Strategy = datapath.OneSided{}
+	switch {
+	case cfg.TwoSidedData:
+		strat = datapath.TwoSided{}
+	case cfg.StageThroughHost:
+		strat = datapath.HostStaged{}
+	}
+	d.engine = datapath.New(datapath.Config{
+		Strategy:  strat,
+		Depth:     cfg.PipelineDepth,
+		Lanes:     rdma.ConnectLanes(env, cfg.RNode, cfg.Lanes),
+		IssueCost: perfmodel.RDMAReadIssueCost,
+		Flush:     cfg.PMem.FlushData,
+		FlushCost: flushCost,
+	})
 	// Rebuild ModelMap from the persistent ModelTable (daemon restart).
 	models, err := store.Models()
 	if err != nil {
@@ -460,9 +498,31 @@ func (d *Daemon) worker(env sim.Env) {
 	}
 }
 
+// plan builds the chunk schedule for one version slot of a model, and
+// the transfer context binding it to the client's remote regions.
+func (d *Daemon) plan(sess *session, slot int) (datapath.Plan, *datapath.Context) {
+	m := sess.model
+	tensors := make([]datapath.TensorRange, len(m.Tensors))
+	for i, tm := range m.Tensors {
+		ext := m.TensorData(i, slot)
+		tensors[i] = datapath.TensorRange{Name: tm.Name, PMemOff: ext.Off, Size: ext.Size}
+	}
+	cx := &datapath.Context{
+		Fabric:    d.cfg.Fabric,
+		Local:     d.cfg.RNode,
+		LocalMR:   d.dataMR,
+		Remote:    sess.mrs,
+		HostStage: d.hostStage,
+	}
+	return datapath.NewPlan(tensors, d.cfg.ChunkSize), cx
+}
+
 // doCheckpoint pulls the model from GPU memory into the target version
 // slot, building the span tree of the request lifecycle as it goes:
-// enqueue-wait, per-tensor pulls, flush, and the version-flag commit.
+// enqueue-wait, the engine's pull/flush stages, and the version-flag
+// commit. The engine returns only once every chunk is flushed, so the
+// done flag never commits over unpersisted data regardless of pipeline
+// depth.
 func (d *Daemon) doCheckpoint(env sim.Env, j *job) {
 	m := j.sess.model
 	slot := m.TargetSlot()
@@ -473,83 +533,37 @@ func (d *Daemon) doCheckpoint(env sim.Env, j *job) {
 	wait := tr.Root.Child("enqueue-wait", j.enqueuedAt)
 	wait.EndAt(t0)
 
-	var pulled int64
-	pull := tr.Root.Child("pull", t0)
-	for i, tm := range m.Tensors {
-		ext := m.TensorData(i, slot)
-		sp := pull.Child("pull:"+tm.Name, env.Now())
-		env.Sleep(perfmodel.RDMAReadIssueCost)
-		if err := d.pullTensor(env, j.sess, i, ext); err != nil {
-			tr.Err = fmt.Sprintf("pulling %s: %v", tm.Name, err)
-			tr.Finish(env.Now())
-			d.tel.traces.Add(tr)
-			d.sendErrFor(env, j.conn, wire.TDoCheckpoint, j.iteration, m.Name, tr.Err)
-			return
-		}
-		pulled += ext.Size
-		sp.SetAttr("bytes", fmt.Sprint(ext.Size))
-		sp.EndAt(env.Now())
+	plan, cx := d.plan(j.sess, slot)
+	res, err := d.engine.Pull(env, cx, plan, tr.Root)
+	if err != nil {
+		tr.Err = err.Error()
+		tr.Finish(env.Now())
+		d.tel.traces.Add(tr)
+		d.sendErrFor(env, j.conn, wire.TDoCheckpoint, j.iteration, m.Name, tr.Err)
+		return
 	}
-	t1 := env.Now()
-	pull.EndAt(t1)
-	// Flush TensorData, then commit the version flag.
-	flush := tr.Root.Child("flush", t1)
-	for i := range m.Tensors {
-		ext := m.TensorData(i, slot)
-		d.cfg.PMem.FlushData(ext.Off, ext.Size)
-	}
-	env.Sleep(flushCost(pulled))
-	t2 := env.Now()
-	flush.EndAt(t2)
-	d.stats.pullNanos.Add(int64(t1 - t0))
-	d.stats.flushNanos.Add(int64(t2 - t1))
-	commit := tr.Root.Child("commit", t2)
+	commit := tr.Root.Child("commit", env.Now())
 	m.SetDone(slot, j.iteration, time.Unix(0, int64(env.Now())))
 	commit.EndAt(env.Now())
 
+	d.stats.pullNanos.Add(int64(res.Transfer))
+	d.stats.flushNanos.Add(int64(res.Flush))
 	d.stats.checkpoints.Add(1)
-	d.stats.bytesPulled.Add(pulled)
-	tr.Bytes = pulled
+	d.stats.bytesPulled.Add(res.Bytes)
+	tr.Bytes = res.Bytes
 	tr.Finish(env.Now())
 	d.tel.checkpoints.Inc()
-	d.tel.bytesPulled.Add(pulled)
+	d.tel.bytesPulled.Add(res.Bytes)
 	d.tel.ckptLatency.ObserveDuration(tr.Duration)
 	d.tel.enqueueWait.ObserveDuration(wait.Dur())
-	d.tel.pullStage.ObserveDuration(pull.Dur())
-	d.tel.flushStage.ObserveDuration(flush.Dur())
+	d.tel.pullStage.ObserveDuration(res.Transfer)
+	d.tel.flushStage.ObserveDuration(res.Flush)
 	d.tel.traces.Add(tr)
 	if err := j.conn.Send(env, &wire.Msg{
 		Type: wire.TCheckpointDone, Model: m.Name, Iteration: j.iteration, Slot: slot,
 	}); err != nil {
 		return
 	}
-}
-
-// pullTensor runs one one-sided READ (or the ablation variants).
-func (d *Daemon) pullTensor(env sim.Env, sess *session, i int, ext alloc.Extent) error {
-	local := rdma.Slice{MR: d.dataMR, Off: ext.Off, Len: ext.Size}
-	remote := rdma.RemoteSlice{MR: sess.mrs[i], Off: 0, Len: ext.Size}
-	if d.cfg.TwoSidedData {
-		// Ablation: model the rendezvous + copy cost of a two-sided
-		// protocol on top of the transfer.
-		env.Sleep(perfmodel.TwoSidedLatency - perfmodel.RDMALatency)
-		if err := d.cfg.Fabric.Read(env, d.cfg.RNode, local, remote); err != nil {
-			return err
-		}
-		// Receiver-side copy out of the bounce buffer.
-		sim.PipelineTransfer(env, ext.Size, 4*perfmodel.MiB,
-			sim.Stage{Res: d.cfg.RNode.NIC(), FlowCap: perfmodel.BeeGFSTransferBW})
-		return nil
-	}
-	if d.cfg.StageThroughHost {
-		// Ablation: land in server DRAM first, then copy to PMem.
-		if err := d.cfg.Fabric.Read(env, d.cfg.RNode, local, remote); err != nil {
-			return err
-		}
-		d.hostStage.Transfer(env, ext.Size, perfmodel.PMemWriteBW, 0)
-		return nil
-	}
-	return d.cfg.Fabric.Read(env, d.cfg.RNode, local, remote)
 }
 
 func flushCost(bytes int64) time.Duration {
@@ -568,34 +582,24 @@ func (d *Daemon) doRestore(env sim.Env, j *job) {
 	t0 := env.Now()
 	wait := tr.Root.Child("enqueue-wait", j.enqueuedAt)
 	wait.EndAt(t0)
-	push := tr.Root.Child("push", t0)
-	var pushed int64
-	for i, tm := range m.Tensors {
-		ext := m.TensorData(i, slot)
-		sp := push.Child("push:"+tm.Name, env.Now())
-		env.Sleep(perfmodel.RDMAReadIssueCost)
-		local := rdma.Slice{MR: d.dataMR, Off: ext.Off, Len: ext.Size}
-		remote := rdma.RemoteSlice{MR: j.sess.mrs[i], Off: 0, Len: ext.Size}
-		if err := d.cfg.Fabric.Write(env, d.cfg.RNode, local, remote); err != nil {
-			tr.Err = fmt.Sprintf("restoring %s: %v", tm.Name, err)
-			tr.Finish(env.Now())
-			d.tel.traces.Add(tr)
-			d.sendErrFor(env, j.conn, wire.TRestore, 0, m.Name, tr.Err)
-			return
-		}
-		pushed += ext.Size
-		sp.SetAttr("bytes", fmt.Sprint(ext.Size))
-		sp.EndAt(env.Now())
+	plan, cx := d.plan(j.sess, slot)
+	res, err := d.engine.Push(env, cx, plan, tr.Root)
+	if err != nil {
+		tr.Err = err.Error()
+		tr.Finish(env.Now())
+		d.tel.traces.Add(tr)
+		d.sendErrFor(env, j.conn, wire.TRestore, v.Iteration, m.Name, tr.Err)
+		return
 	}
-	push.EndAt(env.Now())
-	d.stats.pushNanos.Add(int64(push.Dur()))
+	d.stats.pushNanos.Add(int64(res.Transfer))
 	d.stats.restores.Add(1)
-	d.stats.bytesPushed.Add(pushed)
-	tr.Bytes = pushed
+	d.stats.bytesPushed.Add(res.Bytes)
+	tr.Bytes = res.Bytes
 	tr.Finish(env.Now())
 	d.tel.restores.Inc()
-	d.tel.bytesPushed.Add(pushed)
+	d.tel.bytesPushed.Add(res.Bytes)
 	d.tel.restoreLatency.ObserveDuration(tr.Duration)
+	d.tel.pushStage.ObserveDuration(res.Transfer)
 	d.tel.enqueueWait.ObserveDuration(wait.Dur())
 	d.tel.traces.Add(tr)
 	if err := j.conn.Send(env, &wire.Msg{

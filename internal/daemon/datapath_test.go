@@ -2,6 +2,7 @@ package daemon_test
 
 import (
 	"testing"
+	"time"
 
 	"github.com/portus-sys/portus/internal/client"
 	"github.com/portus-sys/portus/internal/cluster"
@@ -102,6 +103,107 @@ func TestDaemonAblationPathsStillCorrect(t *testing.T) {
 			}
 		})
 		eng.Run()
+	}
+}
+
+// chunkedRig is fullRig with a roomier cluster and a model whose
+// embedding tensors exceed the minimum chunk size, so ChunkSize
+// configurations genuinely split tensors.
+func chunkedRig(t *testing.T, env sim.Env, dmut func(*daemon.Config)) (*daemon.Daemon, *gpu.PlacedModel, *client.Client) {
+	t.Helper()
+	cl, err := cluster.New(env, cluster.Config{
+		ComputeNodes: 1, GPUsPerNode: 1,
+		GPUMemBytes: 32 << 20, PMemBytes: 64 << 20, Materialized: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := daemon.Config{PMem: cl.Storage.PMem, RNode: cl.Storage.RNode, Fabric: cl.Fabric}
+	if dmut != nil {
+		dmut(&cfg)
+	}
+	d, err := daemon.New(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := wire.NewSimNet()
+	l, err := net.Listen(env, "storage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Go("serve", func(env sim.Env) { d.Serve(env, l) })
+
+	placed, err := gpu.Place(cl.GPU(0, 0), model.GPT("m", 1, 256, 1024, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial(env, "storage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := client.Register(env, conn, cl.Compute[0].RNode, placed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, placed, c
+}
+
+// TestDaemonChunkedPipelinedRoundTrip drives a materialized checkpoint
+// and restore through the chunked, pipelined, multi-lane datapath and
+// verifies the restored bytes.
+func TestDaemonChunkedPipelinedRoundTrip(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		d, placed, c := chunkedRig(t, env, func(cfg *daemon.Config) {
+			cfg.ChunkSize = 256 << 10
+			cfg.PipelineDepth = 4
+			cfg.Lanes = 2
+		})
+		placed.ApplyUpdate(5)
+		if err := c.CheckpointSync(env, 5); err != nil {
+			t.Fatal(err)
+		}
+		placed.ApplyUpdate(6) // diverge, then roll back
+		iter, err := c.Restore(env)
+		if err != nil || iter != 5 {
+			t.Fatalf("restore = %d, %v", iter, err)
+		}
+		if bad := placed.VerifyIteration(5); bad != -1 {
+			t.Fatalf("tensor %d wrong after chunked pipelined round trip", bad)
+		}
+		st := d.Stats()
+		if st.PullTime <= 0 || st.FlushTime <= 0 || st.PushTime <= 0 {
+			t.Fatalf("stage times not recorded: %+v", st)
+		}
+	})
+	eng.Run()
+}
+
+// TestDaemonPipelineDepthFaster measures the same checkpoint under
+// depth 1 and depth 4 (both chunked): overlapping flush with pull must
+// strictly reduce virtual checkpoint latency.
+func TestDaemonPipelineDepthFaster(t *testing.T) {
+	run := func(depth int) time.Duration {
+		var elapsed time.Duration
+		eng := sim.NewEngine()
+		eng.Go("test", func(env sim.Env) {
+			_, placed, c := chunkedRig(t, env, func(cfg *daemon.Config) {
+				cfg.ChunkSize = 256 << 10
+				cfg.PipelineDepth = depth
+			})
+			placed.ApplyUpdate(1)
+			t0 := env.Now()
+			if err := c.CheckpointSync(env, 1); err != nil {
+				t.Fatal(err)
+			}
+			elapsed = env.Now() - t0
+		})
+		eng.Run()
+		return elapsed
+	}
+	d1, d4 := run(1), run(4)
+	if d4 >= d1 {
+		t.Fatalf("depth 4 checkpoint (%v) not faster than depth 1 (%v)", d4, d1)
 	}
 }
 

@@ -1,0 +1,317 @@
+package datapath
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/portus-sys/portus/internal/rdma"
+	"github.com/portus-sys/portus/internal/sim"
+	"github.com/portus-sys/portus/internal/telemetry"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Strategy moves individual chunks; defaults to OneSided.
+	Strategy Strategy
+	// Depth bounds the chunks in flight past the transfer stage: with
+	// depth 1 a chunk's flush completes before the next chunk's pull
+	// begins; with depth d, up to d chunks may be pulled-but-not-yet-
+	// flushed, overlapping flush with transfer. Defaults to 1.
+	Depth int
+	// Lanes are the queue pairs chunks stripe across. Defaults to a
+	// single lane.
+	Lanes []*rdma.QP
+	// IssueCost is the per-verb posting + completion-polling cost.
+	IssueCost time.Duration
+	// Flush persists [off, off+n) of the PMem data zone (pull direction
+	// only).
+	Flush func(off, n int64)
+	// FlushCost models the CLWB+fence cost of flushing n bytes. It must
+	// be linear in n so per-chunk and whole-batch flushing charge the
+	// same total.
+	FlushCost func(n int64) time.Duration
+}
+
+// Result reports what an engine run moved and the wall-clock (or
+// virtual) stage breakdown. Transfer covers engine start to the last
+// chunk's transfer completion; Flush is the remaining tail until every
+// chunk is persisted. The two always sum to the engine's total
+// occupancy, so the Figure 13 breakdown stays additive even when the
+// stages overlap internally.
+type Result struct {
+	Bytes    int64
+	Transfer time.Duration
+	Flush    time.Duration
+	Chunks   int
+}
+
+// Engine executes Plans. It is stateless across runs and safe for
+// concurrent use by multiple daemon workers.
+type Engine struct {
+	cfg Config
+}
+
+// New creates an engine, applying Config defaults.
+func New(cfg Config) *Engine {
+	if cfg.Strategy == nil {
+		cfg.Strategy = OneSided{}
+	}
+	if cfg.Depth < 1 {
+		cfg.Depth = 1
+	}
+	if len(cfg.Lanes) == 0 {
+		cfg.Lanes = []*rdma.QP{{ID: 0}}
+	}
+	if cfg.Flush == nil {
+		cfg.Flush = func(int64, int64) {}
+	}
+	if cfg.FlushCost == nil {
+		cfg.FlushCost = func(int64) time.Duration { return 0 }
+	}
+	return &Engine{cfg: cfg}
+}
+
+// Strategy returns the engine's chunk-transfer strategy.
+func (e *Engine) Strategy() Strategy { return e.cfg.Strategy }
+
+// Pull runs the checkpoint direction: every chunk is transferred into
+// PMem and flushed; Pull returns only once all chunks are persisted,
+// so the caller may commit the version's done flag. Under root it
+// builds a "pull" span (one child span per chunk, with bytes and lane
+// attributes) and a "flush" span covering the flush tail; the spans
+// are contiguous, so they sum with the caller's other stages to the
+// end-to-end latency.
+func (e *Engine) Pull(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (Result, error) {
+	if root == nil {
+		root = &telemetry.Span{}
+	}
+	if e.cfg.Depth == 1 && len(e.cfg.Lanes) == 1 {
+		return e.pullSequential(env, cx, p, root)
+	}
+	return e.pullPipelined(env, cx, p, root)
+}
+
+// pullSequential is the depth-1, single-lane path: transfer every
+// chunk, then flush the whole batch. It reproduces the pre-engine
+// datapath's timing and span structure exactly.
+func (e *Engine) pullSequential(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (Result, error) {
+	t0 := env.Now()
+	pull := root.Child("pull", t0)
+	var pulled int64
+	for _, c := range p.Chunks {
+		sp := pull.Child(c.spanName("pull"), env.Now())
+		env.Sleep(e.cfg.IssueCost)
+		if err := e.cfg.Strategy.Pull(env, cx, c); err != nil {
+			return Result{}, fmt.Errorf("pulling %s: %w", c.Name, err)
+		}
+		pulled += c.Len
+		sp.SetAttr("bytes", fmt.Sprint(c.Len))
+		sp.SetAttr("lane", fmt.Sprint(e.cfg.Lanes[0].ID))
+		sp.EndAt(env.Now())
+	}
+	t1 := env.Now()
+	pull.EndAt(t1)
+	flush := root.Child("flush", t1)
+	for _, c := range p.Chunks {
+		e.cfg.Flush(c.PMemOff, c.Len)
+	}
+	env.Sleep(e.cfg.FlushCost(pulled))
+	t2 := env.Now()
+	flush.EndAt(t2)
+	return Result{Bytes: pulled, Transfer: t1 - t0, Flush: t2 - t1, Chunks: len(p.Chunks)}, nil
+}
+
+// pullPipelined overlaps stages: lane processes pull chunks (striped
+// over a shared cursor, bounded by depth tokens) and hand them to a
+// flusher process that persists each chunk as it lands and returns the
+// token. A chunk's flush therefore runs while later chunks are still
+// in flight, but no chunk is ever unflushed when Pull returns.
+func (e *Engine) pullPipelined(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (Result, error) {
+	t0 := env.Now()
+	pull := root.Child("pull", t0)
+
+	tokens := sim.NewMailbox[struct{}](env)
+	for i := 0; i < e.cfg.Depth; i++ {
+		tokens.Send(env, struct{}{})
+	}
+	flushQ := sim.NewMailbox[Chunk](env)
+	lanes := sim.NewGroup(env)
+	flushed := sim.NewSignal(env)
+
+	var (
+		mu          sync.Mutex
+		next        int
+		failed      bool
+		firstErr    error
+		pulled      int64
+		lastPullEnd time.Duration
+	)
+
+	lanes.Add(env, len(e.cfg.Lanes))
+	for _, qp := range e.cfg.Lanes {
+		qp := qp
+		env.Go(fmt.Sprintf("datapath-lane-%d", qp.ID), func(env sim.Env) {
+			defer lanes.Done(env)
+			for {
+				mu.Lock()
+				if failed || next >= len(p.Chunks) {
+					mu.Unlock()
+					return
+				}
+				c := p.Chunks[next]
+				next++
+				mu.Unlock()
+
+				// Bound chunks in flight past the transfer stage. Tokens
+				// are conserved: the flusher (or an erroring lane)
+				// always returns them, so blocked lanes cannot starve.
+				tokens.Recv(env)
+
+				mu.Lock()
+				if failed {
+					mu.Unlock()
+					tokens.Send(env, struct{}{})
+					return
+				}
+				sp := pull.Child(c.spanName("pull"), env.Now())
+				mu.Unlock()
+
+				env.Sleep(e.cfg.IssueCost)
+				err := e.cfg.Strategy.Pull(env, cx, c)
+				now := env.Now()
+
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("pulling %s: %w", c.Name, err)
+					}
+					failed = true
+					mu.Unlock()
+					tokens.Send(env, struct{}{})
+					return
+				}
+				pulled += c.Len
+				if now > lastPullEnd {
+					lastPullEnd = now
+				}
+				sp.SetAttr("bytes", fmt.Sprint(c.Len))
+				sp.SetAttr("lane", fmt.Sprint(qp.ID))
+				sp.EndAt(now)
+				mu.Unlock()
+
+				flushQ.Send(env, c)
+			}
+		})
+	}
+
+	env.Go("datapath-flusher", func(env sim.Env) {
+		for {
+			c, ok := flushQ.Recv(env)
+			if !ok || c.Len < 0 { // sentinel: every pulled chunk is behind us
+				flushed.Fire(env)
+				return
+			}
+			e.cfg.Flush(c.PMemOff, c.Len)
+			env.Sleep(e.cfg.FlushCost(c.Len))
+			tokens.Send(env, struct{}{})
+		}
+	})
+
+	lanes.Wait(env)
+	flushQ.Send(env, Chunk{Len: -1})
+	flushed.Wait(env)
+
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+	if lastPullEnd < t0 { // empty plan: no chunk ever completed
+		lastPullEnd = t0
+	}
+	pull.EndAt(lastPullEnd)
+	flush := root.Child("flush", lastPullEnd)
+	end := env.Now()
+	flush.EndAt(end)
+	return Result{Bytes: pulled, Transfer: lastPullEnd - t0, Flush: end - lastPullEnd, Chunks: len(p.Chunks)}, nil
+}
+
+// Push runs the restore direction: chunks move from PMem back into the
+// client's memory. There is no flush stage; with multiple lanes the
+// chunks stripe, otherwise they run in order. Under root it builds a
+// "push" span with one child per chunk.
+func (e *Engine) Push(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (Result, error) {
+	if root == nil {
+		root = &telemetry.Span{}
+	}
+	t0 := env.Now()
+	push := root.Child("push", t0)
+
+	if len(e.cfg.Lanes) == 1 {
+		var pushed int64
+		for _, c := range p.Chunks {
+			sp := push.Child(c.spanName("push"), env.Now())
+			env.Sleep(e.cfg.IssueCost)
+			if err := e.cfg.Strategy.Push(env, cx, c); err != nil {
+				return Result{}, fmt.Errorf("restoring %s: %w", c.Name, err)
+			}
+			pushed += c.Len
+			sp.SetAttr("bytes", fmt.Sprint(c.Len))
+			sp.SetAttr("lane", fmt.Sprint(e.cfg.Lanes[0].ID))
+			sp.EndAt(env.Now())
+		}
+		push.EndAt(env.Now())
+		return Result{Bytes: pushed, Transfer: push.Dur(), Chunks: len(p.Chunks)}, nil
+	}
+
+	var (
+		mu       sync.Mutex
+		next     int
+		failed   bool
+		firstErr error
+		pushed   int64
+	)
+	lanes := sim.NewGroup(env)
+	lanes.Add(env, len(e.cfg.Lanes))
+	for _, qp := range e.cfg.Lanes {
+		qp := qp
+		env.Go(fmt.Sprintf("datapath-lane-%d", qp.ID), func(env sim.Env) {
+			defer lanes.Done(env)
+			for {
+				mu.Lock()
+				if failed || next >= len(p.Chunks) {
+					mu.Unlock()
+					return
+				}
+				c := p.Chunks[next]
+				next++
+				sp := push.Child(c.spanName("push"), env.Now())
+				mu.Unlock()
+
+				env.Sleep(e.cfg.IssueCost)
+				err := e.cfg.Strategy.Push(env, cx, c)
+				now := env.Now()
+
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("restoring %s: %w", c.Name, err)
+					}
+					failed = true
+					mu.Unlock()
+					return
+				}
+				pushed += c.Len
+				sp.SetAttr("bytes", fmt.Sprint(c.Len))
+				sp.SetAttr("lane", fmt.Sprint(qp.ID))
+				sp.EndAt(now)
+				mu.Unlock()
+			}
+		})
+	}
+	lanes.Wait(env)
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+	push.EndAt(env.Now())
+	return Result{Bytes: pushed, Transfer: push.Dur(), Chunks: len(p.Chunks)}, nil
+}

@@ -101,6 +101,7 @@ func Registry() []Experiment {
 		{"ablation-dram", "Ablation: PMem vs DRAM checkpoint target (§IV fallback)", AblationDRAMTarget},
 		{"ablation-adaptive", "Ablation: finest sustainable checkpoint frequency (CheckFreq tuner)", AblationAdaptive},
 		{"ablation-churn", "Ablation: goodput under sustained failures (§I churn regime)", AblationChurn},
+		{"ablation-pipeline", "Ablation: datapath pipeline depth x lane striping", AblationPipeline},
 		{"appendix", "Full 76-model zoo checkpoint times (Appendix)", Appendix},
 	}
 }

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/portus-sys/portus/internal/daemon"
+	"github.com/portus-sys/portus/internal/metrics"
+	"github.com/portus-sys/portus/internal/model"
+	"github.com/portus-sys/portus/internal/perfmodel"
+)
+
+// AblationPipeline sweeps the datapath engine's pipeline depth and lane
+// count: tensors split into 4 MiB chunks, the PMem flush of chunk N
+// overlapping the pull of chunk N+1 once depth >= 2, and chunks striped
+// across one queue pair per lane. Depth 1 x 1 lane is the paper's
+// strictly sequential datapath; the single-GPU pull is BAR-bound, so
+// extra lanes mostly show where striping stops helping.
+func AblationPipeline() []*Table {
+	var out []*Table
+	lanesCols := []int{1, 2, 4}
+	for _, spec := range []model.Spec{model.TableII()[6], model.GPTFamily()[0]} {
+		t := &Table{
+			ID: "ablation-pipeline",
+			Title: fmt.Sprintf("Pipeline depth x lanes: %s checkpoint (%.1f GB, 4 MiB chunks)",
+				spec.Name, float64(spec.TotalSize())/perfmodel.GB),
+			Header: []string{"Depth", "1 lane", "2 lanes", "4 lanes"},
+		}
+		var base time.Duration
+		for _, depth := range []int{1, 2, 4, 8} {
+			row := []string{fmt.Sprint(depth)}
+			for _, lanes := range lanesCols {
+				depth, lanes := depth, lanes
+				r := measurePortusOpt(spec, nil, func(c *daemon.Config) {
+					c.PipelineDepth = depth
+					c.Lanes = lanes
+					c.ChunkSize = perfmodel.DefaultChunk
+				})
+				if depth == 1 && lanes == 1 {
+					base = r.ckpt
+				}
+				row = append(row, fmt.Sprintf("%s (%s)", metrics.FormatDuration(r.ckpt), ratio(base, r.ckpt)))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		t.Notes = append(t.Notes,
+			"depth >= 2 hides the CLWB+fence flush tail behind the next chunk's pull",
+			"extra lanes overlap per-chunk issue latency, but the shared 5.8 GB/s BAR read cap bounds the gain near 1.3x",
+		)
+		out = append(out, t)
+	}
+	return out
+}

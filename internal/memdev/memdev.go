@@ -14,6 +14,7 @@ package memdev
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 )
 
@@ -57,10 +58,22 @@ type Device struct {
 	brk    int64        // bump-allocation watermark
 }
 
+// stampEntry records that region [off, off+n) holds bytes [srcOff,
+// srcOff+n) of a parent content blob of total length srcLen whose
+// fingerprint is stamp. A complete entry (srcOff == 0 && srcLen == n)
+// holds the whole content; fragments arise when chunked transfers copy
+// sub-ranges of a stamped region. Adjacent fragments of the same parent
+// coalesce on write, so a chunk-by-chunk copy of a full region
+// reassembles into a complete entry on the destination.
 type stampEntry struct {
 	off, n int64
 	stamp  uint64
+	srcOff int64
+	srcLen int64
 }
+
+// complete reports whether the entry holds its parent content in full.
+func (e stampEntry) complete() bool { return e.srcOff == 0 && e.srcLen == e.n }
 
 // New creates a device of the given byte size. When materialized is true
 // the device allocates real backing bytes; otherwise it tracks content
@@ -156,14 +169,52 @@ func (d *Device) WriteStamp(off, n int64, stamp uint64) {
 }
 
 func (d *Device) setStampLocked(off, n int64, stamp uint64) {
-	// Remove any entries overlapping the new region, then add it.
+	d.insertLocked(stampEntry{off: off, n: n, stamp: stamp, srcOff: 0, srcLen: n})
+}
+
+// insertLocked replaces any entries overlapping e's region with e, then
+// coalesces adjacent fragments carrying contiguous pieces of the same
+// parent content back into larger fragments (and, eventually, complete
+// entries).
+func (d *Device) insertLocked(e stampEntry) {
 	kept := d.stamps[:0]
-	for _, e := range d.stamps {
-		if e.off+e.n <= off || e.off >= off+n {
-			kept = append(kept, e)
+	for _, o := range d.stamps {
+		if o.off+o.n <= e.off || o.off >= e.off+e.n {
+			kept = append(kept, o)
 		}
 	}
-	d.stamps = append(kept, stampEntry{off: off, n: n, stamp: stamp})
+	d.stamps = append(kept, e)
+	sort.Slice(d.stamps, func(i, j int) bool { return d.stamps[i].off < d.stamps[j].off })
+	merged := d.stamps[:0]
+	for _, o := range d.stamps {
+		if len(merged) > 0 {
+			p := &merged[len(merged)-1]
+			if p.off+p.n == o.off && p.stamp == o.stamp &&
+				p.srcLen == o.srcLen && p.srcOff+p.n == o.srcOff {
+				p.n += o.n
+				continue
+			}
+		}
+		merged = append(merged, o)
+	}
+	d.stamps = merged
+}
+
+// fragmentLocked finds the entry wholly containing [off, off+n) and
+// returns it as a fragment positioned at that sub-range.
+func (d *Device) fragmentLocked(off, n int64) (stampEntry, bool) {
+	for _, e := range d.stamps {
+		if e.off <= off && off+n <= e.off+e.n {
+			return stampEntry{
+				off:    off,
+				n:      n,
+				stamp:  e.stamp,
+				srcOff: e.srcOff + (off - e.off),
+				srcLen: e.srcLen,
+			}, true
+		}
+	}
+	return stampEntry{}, false
 }
 
 // StampOf returns the content fingerprint of region [off, off+n). On a
@@ -180,7 +231,7 @@ func (d *Device) StampOf(off, n int64) uint64 {
 		return h.Sum64()
 	}
 	for _, e := range d.stamps {
-		if e.off == off && e.n == n {
+		if e.off == off && e.n == n && e.complete() {
 			return e.stamp
 		}
 	}
@@ -189,7 +240,11 @@ func (d *Device) StampOf(off, n int64) uint64 {
 
 // Copy moves n bytes from src[srcOff] to dst[dstOff]. Both devices must
 // be in the same mode; in materialized mode real bytes are copied, in
-// virtual mode the content stamp propagates.
+// virtual mode the content stamp propagates — including sub-range
+// copies of a stamped region, which land as fragments and coalesce back
+// into the full region once every chunk has arrived. This is what lets
+// chunked datapath transfers and ranged flushes preserve content
+// identity on virtual buffers.
 func Copy(dst *Device, dstOff int64, src *Device, srcOff, n int64) {
 	if dst.materialized != src.materialized {
 		panic(fmt.Sprintf("memdev: mixed-mode copy %s -> %s", src.name, dst.name))
@@ -204,8 +259,17 @@ func Copy(dst *Device, dstOff int64, src *Device, srcOff, n int64) {
 		dst.Write(dstOff, buf)
 		return
 	}
-	stamp := src.StampOf(srcOff, n)
-	dst.WriteStamp(dstOff, n, stamp)
+	src.mu.Lock()
+	frag, ok := src.fragmentLocked(srcOff, n)
+	src.mu.Unlock()
+	if !ok {
+		// The range spans no single stamped region: content unknown.
+		frag = stampEntry{stamp: 0, srcOff: 0, srcLen: n}
+	}
+	frag.off, frag.n = dstOff, n
+	dst.mu.Lock()
+	dst.insertLocked(frag)
+	dst.mu.Unlock()
 }
 
 // Snapshot returns a deep copy of the device's content state (bytes or
@@ -244,16 +308,21 @@ type StampRegion struct {
 }
 
 // Stamps returns the stamped regions of a virtual device, in no
-// particular order. On a materialized device it returns nil.
+// particular order. Incomplete fragments (a chunked write interrupted
+// mid-region, e.g. by a crash between chunk flushes) are omitted: their
+// content is partial and must read back as unknown after an image
+// round-trip. On a materialized device it returns nil.
 func (d *Device) Stamps() []StampRegion {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.materialized {
 		return nil
 	}
-	out := make([]StampRegion, len(d.stamps))
-	for i, e := range d.stamps {
-		out[i] = StampRegion{Off: e.off, N: e.n, Stamp: e.stamp}
+	out := make([]StampRegion, 0, len(d.stamps))
+	for _, e := range d.stamps {
+		if e.complete() {
+			out = append(out, StampRegion{Off: e.off, N: e.n, Stamp: e.stamp})
+		}
 	}
 	return out
 }

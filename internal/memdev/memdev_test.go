@@ -162,6 +162,82 @@ func TestDisjointStampsProperty(t *testing.T) {
 	}
 }
 
+func TestVirtualChunkedCopyReassembles(t *testing.T) {
+	src := New("gpu", GPU, 1<<30, false)
+	dst := New("pmem", PMEM, 1<<30, false)
+	const base, size = int64(4 << 20), int64(16 << 20)
+	src.WriteStamp(base, size, 0xfeedface)
+	// Copy in unequal chunks, out of order.
+	for _, c := range []struct{ off, n int64 }{
+		{8 << 20, 4 << 20}, {0, 8 << 20}, {12 << 20, 4 << 20},
+	} {
+		Copy(dst, 1<<20+c.off, src, base+c.off, c.n)
+	}
+	if got := dst.StampOf(1<<20, size); got != 0xfeedface {
+		t.Fatalf("reassembled stamp = %#x, want 0xfeedface", got)
+	}
+}
+
+func TestVirtualSubRangeCopyOfFragment(t *testing.T) {
+	a := New("a", DRAM, 1<<20, false)
+	b := New("b", DRAM, 1<<20, false)
+	c := New("c", DRAM, 1<<20, false)
+	a.WriteStamp(0, 1024, 42)
+	// Move the two halves to b, then rebuild the whole on c from b's
+	// fragments: stamps must survive two hops of sub-range copies.
+	Copy(b, 0, a, 0, 512)
+	Copy(b, 512, a, 512, 512)
+	Copy(c, 0, b, 0, 512)
+	Copy(c, 512, b, 512, 512)
+	if got := c.StampOf(0, 1024); got != 42 {
+		t.Fatalf("two-hop chunked stamp = %d, want 42", got)
+	}
+}
+
+func TestVirtualIncompleteFragmentReadsZero(t *testing.T) {
+	src := New("s", DRAM, 4096, false)
+	dst := New("d", DRAM, 4096, false)
+	src.WriteStamp(0, 1024, 9)
+	Copy(dst, 0, src, 0, 512) // only half arrives
+	if got := dst.StampOf(0, 1024); got != 0 {
+		t.Fatalf("half-copied region stamp = %d, want 0", got)
+	}
+	if got := dst.StampOf(0, 512); got != 0 {
+		t.Fatalf("bare fragment stamp = %d, want 0 (not full content)", got)
+	}
+}
+
+func TestVirtualFragmentOverwriteDrops(t *testing.T) {
+	src := New("s", DRAM, 4096, false)
+	dst := New("d", DRAM, 4096, false)
+	src.WriteStamp(0, 1024, 7)
+	Copy(dst, 0, src, 0, 512)
+	Copy(dst, 512, src, 512, 512)
+	dst.WriteStamp(256, 64, 3) // punch a hole mid-region
+	if got := dst.StampOf(0, 1024); got != 0 {
+		t.Fatalf("punched region stamp = %d, want 0", got)
+	}
+	if got := dst.StampOf(256, 64); got != 3 {
+		t.Fatalf("hole stamp = %d, want 3", got)
+	}
+}
+
+func TestStampsOmitsFragments(t *testing.T) {
+	src := New("s", DRAM, 4096, false)
+	dst := New("d", DRAM, 4096, false)
+	src.WriteStamp(0, 1024, 11)
+	src.WriteStamp(2048, 256, 12)
+	Copy(dst, 0, src, 0, 512)       // incomplete: fragment only
+	Copy(dst, 2048, src, 2048, 256) // complete
+	regions := dst.Stamps()
+	if len(regions) != 1 {
+		t.Fatalf("Stamps() = %v, want exactly the complete region", regions)
+	}
+	if r := regions[0]; r.Off != 2048 || r.N != 256 || r.Stamp != 12 {
+		t.Fatalf("Stamps()[0] = %+v", r)
+	}
+}
+
 // Property: copying any materialized region preserves byte equality.
 func TestCopyPreservesBytesProperty(t *testing.T) {
 	prop := func(data []byte) bool {

@@ -126,6 +126,16 @@ type ServerConfig struct {
 	// ImagePath, when set, loads an existing namespace image at startup
 	// (SaveImage persists one).
 	ImagePath string
+	// PipelineDepth bounds checkpoint chunks in flight past the pull
+	// stage: depth >= 2 overlaps the PMem flush of one chunk with the
+	// pull of the next. Default 1 (strictly sequential).
+	PipelineDepth int
+	// Lanes is the number of queue pairs transfers stripe chunks
+	// across. Default 1.
+	Lanes int
+	// ChunkBytes splits tensors into transfer chunks of at most this
+	// many bytes; 0 keeps one chunk per tensor.
+	ChunkBytes int64
 }
 
 // Server is a running Portus storage server over TCP.
@@ -180,6 +190,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	d, err := daemon.New(env, daemon.Config{
 		PMem: pm, RNode: node, Fabric: fabric, Workers: cfg.Workers,
+		PipelineDepth: cfg.PipelineDepth, Lanes: cfg.Lanes, ChunkSize: cfg.ChunkBytes,
 	})
 	if err != nil {
 		return nil, err
