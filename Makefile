@@ -1,7 +1,7 @@
 # Pre-PR gate: run `make check` before sending changes for review.
 GO ?= go
 
-.PHONY: check build test race vet fmt
+.PHONY: check build test race vet fmt chaos
 
 check: fmt vet race
 
@@ -12,7 +12,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
+
+# Fault-injection sweep at a fixed seed: proves committed checkpoints
+# survive verb errors, dropped connections, and torn flushes.
+chaos:
+	$(GO) run ./cmd/portus-bench chaos
 
 vet:
 	$(GO) vet ./...

@@ -44,6 +44,10 @@ func main() {
 		depth        = flag.Int("depth", 1, "datapath pipeline depth: chunks in flight past the pull stage (>= 2 overlaps flush with pull)")
 		lanes        = flag.Int("lanes", 1, "queue-pair lanes checkpoint/restore transfers stripe chunks across")
 		chunkMiB     = flag.Int64("chunk-mib", 0, "split tensors into transfer chunks of at most this many MiB (0 = one chunk per tensor)")
+		retryMax     = flag.Int("retry-max", 0, "transfer attempts per chunk before a checkpoint/restore fails (0 = default 3, negative = no retries)")
+		retryBackoff = flag.Duration("retry-backoff", 0, "base delay between per-chunk re-attempts, doubled each retry (0 = default 100us)")
+		laneFail     = flag.Int("lane-fail-limit", 0, "consecutive failures before a lane is quarantined and its work re-striped (0 = default 3, negative = never)")
+		degrade      = flag.Bool("degrade", false, "fall back to slower transfer strategies (one-sided -> two-sided -> host-staged) on route-class fabric errors")
 	)
 	flag.Parse()
 
@@ -58,6 +62,10 @@ func main() {
 		PipelineDepth: *depth,
 		Lanes:         *lanes,
 		ChunkBytes:    *chunkMiB << 20,
+		RetryMax:      *retryMax,
+		RetryBackoff:  *retryBackoff,
+		LaneFailLimit: *laneFail,
+		Degrade:       *degrade,
 	}
 	if *image != "" {
 		if _, err := os.Stat(*image); err == nil {

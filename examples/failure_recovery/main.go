@@ -75,6 +75,43 @@ func run(env portus.Env) {
 	fmt.Printf("with interval 200 instead: lost %d iterations, total %.1fs\n",
 		resCoarse.LostIterations, resCoarse.Elapsed.Seconds())
 	fmt.Println("cheap checkpoints make fine-grained fault tolerance affordable — the paper's core argument")
+
+	// A different failure mode: the control-plane connection dies
+	// mid-run instead of the training process. With a reconnect dialer
+	// the client redials, re-registers, re-sends the in-flight request —
+	// and the daemon deduplicates it — so training never notices.
+	var live portus.Conn
+	dial := func(env portus.Env) (portus.Conn, error) {
+		c, err := tb.Dial(env)
+		if err != nil {
+			return nil, err
+		}
+		live = c
+		return c, nil
+	}
+	resilient, err := tb.PlaceModelOpts(env, 0, 0, renamed(spec, "bert-resilient"),
+		portus.ClientOptions{Dialer: dial})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n--- control-plane failure: connection killed between checkpoints ---")
+	for iter := uint64(1); iter <= 5; iter++ {
+		resilient.ApplyUpdate(iter)
+		if iter == 3 {
+			live.Close() // the network drops the control connection
+			fmt.Println("iteration 3: control connection killed")
+		}
+		if err := resilient.Checkpoint(env, iter); err != nil {
+			log.Fatalf("checkpoint %d failed despite reconnect: %v", iter, err)
+		}
+	}
+	finalIter, err := resilient.Restore(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoints 1-5 all committed, %d reconnect(s), newest restorable version: iteration %d\n",
+		resilient.Reconnects(), finalIter)
+	fmt.Println("the training loop saw no error: the client healed the connection under it")
 }
 
 func renamed(s portus.Spec, name string) portus.Spec {

@@ -17,6 +17,13 @@
 //     stalls the *update* phase if the pull has not finished by then
 //     (Figure 9(d)) — parameters are stable during forward and backward,
 //     so the pull hides behind them.
+//
+// With Options.Dialer set the client self-heals from control-plane
+// drops: the receive loop redials with capped exponential backoff,
+// re-registers (the daemon accepts an idempotent re-register for an
+// identical model structure), and re-sends every request that was still
+// awaiting a reply. The daemon deduplicates a re-sent DO_CHECKPOINT by
+// (model, iteration), so a retry after reconnect never double-executes.
 package client
 
 import (
@@ -39,14 +46,20 @@ const restoreKey = ^uint64(0)
 
 // Client is one registered model's handle to the Portus daemon.
 type Client struct {
-	conn  wire.Conn
 	node  *rdma.Node
 	model *gpu.PlacedModel
 	mrs   []rdma.MR
+	opts  Options
+
+	// regMsg is the registration packet, kept for reconnect handshakes.
+	regMsg *wire.Msg
 
 	mu      sync.Mutex
+	conn    wire.Conn
+	closed  bool
 	pending map[pendingKey]*reply
-	// order preserves waiter arming order for uncorrelated errors.
+	// order preserves waiter arming order for uncorrelated errors and
+	// deterministic post-reconnect re-sends.
 	order []pendingKey
 
 	// Stalled accumulates training time lost waiting for checkpoint
@@ -56,6 +69,7 @@ type Client struct {
 	// Telemetry handles; nil (a no-op) unless Options.Telemetry was set.
 	ckpts      *telemetry.Counter
 	errs       *telemetry.Counter
+	reconnects *telemetry.Counter
 	syncLat    *telemetry.Histogram
 	ckptLat    *telemetry.Histogram
 	restoreLat *telemetry.Histogram
@@ -86,8 +100,21 @@ type Options struct {
 	// client's memory regions across processes (TCP deployments only).
 	FabricAddr string
 	// Telemetry, when set, receives client-side checkpoint/restore
-	// latency histograms and error counters labeled by model.
+	// latency histograms and error/reconnect counters labeled by model.
 	Telemetry *telemetry.Registry
+	// Dialer, when set, enables automatic reconnect: after a
+	// control-plane failure the client redials, re-registers, and
+	// re-sends its outstanding requests instead of failing them.
+	Dialer func(env sim.Env) (wire.Conn, error)
+	// ReconnectMax caps consecutive reconnect attempts before the
+	// client gives up and fails its waiters; 0 defaults to 8.
+	ReconnectMax int
+	// ReconnectBackoff is the delay before the second reconnect
+	// attempt, doubling per attempt up to 500ms; 0 defaults to 2ms.
+	ReconnectBackoff time.Duration
+	// RequestTimeout fails any single request not answered within it
+	// with a deadline error; 0 disables deadlines.
+	RequestTimeout time.Duration
 }
 
 // Register collects tensor pointers, registers each as an RDMA MR, and
@@ -103,12 +130,17 @@ func RegisterOpts(env sim.Env, conn wire.Conn, node *rdma.Node, m *gpu.PlacedMod
 		conn:    conn,
 		node:    node,
 		model:   m,
+		opts:    opts,
 		pending: make(map[pendingKey]*reply),
 	}
+	// Reconnects are always counted — Reconnects() must report the truth
+	// even when no telemetry registry is wired up.
+	c.reconnects = &telemetry.Counter{}
 	if reg := opts.Telemetry; reg != nil {
 		ml := telemetry.L("model", m.Spec.Name)
 		c.ckpts = reg.Counter("portus_client_checkpoints_total", "checkpoints completed by this client", ml)
 		c.errs = reg.Counter("portus_client_errors_total", "client-visible daemon/connection errors", ml)
+		c.reconnects = reg.Counter("portus_client_reconnects_total", "control-plane reconnects this client performed", ml)
 		c.syncLat = reg.Histogram("portus_client_checkpoint_sync_seconds", "blocking checkpoint latency as seen by training", nil, ml)
 		c.ckptLat = reg.Histogram("portus_client_checkpoint_seconds", "request-to-commit checkpoint latency (sync and async)", nil, ml)
 		c.restoreLat = reg.Histogram("portus_client_restore_seconds", "restore latency as seen by training", nil, ml)
@@ -127,8 +159,9 @@ func RegisterOpts(env sim.Env, conn wire.Conn, node *rdma.Node, m *gpu.PlacedMod
 			Name: tm.Name, DType: uint8(tm.DType), Dims: tm.Dims, Size: tm.Size, RKey: mr.RKey,
 		})
 	}
+	c.regMsg = msg
 	r := c.expect(env, wire.TRegisterOK, 0)
-	if err := conn.Send(env, msg); err != nil {
+	if err := c.sendRequest(env, pendingKey{t: wire.TRegisterOK}, msg); err != nil {
 		return nil, fmt.Errorf("client: sending registration: %w", err)
 	}
 	env.Go("portus-client-recv", c.recvLoop)
@@ -138,14 +171,24 @@ func RegisterOpts(env sim.Env, conn wire.Conn, node *rdma.Node, m *gpu.PlacedMod
 	return c, nil
 }
 
-// recvLoop dispatches daemon replies to their waiters.
+// recvLoop dispatches daemon replies to their waiters. On a connection
+// failure it reconnects when a dialer is configured; only when
+// reconnecting is impossible (or exhausted) does it fail the waiters.
 func (c *Client) recvLoop(env sim.Env) {
 	for {
-		m, err := c.conn.Recv(env)
+		c.mu.Lock()
+		conn := c.conn
+		c.mu.Unlock()
+		m, err := conn.Recv(env)
 		if err != nil {
-			// Connection gone: release every waiter with an error.
+			if c.reconnect(env) {
+				continue
+			}
+			// Connection gone for good: release every waiter, oldest
+			// first, with an error.
 			c.mu.Lock()
-			for k, r := range c.pending {
+			for _, k := range c.order {
+				r := c.pending[k]
 				r.msg = &wire.Msg{Type: wire.TError, Error: err.Error()}
 				r.sig.Fire(env)
 				delete(c.pending, k)
@@ -173,8 +216,96 @@ func (c *Client) recvLoop(env sim.Env) {
 	}
 }
 
+// reconnect redials with capped exponential backoff, replays the
+// registration handshake, and re-sends every request still awaiting a
+// reply. It reports false when no dialer is configured, the client was
+// closed, or the attempt budget is exhausted.
+func (c *Client) reconnect(env sim.Env) bool {
+	c.mu.Lock()
+	dialer := c.opts.Dialer
+	closed := c.closed
+	c.mu.Unlock()
+	if dialer == nil || closed {
+		return false
+	}
+	max := c.opts.ReconnectMax
+	if max <= 0 {
+		max = 8
+	}
+	backoff := c.opts.ReconnectBackoff
+	if backoff <= 0 {
+		backoff = 2 * time.Millisecond
+	}
+	for attempt := 1; attempt <= max; attempt++ {
+		if attempt > 1 {
+			env.Sleep(backoff)
+			if backoff < 500*time.Millisecond {
+				backoff *= 2
+			}
+		}
+		conn, err := dialer(env)
+		if err != nil {
+			continue
+		}
+		// Re-register before anything else: the daemon accepts an
+		// idempotent re-register for an identical structure, and no
+		// other reply can arrive on a fresh connection first.
+		if err := conn.Send(env, c.regMsg); err != nil {
+			conn.Close()
+			continue
+		}
+		m, err := conn.Recv(env)
+		if err != nil || m.Type != wire.TRegisterOK {
+			conn.Close()
+			continue
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return false
+		}
+		c.conn = conn
+		// The original registration may itself have raced the drop;
+		// this handshake just answered it.
+		regKey := pendingKey{t: wire.TRegisterOK}
+		var regWaiter *reply
+		if r, ok := c.pending[regKey]; ok {
+			regWaiter = r
+			r.msg = m
+			c.removeLocked(regKey)
+		}
+		// Re-send outstanding requests in arming order. The daemon
+		// dedups a DO_CHECKPOINT whose iteration committed (or is in
+		// flight), so retries never double-execute.
+		var resend []*wire.Msg
+		for _, k := range c.order {
+			switch k.t {
+			case wire.TCheckpointDone:
+				resend = append(resend, &wire.Msg{Type: wire.TDoCheckpoint, Model: c.model.Spec.Name, Iteration: k.iter})
+			case wire.TRestoreDone:
+				resend = append(resend, &wire.Msg{Type: wire.TRestore, Model: c.model.Spec.Name})
+			}
+		}
+		c.mu.Unlock()
+		if regWaiter != nil {
+			regWaiter.sig.Fire(env)
+		}
+		c.reconnects.Inc()
+		for _, msg := range resend {
+			if err := conn.Send(env, msg); err != nil {
+				break // Recv will observe the failure and reconnect again
+			}
+		}
+		return true
+	}
+	return false
+}
+
 // expect arms a waiter for (t, iter); it must be armed before the
-// request is sent so a fast reply cannot be dropped.
+// request is sent so a fast reply cannot be dropped. With a request
+// timeout configured, a deadline process fails the waiter if no reply
+// (or reconnect re-delivery) lands in time.
 func (c *Client) expect(env sim.Env, t wire.Type, iter uint64) *reply {
 	r := &reply{sig: sim.NewSignal(env)}
 	key := pendingKey{t: t, iter: iter}
@@ -182,7 +313,44 @@ func (c *Client) expect(env sim.Env, t wire.Type, iter uint64) *reply {
 	c.pending[key] = r
 	c.order = append(c.order, key)
 	c.mu.Unlock()
+	if d := c.opts.RequestTimeout; d > 0 {
+		env.Go("portus-client-deadline", func(env sim.Env) {
+			env.Sleep(d)
+			c.mu.Lock()
+			if cur, ok := c.pending[key]; !ok || cur != r {
+				// Answered in time (or the key was re-armed by a newer
+				// request — never fail someone else's waiter).
+				c.mu.Unlock()
+				return
+			}
+			c.removeLocked(key)
+			c.mu.Unlock()
+			r.msg = &wire.Msg{Type: wire.TError, Error: fmt.Sprintf("request deadline %v exceeded waiting for %s", d, t)}
+			r.sig.Fire(env)
+		})
+	}
 	return r
+}
+
+// sendRequest ships a request whose reply waiter is already armed. If
+// the send fails but the client can reconnect, the waiter stays armed:
+// the receive loop's reconnect handshake re-sends every outstanding
+// request, so the caller keeps waiting as if the send had succeeded.
+// Otherwise the waiter is removed — leaving it armed would let a later
+// uncorrelated ERROR release the stale waiter instead of a live one.
+func (c *Client) sendRequest(env sim.Env, key pendingKey, msg *wire.Msg) error {
+	c.mu.Lock()
+	conn := c.conn
+	canHeal := c.opts.Dialer != nil && !c.closed
+	c.mu.Unlock()
+	err := conn.Send(env, msg)
+	if err == nil || canHeal {
+		return nil
+	}
+	c.mu.Lock()
+	c.removeLocked(key)
+	c.mu.Unlock()
+	return err
 }
 
 // removeLocked drops a released waiter from the map and the order list.
@@ -247,7 +415,9 @@ func (c *Client) CheckpointSync(env sim.Env, iteration uint64) error {
 // without waiting.
 func (c *Client) CheckpointAsync(env sim.Env, iteration uint64) (*Completion, error) {
 	r := c.expect(env, wire.TCheckpointDone, iteration)
-	if err := c.conn.Send(env, &wire.Msg{Type: wire.TDoCheckpoint, Model: c.model.Spec.Name, Iteration: iteration}); err != nil {
+	key := pendingKey{t: wire.TCheckpointDone, iter: iteration}
+	msg := &wire.Msg{Type: wire.TDoCheckpoint, Model: c.model.Spec.Name, Iteration: iteration}
+	if err := c.sendRequest(env, key, msg); err != nil {
 		c.errs.Inc()
 		return nil, fmt.Errorf("client: DO_CHECKPOINT: %w", err)
 	}
@@ -293,19 +463,25 @@ func (cp *Completion) Done(env sim.Env) bool {
 func (c *Client) Restore(env sim.Env) (uint64, error) {
 	start := env.Now()
 	r := c.expect(env, wire.TRestoreDone, restoreKey)
-	if err := c.conn.Send(env, &wire.Msg{Type: wire.TRestore, Model: c.model.Spec.Name}); err != nil {
+	key := pendingKey{t: wire.TRestoreDone, iter: restoreKey}
+	msg := &wire.Msg{Type: wire.TRestore, Model: c.model.Spec.Name}
+	if err := c.sendRequest(env, key, msg); err != nil {
 		c.errs.Inc()
 		return 0, fmt.Errorf("client: RESTORE: %w", err)
 	}
-	msg, err := r.wait(env)
+	m, err := r.wait(env)
 	if err != nil {
 		c.errs.Inc()
 		return 0, fmt.Errorf("client: restore: %w", err)
 	}
-	c.model.Iteration = msg.Iteration
+	c.model.Iteration = m.Iteration
 	c.restoreLat.ObserveDuration(env.Now() - start)
-	return msg.Iteration, nil
+	return m.Iteration, nil
 }
+
+// Reconnects reports how many control-plane reconnects this client has
+// performed (0 when telemetry is disabled).
+func (c *Client) Reconnects() int64 { return c.reconnects.Value() }
 
 // MRCount reports how many memory regions this client registered.
 func (c *Client) MRCount() int { return len(c.mrs) }
@@ -313,5 +489,11 @@ func (c *Client) MRCount() int { return len(c.mrs) }
 // Model returns the placed model this client serves.
 func (c *Client) Model() *gpu.PlacedModel { return c.model }
 
-// Close tears down the control connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close tears down the control connection and disables reconnect.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	conn := c.conn
+	c.mu.Unlock()
+	return conn.Close()
+}

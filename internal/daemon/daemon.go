@@ -66,6 +66,25 @@ type Config struct {
 	// and striping schedule whole chunks, so splitting only matters for
 	// models dominated by a few huge tensors.
 	ChunkSize int64
+	// RetryMax bounds per-chunk transfer/flush attempts on transient
+	// errors: 0 defaults to 3, negative disables retry (one attempt).
+	RetryMax int
+	// RetryBackoff is the delay before a chunk's second attempt,
+	// doubling per further attempt; 0 defaults to 100µs, negative
+	// disables backoff.
+	RetryBackoff time.Duration
+	// LaneFailLimit quarantines a lane after this many consecutive
+	// failed attempts, re-striping its chunks over the healthy lanes:
+	// 0 defaults to 3, negative disables quarantine.
+	LaneFailLimit int
+	// Degrade enables strategy degradation: when the active datapath
+	// strategy hits a route-class error (the client's MR agent is
+	// unreachable), the engine falls back one-sided → two-sided →
+	// host-staged for the rest of that operation.
+	Degrade bool
+	// Flush overrides the PMem data-zone flush (fault injection); nil
+	// uses PMem.FlushData, which cannot fail.
+	Flush func(off, n int64) error
 	// Telemetry receives the daemon's counters, gauges, and latency
 	// histograms; nil creates a private registry (readable through
 	// Daemon.Telemetry).
@@ -145,7 +164,8 @@ type telem struct {
 
 	registered, checkpoints, restores, errors *telemetry.Counter
 	bytesPulled, bytesPushed                  *telemetry.Counter
-	queueDepth                                *telemetry.Gauge
+	retries, degradations, dedups             *telemetry.Counter
+	queueDepth, quarantined                   *telemetry.Gauge
 
 	ckptLatency    *telemetry.Histogram // enqueue → commit, end to end
 	enqueueWait    *telemetry.Histogram
@@ -173,6 +193,11 @@ func newTelem(reg *telemetry.Registry, traceDepth int, pm *pmem.Device) telem {
 		bytesPushed: reg.Counter("portus_daemon_bytes_pushed_total", "restore bytes pushed to GPU memory"),
 		queueDepth:  reg.Gauge("portus_daemon_queue_depth", "jobs enqueued but not yet picked up by a worker"),
 
+		retries:      reg.Counter("portus_datapath_retries_total", "chunk transfers and flushes re-attempted after a transient error"),
+		degradations: reg.Counter("portus_datapath_strategy_degradations_total", "datapath strategy fallbacks taken on route-class errors"),
+		dedups:       reg.Counter("portus_daemon_dedup_total", "retried requests deduplicated instead of double-executed"),
+		quarantined:  reg.Gauge("portus_datapath_quarantined_lanes", "lanes currently quarantined out of a transfer's stripe set"),
+
 		ckptLatency:    reg.Histogram("portus_checkpoint_seconds", "end-to-end checkpoint latency (enqueue to commit)", nil),
 		enqueueWait:    reg.Histogram("portus_checkpoint_enqueue_wait_seconds", "time a checkpoint job waits for a worker", nil),
 		pullStage:      reg.Histogram("portus_checkpoint_pull_seconds", "one-sided RDMA pull stage duration", nil),
@@ -196,6 +221,15 @@ type session struct {
 	mrs        []rdma.RemoteMR
 	model      *index.Model
 	busy       atomic.Bool
+
+	// In-flight request identity plus duplicate waiters, guarded by the
+	// daemon mutex. A client that reconnects mid-operation re-sends its
+	// request; instead of a busy rejection (or a double execution), the
+	// new connection is parked here and notified when the in-flight op
+	// completes.
+	busyKind jobKind
+	busyIter uint64
+	dup      []wire.Conn
 }
 
 type jobKind int
@@ -242,7 +276,9 @@ func New(env sim.Env, cfg Config) (*Daemon, error) {
 	// Register the whole data zone once; verbs address TensorData by
 	// offset within it.
 	d.dataMR = cfg.RNode.RegisterMR(env, cfg.PMem.Data(), 0, cfg.PMem.DataSize())
-	if cfg.StageThroughHost {
+	if cfg.StageThroughHost || cfg.Degrade {
+		// Degradation's last fallback stages through host DRAM, so the
+		// staging resource must exist whenever the chain can reach it.
 		d.hostStage = sim.NewBandwidthResource(env, "daemon/host-stage", perfmodel.ServerDRAMBW)
 	}
 	// The ablation variants are datapath strategies, not branches: the
@@ -255,13 +291,57 @@ func New(env sim.Env, cfg Config) (*Daemon, error) {
 	case cfg.StageThroughHost:
 		strat = datapath.HostStaged{}
 	}
+	var fallbacks []datapath.Strategy
+	if cfg.Degrade {
+		for _, s := range []datapath.Strategy{datapath.OneSided{}, datapath.TwoSided{}, datapath.HostStaged{}} {
+			if s.Name() != strat.Name() {
+				fallbacks = append(fallbacks, s)
+			}
+		}
+	}
+	retry := datapath.RetryPolicy{
+		MaxAttempts:   cfg.RetryMax,
+		Backoff:       cfg.RetryBackoff,
+		BackoffMax:    10 * time.Millisecond,
+		LaneFailLimit: cfg.LaneFailLimit,
+	}
+	switch {
+	case retry.MaxAttempts == 0:
+		retry.MaxAttempts = 3
+	case retry.MaxAttempts < 0:
+		retry.MaxAttempts = 1
+	}
+	switch {
+	case retry.Backoff == 0:
+		retry.Backoff = 100 * time.Microsecond
+	case retry.Backoff < 0:
+		retry.Backoff = 0
+	}
+	switch {
+	case retry.LaneFailLimit == 0:
+		retry.LaneFailLimit = 3
+	case retry.LaneFailLimit < 0:
+		retry.LaneFailLimit = 0
+	}
+	flush := cfg.Flush
+	if flush == nil {
+		pm := cfg.PMem
+		flush = func(off, n int64) error { pm.FlushData(off, n); return nil }
+	}
 	d.engine = datapath.New(datapath.Config{
 		Strategy:  strat,
+		Fallbacks: fallbacks,
 		Depth:     cfg.PipelineDepth,
 		Lanes:     rdma.ConnectLanes(env, cfg.RNode, cfg.Lanes),
 		IssueCost: perfmodel.RDMAReadIssueCost,
-		Flush:     cfg.PMem.FlushData,
+		Flush:     flush,
 		FlushCost: flushCost,
+		Retry:     retry,
+		Metrics: datapath.Metrics{
+			Retries:          d.tel.retries,
+			Degradations:     d.tel.degradations,
+			QuarantinedLanes: d.tel.quarantined,
+		},
 	})
 	// Rebuild ModelMap from the persistent ModelTable (daemon restart).
 	models, err := store.Models()
@@ -469,13 +549,65 @@ func (d *Daemon) enqueue(env sim.Env, conn wire.Conn, m *wire.Msg, kind jobKind)
 		d.sendErrFor(env, conn, m.Type, m.Iteration, m.Model, "model not registered on this daemon")
 		return
 	}
+	// A DO_CHECKPOINT retried after a reconnect (the original DONE was
+	// lost with the connection) is keyed by (model, iteration): if that
+	// iteration already committed, ack it instead of double-executing.
+	if kind == jobCheckpoint && d.committed(sess, m.Iteration) {
+		d.tel.dedups.Inc()
+		_ = conn.Send(env, &wire.Msg{Type: wire.TCheckpointDone, Model: m.Model, Iteration: m.Iteration})
+		return
+	}
 	if !sess.busy.CompareAndSwap(false, true) {
+		// The same request may already be in flight from the pre-drop
+		// connection; park the retry as a duplicate waiter and notify it
+		// when the in-flight operation completes.
+		d.mu.Lock()
+		if sess.busy.Load() && sess.busyKind == kind &&
+			(kind == jobRestore || sess.busyIter == m.Iteration) {
+			sess.dup = append(sess.dup, conn)
+			d.mu.Unlock()
+			d.tel.dedups.Inc()
+			return
+		}
+		d.mu.Unlock()
+		// The in-flight operation finished between the CAS and the
+		// check above; a committed retry still deserves its ack.
+		if kind == jobCheckpoint && d.committed(sess, m.Iteration) {
+			d.tel.dedups.Inc()
+			_ = conn.Send(env, &wire.Msg{Type: wire.TCheckpointDone, Model: m.Model, Iteration: m.Iteration})
+			return
+		}
 		d.sendErrFor(env, conn, m.Type, m.Iteration, m.Model, "operation already in flight for this model")
 		return
 	}
+	d.mu.Lock()
+	sess.busyKind = kind
+	sess.busyIter = m.Iteration
+	d.mu.Unlock()
 	d.stats.queueDepth.Add(1)
 	d.tel.queueDepth.Inc()
 	d.jobs.Send(env, &job{kind: kind, sess: sess, iteration: m.Iteration, conn: conn, enqueuedAt: env.Now()})
+}
+
+// committed reports whether iter is already a complete version on PMem.
+func (d *Daemon) committed(sess *session, iter uint64) bool {
+	for v := 0; v < 2; v++ {
+		if h := sess.model.VersionHeader(v); h.State == index.StateDone && h.Iteration == iter {
+			return true
+		}
+	}
+	return false
+}
+
+// drainDups detaches the duplicate waiters parked on sess. The worker
+// calls it while the session is still busy, so no new duplicates can
+// race in after the drain and be orphaned.
+func (d *Daemon) drainDups(sess *session) []wire.Conn {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dups := sess.dup
+	sess.dup = nil
+	return dups
 }
 
 // worker is one thread-pool member: it owns whole jobs, touching only
@@ -540,6 +672,9 @@ func (d *Daemon) doCheckpoint(env sim.Env, j *job) {
 		tr.Finish(env.Now())
 		d.tel.traces.Add(tr)
 		d.sendErrFor(env, j.conn, wire.TDoCheckpoint, j.iteration, m.Name, tr.Err)
+		for _, c := range d.drainDups(j.sess) {
+			d.sendErrFor(env, c, wire.TDoCheckpoint, j.iteration, m.Name, tr.Err)
+		}
 		return
 	}
 	commit := tr.Root.Child("commit", env.Now())
@@ -559,10 +694,13 @@ func (d *Daemon) doCheckpoint(env sim.Env, j *job) {
 	d.tel.pullStage.ObserveDuration(res.Transfer)
 	d.tel.flushStage.ObserveDuration(res.Flush)
 	d.tel.traces.Add(tr)
-	if err := j.conn.Send(env, &wire.Msg{
-		Type: wire.TCheckpointDone, Model: m.Name, Iteration: j.iteration, Slot: slot,
-	}); err != nil {
-		return
+	// The original connection may have died mid-pull; duplicate waiters
+	// from the client's reconnect get the same DONE, so a committed
+	// version is always acknowledged on whichever connection survives.
+	done := &wire.Msg{Type: wire.TCheckpointDone, Model: m.Name, Iteration: j.iteration, Slot: slot}
+	_ = j.conn.Send(env, done)
+	for _, c := range d.drainDups(j.sess) {
+		_ = c.Send(env, done)
 	}
 }
 
@@ -576,6 +714,9 @@ func (d *Daemon) doRestore(env sim.Env, j *job) {
 	slot, v, ok := m.LatestDone()
 	if !ok {
 		d.sendErrFor(env, j.conn, wire.TRestore, 0, m.Name, "no complete checkpoint version on PMem")
+		for _, c := range d.drainDups(j.sess) {
+			d.sendErrFor(env, c, wire.TRestore, 0, m.Name, "no complete checkpoint version on PMem")
+		}
 		return
 	}
 	tr := telemetry.NewTrace("restore", m.Name, v.Iteration, j.enqueuedAt)
@@ -589,6 +730,9 @@ func (d *Daemon) doRestore(env sim.Env, j *job) {
 		tr.Finish(env.Now())
 		d.tel.traces.Add(tr)
 		d.sendErrFor(env, j.conn, wire.TRestore, v.Iteration, m.Name, tr.Err)
+		for _, c := range d.drainDups(j.sess) {
+			d.sendErrFor(env, c, wire.TRestore, v.Iteration, m.Name, tr.Err)
+		}
 		return
 	}
 	d.stats.pushNanos.Add(int64(res.Transfer))
@@ -602,10 +746,10 @@ func (d *Daemon) doRestore(env sim.Env, j *job) {
 	d.tel.pushStage.ObserveDuration(res.Transfer)
 	d.tel.enqueueWait.ObserveDuration(wait.Dur())
 	d.tel.traces.Add(tr)
-	if err := j.conn.Send(env, &wire.Msg{
-		Type: wire.TRestoreDone, Model: m.Name, Iteration: v.Iteration, Slot: slot,
-	}); err != nil {
-		return
+	done := &wire.Msg{Type: wire.TRestoreDone, Model: m.Name, Iteration: v.Iteration, Slot: slot}
+	_ = j.conn.Send(env, done)
+	for _, c := range d.drainDups(j.sess) {
+		_ = c.Send(env, done)
 	}
 }
 

@@ -121,9 +121,10 @@ func (r *rig) engine(env sim.Env, depth, lanes int) *datapath.Engine {
 		Depth:     depth,
 		Lanes:     rdma.ConnectLanes(env, r.storage, lanes),
 		IssueCost: perfmodel.RDMAReadIssueCost,
-		Flush: func(off, n int64) {
+		Flush: func(off, n int64) error {
 			r.flushCalls++
 			r.flushedBytes += n
+			return nil
 		},
 		FlushCost: func(n int64) time.Duration {
 			return time.Duration(float64(n) / float64(perfmodel.MiB) * float64(perfmodel.FlushPerMiB))

@@ -1,6 +1,7 @@
 package datapath
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -10,10 +11,48 @@ import (
 	"github.com/portus-sys/portus/internal/telemetry"
 )
 
+// RetryPolicy tunes the engine's self-healing behavior. The zero value
+// disables it: the first error fails the run, matching the pre-retry
+// datapath.
+type RetryPolicy struct {
+	// MaxAttempts bounds the tries per chunk — transfer attempts and
+	// flush attempts are budgeted independently. Values below 2 mean a
+	// single attempt (no retry).
+	MaxAttempts int
+	// Backoff is the delay before the second attempt, doubling on each
+	// further attempt.
+	Backoff time.Duration
+	// BackoffMax caps the doubled backoff; 0 leaves it uncapped.
+	BackoffMax time.Duration
+	// LaneFailLimit quarantines a lane after this many consecutive
+	// failed attempts, re-striping its remaining chunks over the
+	// healthy lanes. 0 disables quarantine; the last healthy lane is
+	// never quarantined (it must either succeed or fail the run).
+	LaneFailLimit int
+}
+
+// Metrics receives the engine's healing counters. All handles are
+// optional; nil handles are no-ops.
+type Metrics struct {
+	// Retries counts re-attempted chunk transfers and flushes.
+	Retries *telemetry.Counter
+	// Degradations counts strategy-chain fallbacks taken on
+	// route-class errors.
+	Degradations *telemetry.Counter
+	// QuarantinedLanes gauges lanes currently removed from a stripe
+	// set; it returns to zero when the run completes.
+	QuarantinedLanes *telemetry.Gauge
+}
+
 // Config parameterizes an Engine.
 type Config struct {
 	// Strategy moves individual chunks; defaults to OneSided.
 	Strategy Strategy
+	// Fallbacks are tried in order when the active strategy hits a
+	// route-class error (the peer's MR agent is unreachable,
+	// rdma.ErrNoRoute): typically one-sided → two-sided → host-staged.
+	// Degradation is per-run; the next run starts at Strategy again.
+	Fallbacks []Strategy
 	// Depth bounds the chunks in flight past the transfer stage: with
 	// depth 1 a chunk's flush completes before the next chunk's pull
 	// begins; with depth d, up to d chunks may be pulled-but-not-yet-
@@ -25,12 +64,19 @@ type Config struct {
 	// IssueCost is the per-verb posting + completion-polling cost.
 	IssueCost time.Duration
 	// Flush persists [off, off+n) of the PMem data zone (pull direction
-	// only).
-	Flush func(off, n int64)
+	// only). A non-nil error marks the range unpersisted; the engine
+	// retries under RetryPolicy and never reports success with an
+	// unflushed chunk.
+	Flush func(off, n int64) error
 	// FlushCost models the CLWB+fence cost of flushing n bytes. It must
 	// be linear in n so per-chunk and whole-batch flushing charge the
 	// same total.
 	FlushCost func(n int64) time.Duration
+	// Retry is the self-healing policy for transient verb and flush
+	// errors.
+	Retry RetryPolicy
+	// Metrics receives retry/degradation/quarantine telemetry.
+	Metrics Metrics
 }
 
 // Result reports what an engine run moved and the wall-clock (or
@@ -44,6 +90,13 @@ type Result struct {
 	Transfer time.Duration
 	Flush    time.Duration
 	Chunks   int
+	// Retries counts chunk transfers and flushes that were re-attempted
+	// after a transient error.
+	Retries int
+	// Degradations counts strategy-chain fallbacks this run took.
+	Degradations int
+	// Quarantined counts lanes removed from the stripe set this run.
+	Quarantined int
 }
 
 // Engine executes Plans. It is stateless across runs and safe for
@@ -64,7 +117,7 @@ func New(cfg Config) *Engine {
 		cfg.Lanes = []*rdma.QP{{ID: 0}}
 	}
 	if cfg.Flush == nil {
-		cfg.Flush = func(int64, int64) {}
+		cfg.Flush = func(int64, int64) error { return nil }
 	}
 	if cfg.FlushCost == nil {
 		cfg.FlushCost = func(int64) time.Duration { return 0 }
@@ -72,16 +125,135 @@ func New(cfg Config) *Engine {
 	return &Engine{cfg: cfg}
 }
 
-// Strategy returns the engine's chunk-transfer strategy.
+// Strategy returns the engine's primary chunk-transfer strategy.
 func (e *Engine) Strategy() Strategy { return e.cfg.Strategy }
+
+func (e *Engine) maxAttempts() int {
+	if e.cfg.Retry.MaxAttempts < 1 {
+		return 1
+	}
+	return e.cfg.Retry.MaxAttempts
+}
+
+// backoff returns the pre-retry delay after `attempt` failed attempts:
+// Backoff doubled per extra failure, capped at BackoffMax.
+func (e *Engine) backoff(attempt int) time.Duration {
+	d := e.cfg.Retry.Backoff
+	if d <= 0 {
+		return 0
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if max := e.cfg.Retry.BackoffMax; max > 0 && d >= max {
+			return max
+		}
+	}
+	if max := e.cfg.Retry.BackoffMax; max > 0 && d > max {
+		d = max
+	}
+	return d
+}
+
+// isRouteErr classifies errors that mean the peer's MR agent is
+// unreachable — the trigger for strategy degradation. Addressing errors
+// (bad rkey, out of bounds) are not route-class: no fallback strategy
+// can fix a wrong address, so they fail fast.
+func isRouteErr(err error) bool { return errors.Is(err, rdma.ErrNoRoute) }
+
+// run is the per-operation healing state: the degradation chain cursor
+// and the counters that land in Result.
+type run struct {
+	mu           sync.Mutex
+	chain        []Strategy
+	cur          int
+	retries      int
+	degradations int
+	quarantined  int
+}
+
+func (e *Engine) newRun() *run {
+	chain := make([]Strategy, 0, 1+len(e.cfg.Fallbacks))
+	chain = append(chain, e.cfg.Strategy)
+	chain = append(chain, e.cfg.Fallbacks...)
+	return &run{chain: chain}
+}
+
+func (r *run) strategy() Strategy {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.chain[r.cur]
+}
+
+// degrade advances to the next fallback strategy; it reports false when
+// the chain is exhausted (the caller must treat the error as final or
+// spend a retry attempt on the current strategy).
+func (r *run) degrade(e *Engine) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cur+1 >= len(r.chain) {
+		return false
+	}
+	r.cur++
+	r.degradations++
+	e.cfg.Metrics.Degradations.Inc()
+	return true
+}
+
+func (r *run) noteRetry(e *Engine) {
+	r.mu.Lock()
+	r.retries++
+	r.mu.Unlock()
+	e.cfg.Metrics.Retries.Inc()
+}
+
+func (r *run) quarantine(e *Engine) {
+	r.mu.Lock()
+	r.quarantined++
+	r.mu.Unlock()
+	e.cfg.Metrics.QuarantinedLanes.Inc()
+}
+
+// finish returns quarantined lanes to the gauge (quarantine is scoped
+// to one run; the next run stripes over the full lane set again) and
+// stamps the healing counters into res.
+func (r *run) finish(e *Engine, res *Result) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.quarantined > 0 {
+		e.cfg.Metrics.QuarantinedLanes.Add(int64(-r.quarantined))
+	}
+	res.Retries = r.retries
+	res.Degradations = r.degradations
+	res.Quarantined = r.quarantined
+}
+
+// laneContext returns cx, or a clone routed through the lane's own
+// fabric when one is set (per-lane fault injection, multi-rail NICs).
+func laneContext(cx *Context, qp *rdma.QP) *Context {
+	if qp.Fabric == nil {
+		return cx
+	}
+	clone := *cx
+	clone.Fabric = qp.Fabric
+	return &clone
+}
+
+// workItem is one chunk's place in a striped run, carrying its attempt
+// budget across lanes when a quarantined lane hands it back.
+type workItem struct {
+	c        Chunk
+	attempts int
+}
 
 // Pull runs the checkpoint direction: every chunk is transferred into
 // PMem and flushed; Pull returns only once all chunks are persisted,
-// so the caller may commit the version's done flag. Under root it
-// builds a "pull" span (one child span per chunk, with bytes and lane
-// attributes) and a "flush" span covering the flush tail; the spans
-// are contiguous, so they sum with the caller's other stages to the
-// end-to-end latency.
+// so the caller may commit the version's done flag. That invariant
+// survives healing: a retried or re-striped chunk still flushes before
+// Pull returns, and a flush that keeps failing past the retry budget
+// fails the whole run. Under root it builds a "pull" span (one child
+// span per chunk attempt, with bytes and lane attributes) and a "flush"
+// span covering the flush tail; the spans are contiguous, so they sum
+// with the caller's other stages to the end-to-end latency.
 func (e *Engine) Pull(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (Result, error) {
 	if root == nil {
 		root = &telemetry.Span{}
@@ -93,41 +265,92 @@ func (e *Engine) Pull(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (R
 }
 
 // pullSequential is the depth-1, single-lane path: transfer every
-// chunk, then flush the whole batch. It reproduces the pre-engine
-// datapath's timing and span structure exactly.
+// chunk, then flush the whole batch. With no faults it reproduces the
+// pre-engine datapath's timing and span structure exactly.
 func (e *Engine) pullSequential(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (Result, error) {
+	rs := e.newRun()
+	lcx := laneContext(cx, e.cfg.Lanes[0])
 	t0 := env.Now()
 	pull := root.Child("pull", t0)
 	var pulled int64
 	for _, c := range p.Chunks {
-		sp := pull.Child(c.spanName("pull"), env.Now())
-		env.Sleep(e.cfg.IssueCost)
-		if err := e.cfg.Strategy.Pull(env, cx, c); err != nil {
-			return Result{}, fmt.Errorf("pulling %s: %w", c.Name, err)
+		attempts := 0
+		for {
+			sp := pull.Child(c.spanName("pull"), env.Now())
+			env.Sleep(e.cfg.IssueCost)
+			err := rs.strategy().Pull(env, lcx, c)
+			if err == nil {
+				pulled += c.Len
+				sp.SetAttr("bytes", fmt.Sprint(c.Len))
+				sp.SetAttr("lane", fmt.Sprint(e.cfg.Lanes[0].ID))
+				if attempts > 0 {
+					sp.SetAttr("attempt", fmt.Sprint(attempts+1))
+				}
+				sp.EndAt(env.Now())
+				break
+			}
+			sp.SetAttr("error", err.Error())
+			sp.EndAt(env.Now())
+			if isRouteErr(err) && rs.degrade(e) {
+				continue // fresh strategy, immediate re-attempt
+			}
+			attempts++
+			if attempts >= e.maxAttempts() {
+				pull.EndAt(env.Now())
+				var res Result
+				rs.finish(e, &res)
+				return res, fmt.Errorf("pulling %s: %w", c.Name, err)
+			}
+			rs.noteRetry(e)
+			env.Sleep(e.backoff(attempts))
 		}
-		pulled += c.Len
-		sp.SetAttr("bytes", fmt.Sprint(c.Len))
-		sp.SetAttr("lane", fmt.Sprint(e.cfg.Lanes[0].ID))
-		sp.EndAt(env.Now())
 	}
 	t1 := env.Now()
 	pull.EndAt(t1)
 	flush := root.Child("flush", t1)
 	for _, c := range p.Chunks {
-		e.cfg.Flush(c.PMemOff, c.Len)
+		attempts := 0
+		for {
+			err := e.cfg.Flush(c.PMemOff, c.Len)
+			if err == nil {
+				break
+			}
+			attempts++
+			if attempts >= e.maxAttempts() {
+				flush.EndAt(env.Now())
+				var res Result
+				rs.finish(e, &res)
+				return res, fmt.Errorf("flushing %s: %w", c.Name, err)
+			}
+			rs.noteRetry(e)
+			// A re-flush pays the CLWB cost for this chunk again on top
+			// of the batch cost charged below.
+			env.Sleep(e.backoff(attempts) + e.cfg.FlushCost(c.Len))
+		}
 	}
 	env.Sleep(e.cfg.FlushCost(pulled))
 	t2 := env.Now()
 	flush.EndAt(t2)
-	return Result{Bytes: pulled, Transfer: t1 - t0, Flush: t2 - t1, Chunks: len(p.Chunks)}, nil
+	res := Result{Bytes: pulled, Transfer: t1 - t0, Flush: t2 - t1, Chunks: len(p.Chunks)}
+	rs.finish(e, &res)
+	return res, nil
 }
 
-// pullPipelined overlaps stages: lane processes pull chunks (striped
-// over a shared cursor, bounded by depth tokens) and hand them to a
+// pullPipelined overlaps stages: lane processes pull chunks from a
+// shared work queue (bounded by depth tokens) and hand them to a
 // flusher process that persists each chunk as it lands and returns the
 // token. A chunk's flush therefore runs while later chunks are still
 // in flight, but no chunk is ever unflushed when Pull returns.
+//
+// Healing: a failed attempt retries on the same lane with backoff; a
+// lane that fails LaneFailLimit consecutive attempts requeues its chunk
+// and leaves the stripe set (quarantine), so the remaining chunks
+// re-stripe over the healthy lanes; a chunk that exhausts MaxAttempts
+// fails the run. Work-queue sends and closes happen under mu (guarded
+// by workClosed) so a quarantined lane can never send on a closed
+// queue.
 func (e *Engine) pullPipelined(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (Result, error) {
+	rs := e.newRun()
 	t0 := env.Now()
 	pull := root.Child("pull", t0)
 
@@ -135,72 +358,119 @@ func (e *Engine) pullPipelined(env sim.Env, cx *Context, p Plan, root *telemetry
 	for i := 0; i < e.cfg.Depth; i++ {
 		tokens.Send(env, struct{}{})
 	}
+	work := sim.NewMailbox[*workItem](env)
 	flushQ := sim.NewMailbox[Chunk](env)
 	lanes := sim.NewGroup(env)
 	flushed := sim.NewSignal(env)
 
 	var (
 		mu          sync.Mutex
-		next        int
 		failed      bool
+		workClosed  bool
 		firstErr    error
 		pulled      int64
 		lastPullEnd time.Duration
+		flushedN    int
+		healthy     = len(e.cfg.Lanes)
 	)
+	total := len(p.Chunks)
+	for i := range p.Chunks {
+		work.Send(env, &workItem{c: p.Chunks[i]})
+	}
+	if total == 0 {
+		workClosed = true
+		work.Close(env)
+	}
+	// closeWork is called with mu held.
+	closeWork := func(env sim.Env) {
+		if !workClosed {
+			workClosed = true
+			work.Close(env)
+		}
+	}
 
 	lanes.Add(env, len(e.cfg.Lanes))
 	for _, qp := range e.cfg.Lanes {
 		qp := qp
 		env.Go(fmt.Sprintf("datapath-lane-%d", qp.ID), func(env sim.Env) {
 			defer lanes.Done(env)
+			lcx := laneContext(cx, qp)
+			consec := 0
 			for {
-				mu.Lock()
-				if failed || next >= len(p.Chunks) {
-					mu.Unlock()
+				it, ok := work.Recv(env)
+				if !ok {
 					return
 				}
-				c := p.Chunks[next]
-				next++
-				mu.Unlock()
+				for {
+					// Bound chunks in flight past the transfer stage.
+					// Tokens are conserved: the flusher (or a failing
+					// lane) always returns them, so blocked lanes cannot
+					// starve.
+					tokens.Recv(env)
 
-				// Bound chunks in flight past the transfer stage. Tokens
-				// are conserved: the flusher (or an erroring lane)
-				// always returns them, so blocked lanes cannot starve.
-				tokens.Recv(env)
-
-				mu.Lock()
-				if failed {
-					mu.Unlock()
-					tokens.Send(env, struct{}{})
-					return
-				}
-				sp := pull.Child(c.spanName("pull"), env.Now())
-				mu.Unlock()
-
-				env.Sleep(e.cfg.IssueCost)
-				err := e.cfg.Strategy.Pull(env, cx, c)
-				now := env.Now()
-
-				mu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("pulling %s: %w", c.Name, err)
+					mu.Lock()
+					if failed {
+						mu.Unlock()
+						tokens.Send(env, struct{}{})
+						return
 					}
-					failed = true
+					sp := pull.Child(it.c.spanName("pull"), env.Now())
 					mu.Unlock()
-					tokens.Send(env, struct{}{})
-					return
-				}
-				pulled += c.Len
-				if now > lastPullEnd {
-					lastPullEnd = now
-				}
-				sp.SetAttr("bytes", fmt.Sprint(c.Len))
-				sp.SetAttr("lane", fmt.Sprint(qp.ID))
-				sp.EndAt(now)
-				mu.Unlock()
 
-				flushQ.Send(env, c)
+					env.Sleep(e.cfg.IssueCost)
+					err := rs.strategy().Pull(env, lcx, it.c)
+					now := env.Now()
+
+					if err == nil {
+						mu.Lock()
+						consec = 0
+						pulled += it.c.Len
+						if now > lastPullEnd {
+							lastPullEnd = now
+						}
+						sp.SetAttr("bytes", fmt.Sprint(it.c.Len))
+						sp.SetAttr("lane", fmt.Sprint(qp.ID))
+						if it.attempts > 0 {
+							sp.SetAttr("attempt", fmt.Sprint(it.attempts+1))
+						}
+						sp.EndAt(now)
+						mu.Unlock()
+						flushQ.Send(env, it.c) // the chunk carries its token to the flusher
+						break
+					}
+
+					tokens.Send(env, struct{}{})
+					mu.Lock()
+					sp.SetAttr("error", err.Error())
+					sp.EndAt(now)
+					if isRouteErr(err) && rs.degrade(e) {
+						mu.Unlock()
+						continue // fresh strategy, immediate re-attempt
+					}
+					it.attempts++
+					if it.attempts >= e.maxAttempts() {
+						if firstErr == nil {
+							firstErr = fmt.Errorf("pulling %s: %w", it.c.Name, err)
+						}
+						failed = true
+						closeWork(env)
+						mu.Unlock()
+						return
+					}
+					rs.noteRetry(e)
+					consec++
+					if lim := e.cfg.Retry.LaneFailLimit; lim > 0 && consec >= lim && healthy > 1 {
+						healthy--
+						rs.quarantine(e)
+						if !workClosed {
+							work.Send(env, it) // re-stripe over the healthy lanes
+						}
+						mu.Unlock()
+						return
+					}
+					mu.Unlock()
+					env.Sleep(e.backoff(it.attempts))
+				}
 			}
 		})
 	}
@@ -212,8 +482,33 @@ func (e *Engine) pullPipelined(env sim.Env, cx *Context, p Plan, root *telemetry
 				flushed.Fire(env)
 				return
 			}
-			e.cfg.Flush(c.PMemOff, c.Len)
-			env.Sleep(e.cfg.FlushCost(c.Len))
+			attempts := 0
+			for {
+				err := e.cfg.Flush(c.PMemOff, c.Len)
+				env.Sleep(e.cfg.FlushCost(c.Len))
+				if err == nil {
+					break
+				}
+				attempts++
+				if attempts >= e.maxAttempts() {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("flushing %s: %w", c.Name, err)
+					}
+					failed = true
+					closeWork(env)
+					mu.Unlock()
+					break
+				}
+				rs.noteRetry(e)
+				env.Sleep(e.backoff(attempts))
+			}
+			mu.Lock()
+			flushedN++
+			if flushedN == total && !failed {
+				closeWork(env) // all persisted: release the idle lanes
+			}
+			mu.Unlock()
 			tokens.Send(env, struct{}{})
 		}
 	})
@@ -223,7 +518,9 @@ func (e *Engine) pullPipelined(env sim.Env, cx *Context, p Plan, root *telemetry
 	flushed.Wait(env)
 
 	if firstErr != nil {
-		return Result{}, firstErr
+		var res Result
+		rs.finish(e, &res)
+		return res, firstErr
 	}
 	if lastPullEnd < t0 { // empty plan: no chunk ever completed
 		lastPullEnd = t0
@@ -232,86 +529,176 @@ func (e *Engine) pullPipelined(env sim.Env, cx *Context, p Plan, root *telemetry
 	flush := root.Child("flush", lastPullEnd)
 	end := env.Now()
 	flush.EndAt(end)
-	return Result{Bytes: pulled, Transfer: lastPullEnd - t0, Flush: end - lastPullEnd, Chunks: len(p.Chunks)}, nil
+	res := Result{Bytes: pulled, Transfer: lastPullEnd - t0, Flush: end - lastPullEnd, Chunks: len(p.Chunks)}
+	rs.finish(e, &res)
+	return res, nil
 }
 
 // Push runs the restore direction: chunks move from PMem back into the
 // client's memory. There is no flush stage; with multiple lanes the
-// chunks stripe, otherwise they run in order. Under root it builds a
-// "push" span with one child per chunk.
+// chunks stripe, otherwise they run in order. The same healing policy
+// applies: bounded per-chunk retry, per-run strategy degradation, and
+// lane quarantine on striped runs. Under root it builds a "push" span
+// with one child per chunk attempt.
 func (e *Engine) Push(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (Result, error) {
 	if root == nil {
 		root = &telemetry.Span{}
 	}
+	rs := e.newRun()
 	t0 := env.Now()
 	push := root.Child("push", t0)
 
 	if len(e.cfg.Lanes) == 1 {
+		lcx := laneContext(cx, e.cfg.Lanes[0])
 		var pushed int64
 		for _, c := range p.Chunks {
-			sp := push.Child(c.spanName("push"), env.Now())
-			env.Sleep(e.cfg.IssueCost)
-			if err := e.cfg.Strategy.Push(env, cx, c); err != nil {
-				return Result{}, fmt.Errorf("restoring %s: %w", c.Name, err)
+			attempts := 0
+			for {
+				sp := push.Child(c.spanName("push"), env.Now())
+				env.Sleep(e.cfg.IssueCost)
+				err := rs.strategy().Push(env, lcx, c)
+				if err == nil {
+					pushed += c.Len
+					sp.SetAttr("bytes", fmt.Sprint(c.Len))
+					sp.SetAttr("lane", fmt.Sprint(e.cfg.Lanes[0].ID))
+					if attempts > 0 {
+						sp.SetAttr("attempt", fmt.Sprint(attempts+1))
+					}
+					sp.EndAt(env.Now())
+					break
+				}
+				sp.SetAttr("error", err.Error())
+				sp.EndAt(env.Now())
+				if isRouteErr(err) && rs.degrade(e) {
+					continue
+				}
+				attempts++
+				if attempts >= e.maxAttempts() {
+					push.EndAt(env.Now())
+					var res Result
+					rs.finish(e, &res)
+					return res, fmt.Errorf("restoring %s: %w", c.Name, err)
+				}
+				rs.noteRetry(e)
+				env.Sleep(e.backoff(attempts))
 			}
-			pushed += c.Len
-			sp.SetAttr("bytes", fmt.Sprint(c.Len))
-			sp.SetAttr("lane", fmt.Sprint(e.cfg.Lanes[0].ID))
-			sp.EndAt(env.Now())
 		}
 		push.EndAt(env.Now())
-		return Result{Bytes: pushed, Transfer: push.Dur(), Chunks: len(p.Chunks)}, nil
+		res := Result{Bytes: pushed, Transfer: push.Dur(), Chunks: len(p.Chunks)}
+		rs.finish(e, &res)
+		return res, nil
 	}
 
 	var (
-		mu       sync.Mutex
-		next     int
-		failed   bool
-		firstErr error
-		pushed   int64
+		mu         sync.Mutex
+		failed     bool
+		workClosed bool
+		firstErr   error
+		pushed     int64
+		doneN      int
+		healthy    = len(e.cfg.Lanes)
 	)
+	total := len(p.Chunks)
+	work := sim.NewMailbox[*workItem](env)
+	for i := range p.Chunks {
+		work.Send(env, &workItem{c: p.Chunks[i]})
+	}
+	if total == 0 {
+		workClosed = true
+		work.Close(env)
+	}
+	closeWork := func(env sim.Env) { // called with mu held
+		if !workClosed {
+			workClosed = true
+			work.Close(env)
+		}
+	}
 	lanes := sim.NewGroup(env)
 	lanes.Add(env, len(e.cfg.Lanes))
 	for _, qp := range e.cfg.Lanes {
 		qp := qp
 		env.Go(fmt.Sprintf("datapath-lane-%d", qp.ID), func(env sim.Env) {
 			defer lanes.Done(env)
+			lcx := laneContext(cx, qp)
+			consec := 0
 			for {
-				mu.Lock()
-				if failed || next >= len(p.Chunks) {
-					mu.Unlock()
+				it, ok := work.Recv(env)
+				if !ok {
 					return
 				}
-				c := p.Chunks[next]
-				next++
-				sp := push.Child(c.spanName("push"), env.Now())
-				mu.Unlock()
-
-				env.Sleep(e.cfg.IssueCost)
-				err := e.cfg.Strategy.Push(env, cx, c)
-				now := env.Now()
-
-				mu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("restoring %s: %w", c.Name, err)
+				for {
+					mu.Lock()
+					if failed {
+						mu.Unlock()
+						return
 					}
-					failed = true
+					sp := push.Child(it.c.spanName("push"), env.Now())
 					mu.Unlock()
-					return
+
+					env.Sleep(e.cfg.IssueCost)
+					err := rs.strategy().Push(env, lcx, it.c)
+					now := env.Now()
+
+					if err == nil {
+						mu.Lock()
+						consec = 0
+						pushed += it.c.Len
+						sp.SetAttr("bytes", fmt.Sprint(it.c.Len))
+						sp.SetAttr("lane", fmt.Sprint(qp.ID))
+						if it.attempts > 0 {
+							sp.SetAttr("attempt", fmt.Sprint(it.attempts+1))
+						}
+						sp.EndAt(now)
+						doneN++
+						if doneN == total {
+							closeWork(env)
+						}
+						mu.Unlock()
+						break
+					}
+
+					mu.Lock()
+					sp.SetAttr("error", err.Error())
+					sp.EndAt(now)
+					if isRouteErr(err) && rs.degrade(e) {
+						mu.Unlock()
+						continue
+					}
+					it.attempts++
+					if it.attempts >= e.maxAttempts() {
+						if firstErr == nil {
+							firstErr = fmt.Errorf("restoring %s: %w", it.c.Name, err)
+						}
+						failed = true
+						closeWork(env)
+						mu.Unlock()
+						return
+					}
+					rs.noteRetry(e)
+					consec++
+					if lim := e.cfg.Retry.LaneFailLimit; lim > 0 && consec >= lim && healthy > 1 {
+						healthy--
+						rs.quarantine(e)
+						if !workClosed {
+							work.Send(env, it)
+						}
+						mu.Unlock()
+						return
+					}
+					mu.Unlock()
+					env.Sleep(e.backoff(it.attempts))
 				}
-				pushed += c.Len
-				sp.SetAttr("bytes", fmt.Sprint(c.Len))
-				sp.SetAttr("lane", fmt.Sprint(qp.ID))
-				sp.EndAt(now)
-				mu.Unlock()
 			}
 		})
 	}
 	lanes.Wait(env)
 	if firstErr != nil {
-		return Result{}, firstErr
+		var res Result
+		rs.finish(e, &res)
+		return res, firstErr
 	}
 	push.EndAt(env.Now())
-	return Result{Bytes: pushed, Transfer: push.Dur(), Chunks: len(p.Chunks)}, nil
+	res := Result{Bytes: pushed, Transfer: push.Dur(), Chunks: len(p.Chunks)}
+	rs.finish(e, &res)
+	return res, nil
 }

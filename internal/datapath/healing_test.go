@@ -1,0 +1,224 @@
+package datapath_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/portus-sys/portus/internal/datapath"
+	"github.com/portus-sys/portus/internal/faults"
+	"github.com/portus-sys/portus/internal/perfmodel"
+	"github.com/portus-sys/portus/internal/rdma"
+	"github.com/portus-sys/portus/internal/sim"
+)
+
+// healEngine builds an engine with an explicit retry policy on top of
+// the shared rig.
+func (r *rig) healEngine(env sim.Env, depth, lanes int, cfgMut func(*datapath.Config)) *datapath.Engine {
+	cfg := datapath.Config{
+		Depth:     depth,
+		Lanes:     rdma.ConnectLanes(env, r.storage, lanes),
+		IssueCost: perfmodel.RDMAReadIssueCost,
+		Flush: func(off, n int64) error {
+			r.flushCalls++
+			r.flushedBytes += n
+			return nil
+		},
+		FlushCost: func(n int64) time.Duration {
+			return time.Duration(float64(n) / float64(perfmodel.MiB) * float64(perfmodel.FlushPerMiB))
+		},
+		Retry: datapath.RetryPolicy{MaxAttempts: 5, Backoff: 10 * time.Microsecond},
+	}
+	if cfgMut != nil {
+		cfgMut(&cfg)
+	}
+	return datapath.New(cfg)
+}
+
+// TestPullRetriesTransientVerbErrors: a fabric that fails the first two
+// reads heals under the retry policy in both the sequential and the
+// pipelined path — the run succeeds, the content is intact, and exactly
+// the two re-attempts are reported.
+func TestPullRetriesTransientVerbErrors(t *testing.T) {
+	for _, cfg := range []struct{ depth, lanes int }{{1, 1}, {4, 2}} {
+		eng := sim.NewEngine()
+		eng.Go("test", func(env sim.Env) {
+			r := newRig(env, false, []int64{2 << 20, 2 << 20})
+			r.gpu.WriteStamp(0, 2<<20, 7)
+			r.gpu.WriteStamp(2<<20, 2<<20, 8)
+			inj := faults.NewInjector(faults.Config{Read: faults.Rule{From: 1, To: 2}})
+			r.cx.Fabric = inj.Fabric(r.cx.Fabric)
+			e := r.healEngine(env, cfg.depth, cfg.lanes, nil)
+			p := datapath.NewPlan(r.tensors, 1<<20)
+			res, err := e.Pull(env, r.cx, p, nil)
+			if err != nil {
+				t.Fatalf("depth=%d lanes=%d: %v", cfg.depth, cfg.lanes, err)
+			}
+			if res.Retries != 2 {
+				t.Fatalf("depth=%d lanes=%d: retries = %d, want 2", cfg.depth, cfg.lanes, res.Retries)
+			}
+			if got := r.pm.StampOf(0, 2<<20); got != 7 {
+				t.Fatalf("tensor 0 stamp = %d after healed pull", got)
+			}
+			if r.flushedBytes != p.Bytes {
+				t.Fatalf("flushed %d bytes, want %d", r.flushedBytes, p.Bytes)
+			}
+		})
+		eng.Run()
+	}
+}
+
+// TestPullWithoutRetryPolicyFailsFast: the zero RetryPolicy keeps the
+// pre-healing contract — the first transient error fails the run.
+func TestPullWithoutRetryPolicyFailsFast(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		r := newRig(env, false, []int64{1 << 20})
+		r.gpu.WriteStamp(0, 1<<20, 1)
+		inj := faults.NewInjector(faults.Config{Read: faults.Rule{From: 1, To: 1}})
+		r.cx.Fabric = inj.Fabric(r.cx.Fabric)
+		e := r.engine(env, 1, 1) // the plain rig engine has no retry policy
+		_, err := e.Pull(env, r.cx, datapath.NewPlan(r.tensors, 0), nil)
+		if err == nil || !errors.Is(err, faults.ErrInjected) {
+			t.Fatalf("err = %v, want the injected failure surfaced", err)
+		}
+	})
+	eng.Run()
+}
+
+// TestLaneQuarantineReStripes: one lane of two rides a fabric that
+// always fails; after LaneFailLimit consecutive failures the lane is
+// quarantined and its chunks re-stripe over the healthy lane, so the
+// pull completes.
+func TestLaneQuarantineReStripes(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		r := newRig(env, false, []int64{4 << 20})
+		r.gpu.WriteStamp(0, 4<<20, 9)
+		bad := faults.NewInjector(faults.Config{Read: faults.Rule{Rate: 1}})
+		e := r.healEngine(env, 2, 2, func(cfg *datapath.Config) {
+			cfg.Lanes[1].Fabric = bad.Fabric(r.cx.Fabric)
+			cfg.Retry.MaxAttempts = 10
+			cfg.Retry.LaneFailLimit = 2
+		})
+		p := datapath.NewPlan(r.tensors, 1<<20)
+		res, err := e.Pull(env, r.cx, p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Quarantined != 1 {
+			t.Fatalf("quarantined = %d, want 1", res.Quarantined)
+		}
+		if got := r.pm.StampOf(0, 4<<20); got != 9 {
+			t.Fatalf("stamp = %d after re-striped pull", got)
+		}
+		if r.flushedBytes != p.Bytes {
+			t.Fatalf("flushed %d bytes, want %d", r.flushedBytes, p.Bytes)
+		}
+	})
+	eng.Run()
+}
+
+// TestRouteErrorDegradesStrategy: a route-class error (peer agent
+// unreachable) does not burn a retry attempt — the engine falls through
+// the strategy chain immediately and the run reports the degradation.
+func TestRouteErrorDegradesStrategy(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		r := newRig(env, false, []int64{1 << 20})
+		r.gpu.WriteStamp(0, 1<<20, 4)
+		inj := faults.NewInjector(faults.Config{Route: faults.Rule{From: 1, To: 1}})
+		r.cx.Fabric = inj.Fabric(r.cx.Fabric)
+		e := r.healEngine(env, 1, 1, func(cfg *datapath.Config) {
+			cfg.Strategy = datapath.OneSided{}
+			cfg.Fallbacks = []datapath.Strategy{datapath.TwoSided{}}
+			cfg.Retry.MaxAttempts = 1 // degradation alone must save the run
+		})
+		res, err := e.Pull(env, r.cx, datapath.NewPlan(r.tensors, 0), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Degradations != 1 || res.Retries != 0 {
+			t.Fatalf("degradations = %d retries = %d, want 1 and 0", res.Degradations, res.Retries)
+		}
+		if got := r.pm.StampOf(0, 1<<20); got != 4 {
+			t.Fatalf("stamp = %d after degraded pull", got)
+		}
+	})
+	eng.Run()
+}
+
+// TestFlushRetriesAndExhausts: a torn flush is re-attempted under the
+// retry budget; when the budget runs out, Pull fails rather than commit
+// an unpersisted chunk — in the sequential and pipelined paths alike.
+func TestFlushRetriesAndExhausts(t *testing.T) {
+	for _, cfg := range []struct{ depth, lanes int }{{1, 1}, {2, 2}} {
+		// Heals: the first flush call fails, the retry succeeds.
+		eng := sim.NewEngine()
+		eng.Go("test", func(env sim.Env) {
+			r := newRig(env, false, []int64{1 << 20})
+			r.gpu.WriteStamp(0, 1<<20, 2)
+			calls := 0
+			e := r.healEngine(env, cfg.depth, cfg.lanes, func(c *datapath.Config) {
+				c.Flush = func(off, n int64) error {
+					calls++
+					if calls == 1 {
+						return errors.New("torn flush")
+					}
+					return nil
+				}
+			})
+			res, err := e.Pull(env, r.cx, datapath.NewPlan(r.tensors, 0), nil)
+			if err != nil {
+				t.Fatalf("depth=%d: %v", cfg.depth, err)
+			}
+			if res.Retries < 1 {
+				t.Fatalf("depth=%d: retries = %d, want >= 1", cfg.depth, res.Retries)
+			}
+		})
+		eng.Run()
+
+		// Exhausts: a flush that never succeeds fails the run.
+		eng = sim.NewEngine()
+		eng.Go("test", func(env sim.Env) {
+			r := newRig(env, false, []int64{1 << 20})
+			r.gpu.WriteStamp(0, 1<<20, 2)
+			e := r.healEngine(env, cfg.depth, cfg.lanes, func(c *datapath.Config) {
+				c.Flush = func(off, n int64) error { return errors.New("dead media") }
+				c.Retry.MaxAttempts = 3
+			})
+			_, err := e.Pull(env, r.cx, datapath.NewPlan(r.tensors, 0), nil)
+			if err == nil || !strings.Contains(err.Error(), "flushing") {
+				t.Fatalf("depth=%d: err = %v, want flushing failure", cfg.depth, err)
+			}
+		})
+		eng.Run()
+	}
+}
+
+// TestPushRetriesTransientVerbErrors: the restore direction heals the
+// same way, single-lane and striped.
+func TestPushRetriesTransientVerbErrors(t *testing.T) {
+	for _, lanes := range []int{1, 2} {
+		eng := sim.NewEngine()
+		eng.Go("test", func(env sim.Env) {
+			r := newRig(env, false, []int64{2 << 20})
+			r.pm.WriteStamp(0, 2<<20, 5)
+			inj := faults.NewInjector(faults.Config{Write: faults.Rule{From: 1, To: 1}})
+			r.cx.Fabric = inj.Fabric(r.cx.Fabric)
+			e := r.healEngine(env, 1, lanes, nil)
+			res, err := e.Push(env, r.cx, datapath.NewPlan(r.tensors, 1<<20), nil)
+			if err != nil {
+				t.Fatalf("lanes=%d: %v", lanes, err)
+			}
+			if res.Retries != 1 {
+				t.Fatalf("lanes=%d: retries = %d, want 1", lanes, res.Retries)
+			}
+			if got := r.gpu.StampOf(0, 2<<20); got != 5 {
+				t.Fatalf("lanes=%d: stamp = %d after healed push", lanes, got)
+			}
+		})
+		eng.Run()
+	}
+}

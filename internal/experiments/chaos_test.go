@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+// TestChaosInvariantAtTenPercent is the acceptance bar for the
+// self-healing stack: at a 10% fault rate at every layer — verb
+// errors, dropped control connections, torn flushes — under the fixed
+// seed, the run completes with zero lost committed checkpoints, the
+// newest complete version restores bit-exactly, and the healing
+// counters show up in the Prometheus scrape.
+func TestChaosInvariantAtTenPercent(t *testing.T) {
+	o := RunChaos(ChaosSeed, 0.10, 25)
+	if o.Lost != 0 {
+		t.Fatalf("lost %d committed checkpoints under 10%% faults", o.Lost)
+	}
+	if !o.RestoredOK {
+		t.Fatal("newest complete version did not restore bit-exactly")
+	}
+	if o.Faults == 0 {
+		t.Fatal("no faults injected — the harness is not wired into the stack")
+	}
+	if o.Committed == 0 {
+		t.Fatal("no checkpoints committed under faults")
+	}
+	if !o.ScrapeOK {
+		t.Fatal("fault/retry/reconnect counters missing from the Prometheus scrape")
+	}
+}
+
+// TestChaosIsDeterministic: the same seed and rate replay the exact
+// same run — faults, retries, commits, and reconnects all match.
+func TestChaosIsDeterministic(t *testing.T) {
+	a := RunChaos(ChaosSeed, 0.10, 15)
+	b := RunChaos(ChaosSeed, 0.10, 15)
+	if a.Faults != b.Faults || a.Retries != b.Retries ||
+		a.Committed != b.Committed || a.Reconnects != b.Reconnects ||
+		a.FailedLoud != b.FailedLoud || a.RestoredIter != b.RestoredIter {
+		t.Fatalf("two runs with the same seed diverged:\n  a = %+v\n  b = %+v", a, b)
+	}
+}
+
+// TestChaosCleanRunInjectsNothing: rate zero must leave the stack
+// untouched — no faults, no retries, no reconnects, full goodput.
+func TestChaosCleanRunInjectsNothing(t *testing.T) {
+	o := RunChaos(ChaosSeed, 0, 10)
+	if o.Faults != 0 || o.Retries != 0 || o.Reconnects != 0 || o.FailedLoud != 0 {
+		t.Fatalf("clean run shows healing activity: %+v", o)
+	}
+	if o.Committed != o.Attempted || !o.RestoredOK {
+		t.Fatalf("clean run incomplete: %+v", o)
+	}
+}

@@ -122,8 +122,19 @@ func (m *Mailbox[T]) Len(env Env) int {
 	return len(m.queue)
 }
 
+// Closed reports whether the mailbox has been closed. Senders that may
+// race a close use it to fail gracefully instead of panicking.
+func (m *Mailbox[T]) Closed(env Env) bool {
+	if m.real {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return m.closed
+	}
+	return m.closed
+}
+
 // Close marks the mailbox closed; blocked and future receivers get
-// (zero, false) once the queue drains.
+// (zero, false) once the queue drains. Closing twice is a no-op.
 func (m *Mailbox[T]) Close(env Env) {
 	if m.real {
 		m.mu.Lock()

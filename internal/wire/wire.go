@@ -172,14 +172,17 @@ func (n *SimNet) Dial(env sim.Env, name string) (Conn, error) {
 	}
 	a2b := sim.NewMailbox[*Msg](env)
 	b2a := sim.NewMailbox[*Msg](env)
-	client := &simConn{in: b2a, out: a2b}
-	server := &simConn{in: a2b, out: b2a}
+	client := &simConn{env: env, in: b2a, out: a2b}
+	server := &simConn{env: env, in: a2b, out: b2a}
 	env.Sleep(perfmodel.TCPLatency)
 	l.accept.Send(env, server)
 	return client, nil
 }
 
 type simConn struct {
+	// env is captured at dial time so Close — an env-less interface
+	// method — can close the shared mailboxes from any process.
+	env     sim.Env
 	in, out *sim.Mailbox[*Msg]
 	closed  bool
 }
@@ -187,10 +190,13 @@ type simConn struct {
 // Send charges the one-way control latency plus transmission time at an
 // IPoIB-class gigabyte per second, then delivers.
 func (c *simConn) Send(env sim.Env, m *Msg) error {
-	if c.closed {
+	if c.closed || c.out.Closed(env) {
 		return ErrClosed
 	}
 	env.Sleep(perfmodel.TCPLatency/2 + sim.TransferTime(m.approxSize(), 1e9, 0, 0))
+	if c.out.Closed(env) { // the peer closed while the message was in flight
+		return ErrClosed
+	}
 	c.out.Send(env, m)
 	return nil
 }
@@ -203,9 +209,19 @@ func (c *simConn) Recv(env sim.Env) (*Msg, error) {
 	return m, nil
 }
 
+// Close tears the connection down in both directions, like a TCP reset:
+// the peer's Recv drains any in-flight messages and then reports
+// ErrClosed, and sends from either end fail.
 func (c *simConn) Close() error {
-	if !c.closed {
-		c.closed = true
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if !c.in.Closed(c.env) {
+		c.in.Close(c.env)
+	}
+	if !c.out.Closed(c.env) {
+		c.out.Close(c.env)
 	}
 	return nil
 }

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"time"
 
 	"github.com/portus-sys/portus/internal/client"
 	"github.com/portus-sys/portus/internal/cluster"
@@ -136,6 +137,21 @@ type ServerConfig struct {
 	// ChunkBytes splits tensors into transfer chunks of at most this
 	// many bytes; 0 keeps one chunk per tensor.
 	ChunkBytes int64
+	// RetryMax bounds transfer attempts per chunk before a checkpoint or
+	// restore fails. 0 means the default (3); negative disables retries.
+	RetryMax int
+	// RetryBackoff is the base delay between per-chunk re-attempts,
+	// doubled each retry. 0 means the default (100µs); negative
+	// disables the delay.
+	RetryBackoff time.Duration
+	// LaneFailLimit quarantines a lane after this many consecutive
+	// failures, re-striping its work over the survivors. 0 means the
+	// default (3); negative disables quarantine.
+	LaneFailLimit int
+	// Degrade falls back to a slower transfer strategy (one-sided →
+	// two-sided → host-staged) when the active one hits route-class
+	// fabric errors.
+	Degrade bool
 }
 
 // Server is a running Portus storage server over TCP.
@@ -191,6 +207,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	d, err := daemon.New(env, daemon.Config{
 		PMem: pm, RNode: node, Fabric: fabric, Workers: cfg.Workers,
 		PipelineDepth: cfg.PipelineDepth, Lanes: cfg.Lanes, ChunkSize: cfg.ChunkBytes,
+		RetryMax: cfg.RetryMax, RetryBackoff: cfg.RetryBackoff,
+		LaneFailLimit: cfg.LaneFailLimit, Degrade: cfg.Degrade,
 	})
 	if err != nil {
 		return nil, err
@@ -367,6 +385,10 @@ func (m *Model) CheckpointAsync(env Env, iteration uint64) (*client.Completion, 
 // returns its iteration.
 func (m *Model) Restore(env Env) (uint64, error) { return m.c.Restore(env) }
 
+// Reconnects reports how many control-plane reconnects this model's
+// client has performed.
+func (m *Model) Reconnects() int64 { return m.c.Reconnects() }
+
 // SyncPolicy returns this model's synchronous checkpoint policy for the
 // training loop.
 func (m *Model) SyncPolicy() Checkpointer { return &client.Sync{C: m.c} }
@@ -414,15 +436,41 @@ func NewTestbed(env Env, cfg TestbedConfig) (*Testbed, error) {
 // PlaceModel puts spec on (node, gpu), registers it with the daemon, and
 // returns the model handle.
 func (tb *Testbed) PlaceModel(env Env, node, gpuIdx int, spec Spec) (*Model, error) {
+	return tb.PlaceModelOpts(env, node, gpuIdx, spec, ClientOptions{})
+}
+
+// Conn re-exports the control-plane connection interface, so callers
+// can supply reconnect dialers (and wrap connections for fault
+// injection).
+type Conn = wire.Conn
+
+// ClientOptions re-exports the client registration options: a reconnect
+// Dialer, backoff caps, request deadlines, and a telemetry registry.
+type ClientOptions = client.Options
+
+// Dial opens a control connection to the testbed's daemon — the
+// building block for ClientOptions.Dialer.
+func (tb *Testbed) Dial(env Env) (Conn, error) {
+	return tb.net.Dial(env, "storage")
+}
+
+// PlaceModelOpts is PlaceModel with explicit client options. When a
+// Dialer is set it is used for the initial connection too, so every
+// connection in the client's lifetime comes from the same source.
+func (tb *Testbed) PlaceModelOpts(env Env, node, gpuIdx int, spec Spec, opts ClientOptions) (*Model, error) {
 	placed, err := gpu.Place(tb.Cluster.GPU(node, gpuIdx), spec)
 	if err != nil {
 		return nil, err
 	}
-	conn, err := tb.net.Dial(env, "storage")
+	dial := opts.Dialer
+	if dial == nil {
+		dial = func(env Env) (Conn, error) { return tb.net.Dial(env, "storage") }
+	}
+	conn, err := dial(env)
 	if err != nil {
 		return nil, err
 	}
-	c, err := client.Register(env, conn, tb.Cluster.Compute[node].RNode, placed)
+	c, err := client.RegisterOpts(env, conn, tb.Cluster.Compute[node].RNode, placed, opts)
 	if err != nil {
 		return nil, err
 	}
