@@ -1,7 +1,7 @@
 # Pre-PR gate: run `make check` before sending changes for review.
 GO ?= go
 
-.PHONY: check build test race vet fmt chaos
+.PHONY: check build test race vet fmt chaos multitenant
 
 check: fmt vet race
 
@@ -18,6 +18,12 @@ race:
 # survive verb errors, dropped connections, and torn flushes.
 chaos:
 	$(GO) run ./cmd/portus-bench chaos
+
+# Multi-tenant scheduling sweep: 1-16 concurrent models through the fair
+# scheduler, plus an overload run proving coalescing and BUSY
+# backpressure never lose a committed checkpoint.
+multitenant:
+	$(GO) run ./cmd/portus-bench multitenant
 
 vet:
 	$(GO) vet ./...

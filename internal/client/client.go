@@ -67,12 +67,13 @@ type Client struct {
 	Stalled time.Duration
 
 	// Telemetry handles; nil (a no-op) unless Options.Telemetry was set.
-	ckpts      *telemetry.Counter
-	errs       *telemetry.Counter
-	reconnects *telemetry.Counter
-	syncLat    *telemetry.Histogram
-	ckptLat    *telemetry.Histogram
-	restoreLat *telemetry.Histogram
+	ckpts       *telemetry.Counter
+	errs        *telemetry.Counter
+	reconnects  *telemetry.Counter
+	busyRetries *telemetry.Counter
+	syncLat     *telemetry.Histogram
+	ckptLat     *telemetry.Histogram
+	restoreLat  *telemetry.Histogram
 }
 
 type pendingKey struct {
@@ -83,6 +84,9 @@ type pendingKey struct {
 type reply struct {
 	sig *sim.Signal
 	msg *wire.Msg
+	// busy counts BUSY backpressure bounces this request has absorbed,
+	// bounding the re-send loop and scaling its backoff.
+	busy int
 }
 
 func (r *reply) wait(env sim.Env) (*wire.Msg, error) {
@@ -115,6 +119,16 @@ type Options struct {
 	// RequestTimeout fails any single request not answered within it
 	// with a deadline error; 0 disables deadlines.
 	RequestTimeout time.Duration
+	// BusyRetryMax caps how many BUSY backpressure bounces one request
+	// absorbs before it fails; 0 defaults to 16.
+	BusyRetryMax int
+	// BusyBackoff is the client-side floor for the first re-send delay
+	// after a BUSY, doubling per bounce; the daemon's RetryAfter hint
+	// is honored when it is longer. 0 defaults to 1ms.
+	BusyBackoff time.Duration
+	// BusyBackoffMax caps the doubled client-side backoff (the daemon
+	// hint is trusted beyond it); 0 defaults to 100ms.
+	BusyBackoffMax time.Duration
 }
 
 // Register collects tensor pointers, registers each as an RDMA MR, and
@@ -133,14 +147,17 @@ func RegisterOpts(env sim.Env, conn wire.Conn, node *rdma.Node, m *gpu.PlacedMod
 		opts:    opts,
 		pending: make(map[pendingKey]*reply),
 	}
-	// Reconnects are always counted — Reconnects() must report the truth
-	// even when no telemetry registry is wired up.
+	// Reconnects and busy retries are always counted — Reconnects() and
+	// BusyRetries() must report the truth even when no telemetry
+	// registry is wired up.
 	c.reconnects = &telemetry.Counter{}
+	c.busyRetries = &telemetry.Counter{}
 	if reg := opts.Telemetry; reg != nil {
 		ml := telemetry.L("model", m.Spec.Name)
 		c.ckpts = reg.Counter("portus_client_checkpoints_total", "checkpoints completed by this client", ml)
 		c.errs = reg.Counter("portus_client_errors_total", "client-visible daemon/connection errors", ml)
 		c.reconnects = reg.Counter("portus_client_reconnects_total", "control-plane reconnects this client performed", ml)
+		c.busyRetries = reg.Counter("portus_client_busy_retries_total", "requests re-sent after a BUSY backpressure reply", ml)
 		c.syncLat = reg.Histogram("portus_client_checkpoint_sync_seconds", "blocking checkpoint latency as seen by training", nil, ml)
 		c.ckptLat = reg.Histogram("portus_client_checkpoint_seconds", "request-to-commit checkpoint latency (sync and async)", nil, ml)
 		c.restoreLat = reg.Histogram("portus_client_restore_seconds", "restore latency as seen by training", nil, ml)
@@ -197,6 +214,10 @@ func (c *Client) recvLoop(env sim.Env) {
 			c.mu.Unlock()
 			return
 		}
+		if m.Type == wire.TBusy {
+			c.handleBusy(env, m)
+			continue
+		}
 		key := pendingKey{t: m.Type, iter: m.Iteration}
 		if m.Type == wire.TRestoreDone {
 			key.iter = restoreKey
@@ -214,6 +235,80 @@ func (c *Client) recvLoop(env sim.Env) {
 		}
 		c.mu.Unlock()
 	}
+}
+
+// handleBusy reacts to a BUSY backpressure reply: the daemon's queue
+// was full, so the request was not admitted. The waiter stays armed
+// and a delayed process re-sends the request after the daemon's
+// RetryAfter hint (or the client's own capped exponential backoff,
+// whichever is longer). A request that keeps bouncing past
+// BusyRetryMax fails with an error instead of retrying forever.
+func (c *Client) handleBusy(env sim.Env, m *wire.Msg) {
+	var key pendingKey
+	var resend *wire.Msg
+	switch m.InReplyTo {
+	case wire.TDoCheckpoint:
+		key = pendingKey{t: wire.TCheckpointDone, iter: m.Iteration}
+		resend = &wire.Msg{Type: wire.TDoCheckpoint, Model: c.model.Spec.Name, Iteration: m.Iteration}
+	case wire.TRestore:
+		key = pendingKey{t: wire.TRestoreDone, iter: restoreKey}
+		resend = &wire.Msg{Type: wire.TRestore, Model: c.model.Spec.Name}
+	default:
+		return // uncorrelated BUSY: nothing to re-send
+	}
+	c.mu.Lock()
+	r, ok := c.pending[key]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	r.busy++
+	max := c.opts.BusyRetryMax
+	if max <= 0 {
+		max = 16
+	}
+	if r.busy > max {
+		c.removeLocked(key)
+		c.mu.Unlock()
+		r.msg = &wire.Msg{Type: wire.TError, Error: fmt.Sprintf("daemon busy: gave up after %d retries of %s", max, m.InReplyTo)}
+		r.sig.Fire(env)
+		c.errs.Inc()
+		return
+	}
+	base := c.opts.BusyBackoff
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	cap := c.opts.BusyBackoffMax
+	if cap <= 0 {
+		cap = 100 * time.Millisecond
+	}
+	delay := base
+	for i := 1; i < r.busy && delay < cap; i++ {
+		delay *= 2
+	}
+	if delay > cap {
+		delay = cap
+	}
+	if m.RetryAfter > delay {
+		delay = m.RetryAfter // the daemon knows its backlog better
+	}
+	c.mu.Unlock()
+	c.busyRetries.Inc()
+	env.Go("portus-client-busy-retry", func(env sim.Env) {
+		env.Sleep(delay)
+		c.mu.Lock()
+		cur, ok := c.pending[key]
+		conn := c.conn
+		closed := c.closed
+		c.mu.Unlock()
+		if !ok || cur != r || closed {
+			return // answered (or deadline-failed) while we backed off
+		}
+		// A failed re-send surfaces on the receive loop, which owns
+		// reconnect; the waiter stays armed either way.
+		_ = conn.Send(env, resend)
+	})
 }
 
 // reconnect redials with capped exponential backoff, replays the
@@ -482,6 +577,10 @@ func (c *Client) Restore(env sim.Env) (uint64, error) {
 // Reconnects reports how many control-plane reconnects this client has
 // performed (0 when telemetry is disabled).
 func (c *Client) Reconnects() int64 { return c.reconnects.Value() }
+
+// BusyRetries reports how many requests this client re-sent after a
+// BUSY backpressure reply.
+func (c *Client) BusyRetries() int64 { return c.busyRetries.Value() }
 
 // MRCount reports how many memory regions this client registered.
 func (c *Client) MRCount() int { return len(c.mrs) }

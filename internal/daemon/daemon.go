@@ -31,6 +31,7 @@ import (
 	"github.com/portus-sys/portus/internal/pmem"
 	"github.com/portus-sys/portus/internal/rbtree"
 	"github.com/portus-sys/portus/internal/rdma"
+	"github.com/portus-sys/portus/internal/sched"
 	"github.com/portus-sys/portus/internal/serialize"
 	"github.com/portus-sys/portus/internal/sim"
 	"github.com/portus-sys/portus/internal/telemetry"
@@ -46,6 +47,16 @@ type Config struct {
 	Workers int
 	// TableCap bounds the ModelTable; defaults to 512.
 	TableCap int64
+	// QueueCap bounds the requests queued across all models before the
+	// daemon answers BUSY; 0 defaults to 64, negative means unbounded.
+	QueueCap int
+	// ModelQueueCap bounds the requests queued per model; 0 defaults to
+	// 8, negative means unbounded.
+	ModelQueueCap int
+	// SchedPolicy selects the scheduler's picker: "fair" (weighted
+	// round-robin across models, restores first — the default) or
+	// "fifo" (strict global arrival order).
+	SchedPolicy string
 	// TwoSidedData switches the data plane to two-sided SEND/RECV-style
 	// transfer costs (ablation only; see DESIGN.md §5).
 	TwoSidedData bool
@@ -100,10 +111,11 @@ type Config struct {
 //     registrations, committed checkpoint versions, and finished
 //     restores.
 //   - Errors counts every error the daemon has reported to a client
-//     (malformed requests, busy rejections, and datapath failures).
-//   - QueueDepth is the number of jobs currently enqueued for the
-//     worker pool but not yet picked up (an instantaneous gauge, not a
-//     cumulative count).
+//     (malformed requests and datapath failures; BUSY backpressure
+//     replies are counted separately in portus_sched_busy_replies_total).
+//   - QueueDepth is the number of requests currently queued in the
+//     scheduler but not yet picked up by a worker (an instantaneous
+//     gauge read straight from the scheduler, not a cumulative count).
 //   - BytesPulled and BytesPushed total the checkpoint (GPU→PMem) and
 //     restore (PMem→GPU) data volumes.
 //   - PullTime, FlushTime, and PushTime give the cumulative stage
@@ -127,7 +139,14 @@ type Daemon struct {
 	cfg    Config
 	store  *index.Store
 	dataMR rdma.MR
-	jobs   *sim.Mailbox[*job]
+
+	// sched owns admission, dedup, coalescing, ordering, and
+	// backpressure for every checkpoint/restore request; the daemon's
+	// request path is a thin shim around Submit/Next/Done.
+	sched *sched.Scheduler
+	// lanePool leases the RDMA lane set fairly across concurrent
+	// transfers instead of striping every job over all lanes.
+	lanePool *sched.LanePool
 
 	mu       sync.Mutex
 	modelMap *rbtree.Tree[string, int64] // ModelMap: name -> info_offset
@@ -138,7 +157,6 @@ type Daemon struct {
 		checkpoints atomic.Int64
 		restores    atomic.Int64
 		errors      atomic.Int64
-		queueDepth  atomic.Int64
 		bytesPulled atomic.Int64
 		bytesPushed atomic.Int64
 		pullNanos   atomic.Int64
@@ -165,7 +183,7 @@ type telem struct {
 	registered, checkpoints, restores, errors *telemetry.Counter
 	bytesPulled, bytesPushed                  *telemetry.Counter
 	retries, degradations, dedups             *telemetry.Counter
-	queueDepth, quarantined                   *telemetry.Gauge
+	quarantined                               *telemetry.Gauge
 
 	ckptLatency    *telemetry.Histogram // enqueue → commit, end to end
 	enqueueWait    *telemetry.Histogram
@@ -191,7 +209,6 @@ func newTelem(reg *telemetry.Registry, traceDepth int, pm *pmem.Device) telem {
 		errors:      reg.Counter("portus_daemon_errors_total", "errors reported to clients"),
 		bytesPulled: reg.Counter("portus_daemon_bytes_pulled_total", "checkpoint bytes pulled from GPU memory"),
 		bytesPushed: reg.Counter("portus_daemon_bytes_pushed_total", "restore bytes pushed to GPU memory"),
-		queueDepth:  reg.Gauge("portus_daemon_queue_depth", "jobs enqueued but not yet picked up by a worker"),
 
 		retries:      reg.Counter("portus_datapath_retries_total", "chunk transfers and flushes re-attempted after a transient error"),
 		degradations: reg.Counter("portus_datapath_strategy_degradations_total", "datapath strategy fallbacks taken on route-class errors"),
@@ -215,36 +232,22 @@ func newTelem(reg *telemetry.Registry, traceDepth int, pm *pmem.Device) telem {
 }
 
 // session is the live state of one registered model: the client's GPU
-// memory regions keyed one-to-one to the model's tensors.
+// memory regions keyed one-to-one to the model's tensors. Admission,
+// dedup, and in-flight tracking all live in the scheduler; the session
+// carries no request state.
 type session struct {
 	clientNode string
 	mrs        []rdma.RemoteMR
 	model      *index.Model
-	busy       atomic.Bool
-
-	// In-flight request identity plus duplicate waiters, guarded by the
-	// daemon mutex. A client that reconnects mid-operation re-sends its
-	// request; instead of a busy rejection (or a double execution), the
-	// new connection is parked here and notified when the in-flight op
-	// completes.
-	busyKind jobKind
-	busyIter uint64
-	dup      []wire.Conn
 }
 
-type jobKind int
-
-const (
-	jobCheckpoint jobKind = iota + 1
-	jobRestore
-)
-
-type job struct {
-	kind       jobKind
-	sess       *session
-	iteration  uint64
-	conn       wire.Conn
-	enqueuedAt time.Duration // env.Now() when the job entered the queue
+// reqCtx is the daemon-side payload of a scheduled task: the session
+// the request runs against and the connection its reply goes to.
+// Duplicate and coalesced submissions each carry their own reqCtx, so
+// every surviving connection gets its acknowledgment.
+type reqCtx struct {
+	sess *session
+	conn wire.Conn
 }
 
 // New opens (or formats) the namespace and starts the worker pool.
@@ -262,14 +265,33 @@ func New(env sim.Env, cfg Config) (*Daemon, error) {
 	if err != nil {
 		return nil, fmt.Errorf("daemon: opening namespace: %w", err)
 	}
+	var policy sched.Policy
+	switch cfg.SchedPolicy {
+	case "", "fair":
+		policy = sched.Fair
+	case "fifo":
+		policy = sched.FIFO
+	default:
+		return nil, fmt.Errorf("daemon: unknown scheduler policy %q (want fair or fifo)", cfg.SchedPolicy)
+	}
 	d := &Daemon{
 		cfg:      cfg,
 		store:    store,
-		jobs:     sim.NewMailbox[*job](env),
 		modelMap: rbtree.New[string, int64](),
 		sessions: make(map[string]*session),
 		tel:      newTelem(cfg.Telemetry, cfg.TraceDepth, cfg.PMem),
 	}
+	d.sched = sched.New(env, sched.Config{
+		ModelQueueCap: cfg.ModelQueueCap,
+		GlobalCap:     cfg.QueueCap,
+		Workers:       cfg.Workers,
+		Policy:        policy,
+		Telemetry:     d.tel.reg,
+	})
+	// The queue-depth gauge samples the scheduler — the single source of
+	// truth — instead of mirroring it in a second atomic.
+	d.tel.reg.GaugeFunc("portus_daemon_queue_depth", "requests queued in the scheduler but not yet picked up by a worker",
+		func() float64 { return float64(d.sched.QueueDepth()) })
 	// Route all data-plane verbs through the instrumented fabric so
 	// per-op bytes and latency land in the registry.
 	d.cfg.Fabric = rdma.Instrument("data", cfg.Fabric, d.tel.reg)
@@ -328,11 +350,13 @@ func New(env sim.Env, cfg Config) (*Daemon, error) {
 		pm := cfg.PMem
 		flush = func(off, n int64) error { pm.FlushData(off, n); return nil }
 	}
+	engineLanes := rdma.ConnectLanes(env, cfg.RNode, cfg.Lanes)
+	d.lanePool = sched.NewLanePool(engineLanes, d.tel.reg)
 	d.engine = datapath.New(datapath.Config{
 		Strategy:  strat,
 		Fallbacks: fallbacks,
 		Depth:     cfg.PipelineDepth,
-		Lanes:     rdma.ConnectLanes(env, cfg.RNode, cfg.Lanes),
+		Lanes:     engineLanes,
 		IssueCost: perfmodel.RDMAReadIssueCost,
 		Flush:     flush,
 		FlushCost: flushCost,
@@ -384,7 +408,7 @@ func (d *Daemon) Stats() Stats {
 		Checkpoints: d.stats.checkpoints.Load(),
 		Restores:    d.stats.restores.Load(),
 		Errors:      d.stats.errors.Load(),
-		QueueDepth:  d.stats.queueDepth.Load(),
+		QueueDepth:  d.sched.QueueDepth(),
 		BytesPulled: d.stats.bytesPulled.Load(),
 		BytesPushed: d.stats.bytesPushed.Load(),
 		PullTime:    time.Duration(d.stats.pullNanos.Load()),
@@ -421,9 +445,9 @@ func (d *Daemon) handleConn(env sim.Env, conn wire.Conn) {
 		case wire.TRegister:
 			d.handleRegister(env, conn, m)
 		case wire.TDoCheckpoint:
-			d.enqueue(env, conn, m, jobCheckpoint)
+			d.enqueue(env, conn, m, sched.ClassCheckpoint)
 		case wire.TRestore:
-			d.enqueue(env, conn, m, jobRestore)
+			d.enqueue(env, conn, m, sched.ClassRestore)
 		case wire.TList:
 			d.handleList(env, conn)
 		case wire.TDelete:
@@ -431,13 +455,11 @@ func (d *Daemon) handleConn(env sim.Env, conn wire.Conn) {
 		case wire.TDump:
 			d.handleDump(env, conn, m)
 		default:
-			d.sendErr(env, conn, m.Model, fmt.Sprintf("unexpected message %s", m.Type))
+			// Echo the request's type so the client can correlate the
+			// error to whichever waiter sent the malformed message.
+			d.sendErrFor(env, conn, m.Type, m.Iteration, m.Model, fmt.Sprintf("unexpected message %s", m.Type))
 		}
 	}
-}
-
-func (d *Daemon) sendErr(env sim.Env, conn wire.Conn, model, msg string) {
-	d.sendErrFor(env, conn, 0, 0, model, msg)
 }
 
 // sendErrFor reports an error correlated to the failing request so the
@@ -462,7 +484,7 @@ type peerAdder interface {
 // model and records the client's memory regions.
 func (d *Daemon) handleRegister(env sim.Env, conn wire.Conn, m *wire.Msg) {
 	if len(m.Tensors) == 0 {
-		d.sendErr(env, conn, m.Model, "registration packet has no tensors")
+		d.sendErrFor(env, conn, wire.TRegister, 0, m.Model, "registration packet has no tensors")
 		return
 	}
 	if m.FabricAddr != "" {
@@ -541,7 +563,11 @@ func metasMatch(a, b []index.TensorMeta) bool {
 	return true
 }
 
-func (d *Daemon) enqueue(env sim.Env, conn wire.Conn, m *wire.Msg, kind jobKind) {
+// enqueue routes a checkpoint/restore request into the scheduler. The
+// scheduler owns admission, dedup, coalescing, and ordering under a
+// single lock, so the old CAS-vs-park race window between a failed
+// busy flip and the duplicate-park check no longer exists.
+func (d *Daemon) enqueue(env sim.Env, conn wire.Conn, m *wire.Msg, class sched.Class) {
 	d.mu.Lock()
 	sess, ok := d.sessions[m.Model]
 	d.mu.Unlock()
@@ -551,42 +577,33 @@ func (d *Daemon) enqueue(env sim.Env, conn wire.Conn, m *wire.Msg, kind jobKind)
 	}
 	// A DO_CHECKPOINT retried after a reconnect (the original DONE was
 	// lost with the connection) is keyed by (model, iteration): if that
-	// iteration already committed, ack it instead of double-executing.
-	if kind == jobCheckpoint && d.committed(sess, m.Iteration) {
+	// iteration already committed, ack it from the index instead of
+	// double-executing.
+	if class == sched.ClassCheckpoint && d.committed(sess, m.Iteration) {
 		d.tel.dedups.Inc()
 		_ = conn.Send(env, &wire.Msg{Type: wire.TCheckpointDone, Model: m.Model, Iteration: m.Iteration})
 		return
 	}
-	if !sess.busy.CompareAndSwap(false, true) {
-		// The same request may already be in flight from the pre-drop
-		// connection; park the retry as a duplicate waiter and notify it
-		// when the in-flight operation completes.
-		d.mu.Lock()
-		if sess.busy.Load() && sess.busyKind == kind &&
-			(kind == jobRestore || sess.busyIter == m.Iteration) {
-			sess.dup = append(sess.dup, conn)
-			d.mu.Unlock()
-			d.tel.dedups.Inc()
-			return
-		}
-		d.mu.Unlock()
-		// The in-flight operation finished between the CAS and the
-		// check above; a committed retry still deserves its ack.
-		if kind == jobCheckpoint && d.committed(sess, m.Iteration) {
-			d.tel.dedups.Inc()
-			_ = conn.Send(env, &wire.Msg{Type: wire.TCheckpointDone, Model: m.Model, Iteration: m.Iteration})
-			return
-		}
-		d.sendErrFor(env, conn, m.Type, m.Iteration, m.Model, "operation already in flight for this model")
-		return
+	res := d.sched.Submit(env, &sched.Task{
+		Model:      m.Model,
+		Class:      class,
+		Iteration:  m.Iteration,
+		EnqueuedAt: env.Now(),
+		Payload:    &reqCtx{sess: sess, conn: conn},
+	})
+	switch res.Verdict {
+	case sched.Deduped:
+		// The identical request is queued or in flight; this connection
+		// is parked on it and answered when it completes.
+		d.tel.dedups.Inc()
+	case sched.Rejected:
+		// Backpressure, not an error: the client re-sends after the
+		// hinted delay.
+		_ = conn.Send(env, &wire.Msg{
+			Type: wire.TBusy, InReplyTo: m.Type, Iteration: m.Iteration,
+			Model: m.Model, RetryAfter: res.RetryAfter,
+		})
 	}
-	d.mu.Lock()
-	sess.busyKind = kind
-	sess.busyIter = m.Iteration
-	d.mu.Unlock()
-	d.stats.queueDepth.Add(1)
-	d.tel.queueDepth.Inc()
-	d.jobs.Send(env, &job{kind: kind, sess: sess, iteration: m.Iteration, conn: conn, enqueuedAt: env.Now()})
 }
 
 // committed reports whether iter is already a complete version on PMem.
@@ -599,34 +616,26 @@ func (d *Daemon) committed(sess *session, iter uint64) bool {
 	return false
 }
 
-// drainDups detaches the duplicate waiters parked on sess. The worker
-// calls it while the session is still busy, so no new duplicates can
-// race in after the drain and be orphaned.
-func (d *Daemon) drainDups(sess *session) []wire.Conn {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	dups := sess.dup
-	sess.dup = nil
-	return dups
-}
-
-// worker is one thread-pool member: it owns whole jobs, touching only
-// its job's MIndex and TensorData (the paper's per-worker independence).
+// worker is one thread-pool member: it owns whole tasks, touching only
+// its task's MIndex and TensorData (the paper's per-worker
+// independence). doCheckpoint/doRestore release the task's lane
+// (sched.Done) themselves before fanning replies out; the deferred-
+// style Done here is an idempotent backstop so a missed path can never
+// wedge a lane.
 func (d *Daemon) worker(env sim.Env) {
 	for {
-		j, ok := d.jobs.Recv(env)
+		t, ok := d.sched.Next(env)
 		if !ok {
 			return
 		}
-		d.stats.queueDepth.Add(-1)
-		d.tel.queueDepth.Dec()
-		switch j.kind {
-		case jobCheckpoint:
-			d.doCheckpoint(env, j)
-		case jobRestore:
-			d.doRestore(env, j)
+		rc := t.Payload.(*reqCtx)
+		switch t.Class {
+		case sched.ClassCheckpoint:
+			d.doCheckpoint(env, t, rc)
+		case sched.ClassRestore:
+			d.doRestore(env, t, rc)
 		}
-		j.sess.busy.Store(false)
+		d.sched.Done(env, t)
 	}
 }
 
@@ -655,30 +664,39 @@ func (d *Daemon) plan(sess *session, slot int) (datapath.Plan, *datapath.Context
 // commit. The engine returns only once every chunk is flushed, so the
 // done flag never commits over unpersisted data regardless of pipeline
 // depth.
-func (d *Daemon) doCheckpoint(env sim.Env, j *job) {
-	m := j.sess.model
+func (d *Daemon) doCheckpoint(env sim.Env, t *sched.Task, rc *reqCtx) {
+	m := rc.sess.model
 	slot := m.TargetSlot()
-	m.SetActive(slot, j.iteration)
+	m.SetActive(slot, t.Iteration)
 
-	tr := telemetry.NewTrace("checkpoint", m.Name, j.iteration, j.enqueuedAt)
+	tr := telemetry.NewTrace("checkpoint", m.Name, t.Iteration, t.EnqueuedAt)
 	t0 := env.Now()
-	wait := tr.Root.Child("enqueue-wait", j.enqueuedAt)
+	wait := tr.Root.Child("enqueue-wait", t.EnqueuedAt)
 	wait.EndAt(t0)
 
-	plan, cx := d.plan(j.sess, slot)
+	plan, cx := d.plan(rc.sess, slot)
+	lease := d.lanePool.Acquire()
+	cx.Lanes = lease.Lanes()
 	res, err := d.engine.Pull(env, cx, plan, tr.Root)
+	lease.Release()
 	if err != nil {
 		tr.Err = err.Error()
 		tr.Finish(env.Now())
 		d.tel.traces.Add(tr)
-		d.sendErrFor(env, j.conn, wire.TDoCheckpoint, j.iteration, m.Name, tr.Err)
-		for _, c := range d.drainDups(j.sess) {
-			d.sendErrFor(env, c, wire.TDoCheckpoint, j.iteration, m.Name, tr.Err)
+		// Free the lane before touching the waiter lists: once the task
+		// leaves the running set, Dups/Coalesced are stable.
+		d.sched.Done(env, t)
+		d.sendErrFor(env, rc.conn, wire.TDoCheckpoint, t.Iteration, m.Name, tr.Err)
+		for _, dp := range t.Dups {
+			d.sendErrFor(env, dp.(*reqCtx).conn, wire.TDoCheckpoint, t.Iteration, m.Name, tr.Err)
+		}
+		for _, st := range t.Coalesced {
+			d.sendErrFor(env, st.Payload.(*reqCtx).conn, wire.TDoCheckpoint, st.Iteration, m.Name, tr.Err)
 		}
 		return
 	}
 	commit := tr.Root.Child("commit", env.Now())
-	m.SetDone(slot, j.iteration, time.Unix(0, int64(env.Now())))
+	m.SetDone(slot, t.Iteration, time.Unix(0, int64(env.Now())))
 	commit.EndAt(env.Now())
 
 	d.stats.pullNanos.Add(int64(res.Transfer))
@@ -694,13 +712,21 @@ func (d *Daemon) doCheckpoint(env sim.Env, j *job) {
 	d.tel.pullStage.ObserveDuration(res.Transfer)
 	d.tel.flushStage.ObserveDuration(res.Flush)
 	d.tel.traces.Add(tr)
+	d.sched.Done(env, t)
 	// The original connection may have died mid-pull; duplicate waiters
 	// from the client's reconnect get the same DONE, so a committed
 	// version is always acknowledged on whichever connection survives.
-	done := &wire.Msg{Type: wire.TCheckpointDone, Model: m.Name, Iteration: j.iteration, Slot: slot}
-	_ = j.conn.Send(env, done)
-	for _, c := range d.drainDups(j.sess) {
-		_ = c.Send(env, done)
+	// Coalesced waiters asked for an older iteration that this newer
+	// commit supersedes; each is acknowledged with its own iteration.
+	done := &wire.Msg{Type: wire.TCheckpointDone, Model: m.Name, Iteration: t.Iteration, Slot: slot}
+	_ = rc.conn.Send(env, done)
+	for _, dp := range t.Dups {
+		_ = dp.(*reqCtx).conn.Send(env, done)
+	}
+	for _, st := range t.Coalesced {
+		_ = st.Payload.(*reqCtx).conn.Send(env, &wire.Msg{
+			Type: wire.TCheckpointDone, Model: m.Name, Iteration: st.Iteration, Slot: slot,
+		})
 	}
 }
 
@@ -709,30 +735,34 @@ func flushCost(bytes int64) time.Duration {
 }
 
 // doRestore writes the newest done version into the client's GPU memory.
-func (d *Daemon) doRestore(env sim.Env, j *job) {
-	m := j.sess.model
+func (d *Daemon) doRestore(env sim.Env, t *sched.Task, rc *reqCtx) {
+	m := rc.sess.model
+	fail := func(iter uint64, msg string) {
+		d.sched.Done(env, t)
+		d.sendErrFor(env, rc.conn, wire.TRestore, iter, m.Name, msg)
+		for _, dp := range t.Dups {
+			d.sendErrFor(env, dp.(*reqCtx).conn, wire.TRestore, iter, m.Name, msg)
+		}
+	}
 	slot, v, ok := m.LatestDone()
 	if !ok {
-		d.sendErrFor(env, j.conn, wire.TRestore, 0, m.Name, "no complete checkpoint version on PMem")
-		for _, c := range d.drainDups(j.sess) {
-			d.sendErrFor(env, c, wire.TRestore, 0, m.Name, "no complete checkpoint version on PMem")
-		}
+		fail(0, "no complete checkpoint version on PMem")
 		return
 	}
-	tr := telemetry.NewTrace("restore", m.Name, v.Iteration, j.enqueuedAt)
+	tr := telemetry.NewTrace("restore", m.Name, v.Iteration, t.EnqueuedAt)
 	t0 := env.Now()
-	wait := tr.Root.Child("enqueue-wait", j.enqueuedAt)
+	wait := tr.Root.Child("enqueue-wait", t.EnqueuedAt)
 	wait.EndAt(t0)
-	plan, cx := d.plan(j.sess, slot)
+	plan, cx := d.plan(rc.sess, slot)
+	lease := d.lanePool.Acquire()
+	cx.Lanes = lease.Lanes()
 	res, err := d.engine.Push(env, cx, plan, tr.Root)
+	lease.Release()
 	if err != nil {
 		tr.Err = err.Error()
 		tr.Finish(env.Now())
 		d.tel.traces.Add(tr)
-		d.sendErrFor(env, j.conn, wire.TRestore, v.Iteration, m.Name, tr.Err)
-		for _, c := range d.drainDups(j.sess) {
-			d.sendErrFor(env, c, wire.TRestore, v.Iteration, m.Name, tr.Err)
-		}
+		fail(v.Iteration, tr.Err)
 		return
 	}
 	d.stats.pushNanos.Add(int64(res.Transfer))
@@ -746,10 +776,11 @@ func (d *Daemon) doRestore(env sim.Env, j *job) {
 	d.tel.pushStage.ObserveDuration(res.Transfer)
 	d.tel.enqueueWait.ObserveDuration(wait.Dur())
 	d.tel.traces.Add(tr)
+	d.sched.Done(env, t)
 	done := &wire.Msg{Type: wire.TRestoreDone, Model: m.Name, Iteration: v.Iteration, Slot: slot}
-	_ = j.conn.Send(env, done)
-	for _, c := range d.drainDups(j.sess) {
-		_ = c.Send(env, done)
+	_ = rc.conn.Send(env, done)
+	for _, dp := range t.Dups {
+		_ = dp.(*reqCtx).conn.Send(env, done)
 	}
 }
 
@@ -757,7 +788,7 @@ func (d *Daemon) doRestore(env sim.Env, j *job) {
 func (d *Daemon) handleList(env sim.Env, conn wire.Conn) {
 	models, err := d.store.Models()
 	if err != nil {
-		d.sendErr(env, conn, "", err.Error())
+		d.sendErrFor(env, conn, wire.TList, 0, "", err.Error())
 		return
 	}
 	resp := &wire.Msg{Type: wire.TListResp}
@@ -788,12 +819,12 @@ func (d *Daemon) handleList(env sim.Env, conn wire.Conn) {
 func (d *Daemon) handleDump(env sim.Env, conn wire.Conn, m *wire.Msg) {
 	model, err := d.store.Lookup(m.Model)
 	if err != nil {
-		d.sendErr(env, conn, m.Model, err.Error())
+		d.sendErrFor(env, conn, wire.TDump, 0, m.Model, err.Error())
 		return
 	}
 	slot, v, ok := model.LatestDone()
 	if !ok {
-		d.sendErr(env, conn, m.Model, "no complete checkpoint version to archive")
+		d.sendErrFor(env, conn, wire.TDump, 0, m.Model, "no complete checkpoint version to archive")
 		return
 	}
 	ckpt := &serialize.Checkpoint{Model: model.Name, Iteration: v.Iteration}
@@ -814,7 +845,7 @@ func (d *Daemon) handleDump(env sim.Env, conn wire.Conn, m *wire.Msg) {
 	env.Sleep(sim.TransferTime(ckpt.ModeledSize(), perfmodel.SerializeBW, 0, 0))
 	var buf bytes.Buffer
 	if err := serialize.Encode(&buf, ckpt); err != nil {
-		d.sendErr(env, conn, m.Model, err.Error())
+		d.sendErrFor(env, conn, wire.TDump, 0, m.Model, err.Error())
 		return
 	}
 	if err := conn.Send(env, &wire.Msg{
@@ -826,20 +857,20 @@ func (d *Daemon) handleDump(env sim.Env, conn wire.Conn, m *wire.Msg) {
 
 // handleDelete removes a finished model and frees its PMem.
 func (d *Daemon) handleDelete(env sim.Env, conn wire.Conn, m *wire.Msg) {
-	d.mu.Lock()
-	if sess, ok := d.sessions[m.Model]; ok && sess.busy.Load() {
-		d.mu.Unlock()
-		d.sendErr(env, conn, m.Model, "model has an operation in flight")
+	if !d.sched.Idle(m.Model) {
+		d.sendErrFor(env, conn, wire.TDelete, 0, m.Model, "model has an operation in flight")
 		return
 	}
+	d.mu.Lock()
 	delete(d.sessions, m.Model)
 	d.modelMap.Delete(m.Model)
 	err := d.store.DeleteModel(m.Model)
 	d.mu.Unlock()
 	if err != nil {
-		d.sendErr(env, conn, m.Model, err.Error())
+		d.sendErrFor(env, conn, wire.TDelete, 0, m.Model, err.Error())
 		return
 	}
+	d.sched.Forget(m.Model)
 	if err := conn.Send(env, &wire.Msg{Type: wire.TDeleteOK, Model: m.Model}); err != nil {
 		return
 	}

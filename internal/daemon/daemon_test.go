@@ -45,6 +45,11 @@ func expectError(t *testing.T, env sim.Env, conn wire.Conn, req *wire.Msg, subst
 	if resp.Type != wire.TError || !strings.Contains(resp.Error, substr) {
 		t.Fatalf("resp = %+v, want error containing %q", resp, substr)
 	}
+	// Every error echoes the request's type, so a client with several
+	// requests in flight can correlate the failure to the right waiter.
+	if resp.InReplyTo != req.Type {
+		t.Fatalf("error InReplyTo = %v, want the request's type %v echoed", resp.InReplyTo, req.Type)
+	}
 }
 
 func TestDaemonRejectsMalformedRequests(t *testing.T) {

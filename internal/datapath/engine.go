@@ -128,6 +128,15 @@ func New(cfg Config) *Engine {
 // Strategy returns the engine's primary chunk-transfer strategy.
 func (e *Engine) Strategy() Strategy { return e.cfg.Strategy }
 
+// lanesFor resolves the lane set a run stripes across: the context's
+// leased subset when one is set, else the engine's full set.
+func (e *Engine) lanesFor(cx *Context) []*rdma.QP {
+	if len(cx.Lanes) > 0 {
+		return cx.Lanes
+	}
+	return e.cfg.Lanes
+}
+
 func (e *Engine) maxAttempts() int {
 	if e.cfg.Retry.MaxAttempts < 1 {
 		return 1
@@ -258,7 +267,7 @@ func (e *Engine) Pull(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (R
 	if root == nil {
 		root = &telemetry.Span{}
 	}
-	if e.cfg.Depth == 1 && len(e.cfg.Lanes) == 1 {
+	if e.cfg.Depth == 1 && len(e.lanesFor(cx)) == 1 {
 		return e.pullSequential(env, cx, p, root)
 	}
 	return e.pullPipelined(env, cx, p, root)
@@ -269,7 +278,8 @@ func (e *Engine) Pull(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (R
 // pre-engine datapath's timing and span structure exactly.
 func (e *Engine) pullSequential(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (Result, error) {
 	rs := e.newRun()
-	lcx := laneContext(cx, e.cfg.Lanes[0])
+	lane0 := e.lanesFor(cx)[0]
+	lcx := laneContext(cx, lane0)
 	t0 := env.Now()
 	pull := root.Child("pull", t0)
 	var pulled int64
@@ -282,7 +292,7 @@ func (e *Engine) pullSequential(env sim.Env, cx *Context, p Plan, root *telemetr
 			if err == nil {
 				pulled += c.Len
 				sp.SetAttr("bytes", fmt.Sprint(c.Len))
-				sp.SetAttr("lane", fmt.Sprint(e.cfg.Lanes[0].ID))
+				sp.SetAttr("lane", fmt.Sprint(lane0.ID))
 				if attempts > 0 {
 					sp.SetAttr("attempt", fmt.Sprint(attempts+1))
 				}
@@ -351,6 +361,7 @@ func (e *Engine) pullSequential(env sim.Env, cx *Context, p Plan, root *telemetr
 // queue.
 func (e *Engine) pullPipelined(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (Result, error) {
 	rs := e.newRun()
+	laneSet := e.lanesFor(cx)
 	t0 := env.Now()
 	pull := root.Child("pull", t0)
 
@@ -371,7 +382,7 @@ func (e *Engine) pullPipelined(env sim.Env, cx *Context, p Plan, root *telemetry
 		pulled      int64
 		lastPullEnd time.Duration
 		flushedN    int
-		healthy     = len(e.cfg.Lanes)
+		healthy     = len(laneSet)
 	)
 	total := len(p.Chunks)
 	for i := range p.Chunks {
@@ -389,8 +400,8 @@ func (e *Engine) pullPipelined(env sim.Env, cx *Context, p Plan, root *telemetry
 		}
 	}
 
-	lanes.Add(env, len(e.cfg.Lanes))
-	for _, qp := range e.cfg.Lanes {
+	lanes.Add(env, len(laneSet))
+	for _, qp := range laneSet {
 		qp := qp
 		env.Go(fmt.Sprintf("datapath-lane-%d", qp.ID), func(env sim.Env) {
 			defer lanes.Done(env)
@@ -545,11 +556,12 @@ func (e *Engine) Push(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (R
 		root = &telemetry.Span{}
 	}
 	rs := e.newRun()
+	laneSet := e.lanesFor(cx)
 	t0 := env.Now()
 	push := root.Child("push", t0)
 
-	if len(e.cfg.Lanes) == 1 {
-		lcx := laneContext(cx, e.cfg.Lanes[0])
+	if len(laneSet) == 1 {
+		lcx := laneContext(cx, laneSet[0])
 		var pushed int64
 		for _, c := range p.Chunks {
 			attempts := 0
@@ -560,7 +572,7 @@ func (e *Engine) Push(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (R
 				if err == nil {
 					pushed += c.Len
 					sp.SetAttr("bytes", fmt.Sprint(c.Len))
-					sp.SetAttr("lane", fmt.Sprint(e.cfg.Lanes[0].ID))
+					sp.SetAttr("lane", fmt.Sprint(laneSet[0].ID))
 					if attempts > 0 {
 						sp.SetAttr("attempt", fmt.Sprint(attempts+1))
 					}
@@ -596,7 +608,7 @@ func (e *Engine) Push(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (R
 		firstErr   error
 		pushed     int64
 		doneN      int
-		healthy    = len(e.cfg.Lanes)
+		healthy    = len(laneSet)
 	)
 	total := len(p.Chunks)
 	work := sim.NewMailbox[*workItem](env)
@@ -614,8 +626,8 @@ func (e *Engine) Push(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (R
 		}
 	}
 	lanes := sim.NewGroup(env)
-	lanes.Add(env, len(e.cfg.Lanes))
-	for _, qp := range e.cfg.Lanes {
+	lanes.Add(env, len(laneSet))
+	for _, qp := range laneSet {
 		qp := qp
 		env.Go(fmt.Sprintf("datapath-lane-%d", qp.ID), func(env sim.Env) {
 			defer lanes.Done(env)

@@ -17,6 +17,10 @@ type Context struct {
 	// HostStage is the storage server's DRAM staging resource; required
 	// by HostStaged, unused by the other strategies.
 	HostStage *sim.BandwidthResource
+	// Lanes, when non-empty, restricts this transfer to a leased subset
+	// of the engine's lane set (the scheduler's lane-pool arbitration
+	// across concurrent jobs). Empty means the engine's full set.
+	Lanes []*rdma.QP
 }
 
 func (cx *Context) local(c Chunk) rdma.Slice {

@@ -102,6 +102,7 @@ func Registry() []Experiment {
 		{"ablation-adaptive", "Ablation: finest sustainable checkpoint frequency (CheckFreq tuner)", AblationAdaptive},
 		{"ablation-churn", "Ablation: goodput under sustained failures (§I churn regime)", AblationChurn},
 		{"ablation-pipeline", "Ablation: datapath pipeline depth x lane striping", AblationPipeline},
+		{"multitenant", "Multi-tenant scheduling: fairness, coalescing, backpressure", Multitenant},
 		{"chaos", "Chaos: checkpoint goodput and recoverability under injected faults", Chaos},
 		{"appendix", "Full 76-model zoo checkpoint times (Appendix)", Appendix},
 	}

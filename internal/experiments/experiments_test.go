@@ -18,7 +18,7 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 		"ablation-staging", "ablation-onesided", "ablation-doublemap",
 		"ablation-workers", "ablation-bar", "ablation-frequency",
 		"ablation-dram", "ablation-adaptive", "ablation-churn",
-		"ablation-pipeline", "appendix",
+		"ablation-pipeline", "multitenant", "appendix",
 	}
 	have := map[string]bool{}
 	for _, e := range Registry() {

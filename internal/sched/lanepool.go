@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/portus-sys/portus/internal/rdma"
+	"github.com/portus-sys/portus/internal/telemetry"
+)
+
+// LanePool arbitrates the daemon's RDMA lane set across concurrent
+// transfers. The datapath used to stripe every job across the full
+// lane set, so two concurrent checkpoints contended on every queue
+// pair; the pool instead leases each job a fair share of the lanes —
+// the least-loaded max(1, total/active) of them — so concurrent
+// tenants spread across disjoint queue pairs when enough exist.
+//
+// Acquire never blocks: lanes are shared, not reserved, so a burst of
+// lessees degrades bandwidth per job instead of deadlocking or
+// serializing. A single active lessee is granted the full set, which
+// keeps single-tenant runs byte-for-byte identical to the pre-pool
+// datapath.
+type LanePool struct {
+	mu     sync.Mutex
+	lanes  []*rdma.QP
+	load   map[int]int // lane ID -> active lessees on it
+	active int
+
+	lessees *telemetry.Gauge
+	leases  *telemetry.Counter
+}
+
+// Lease is one job's grant: the lane subset it should stripe across.
+type Lease struct {
+	lanes []*rdma.QP
+	pool  *LanePool
+	done  bool
+}
+
+// Lanes returns the granted subset, ordered by lane ID.
+func (l *Lease) Lanes() []*rdma.QP { return l.lanes }
+
+// NewLanePool wraps the daemon's connected lane set. reg may be nil.
+func NewLanePool(lanes []*rdma.QP, reg *telemetry.Registry) *LanePool {
+	p := &LanePool{lanes: lanes, load: make(map[int]int, len(lanes))}
+	if reg != nil {
+		p.lessees = reg.Gauge("portus_sched_lane_lessees", "transfers currently holding a lane lease")
+		p.leases = reg.Counter("portus_sched_lane_leases_total", "lane leases granted")
+	}
+	return p
+}
+
+// Acquire grants a fair share of the lanes to a new lessee. It never
+// blocks and never returns an empty grant.
+func (p *LanePool) Acquire() *Lease {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.active++
+	p.lessees.Inc()
+	p.leases.Inc()
+
+	var grant []*rdma.QP
+	if p.active == 1 {
+		// Sole tenant: the full stripe width, exactly as before.
+		grant = append(grant, p.lanes...)
+	} else {
+		share := len(p.lanes) / p.active
+		if share < 1 {
+			share = 1
+		}
+		// Least-loaded lanes first; ties broken by ID so grants are
+		// deterministic under the simulation engine.
+		sorted := append([]*rdma.QP(nil), p.lanes...)
+		sort.SliceStable(sorted, func(i, j int) bool {
+			li, lj := p.load[sorted[i].ID], p.load[sorted[j].ID]
+			if li != lj {
+				return li < lj
+			}
+			return sorted[i].ID < sorted[j].ID
+		})
+		grant = sorted[:share]
+		sort.Slice(grant, func(i, j int) bool { return grant[i].ID < grant[j].ID })
+	}
+	for _, qp := range grant {
+		p.load[qp.ID]++
+	}
+	return &Lease{lanes: grant, pool: p}
+}
+
+// Release returns the lease's lanes to the pool. Releasing twice is a
+// no-op.
+func (l *Lease) Release() {
+	if l == nil || l.done {
+		return
+	}
+	l.done = true
+	p := l.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.active--
+	p.lessees.Dec()
+	for _, qp := range l.lanes {
+		if p.load[qp.ID] > 0 {
+			p.load[qp.ID]--
+		}
+	}
+}
+
+// Active reports the current lessee count.
+func (p *LanePool) Active() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.active
+}

@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/portus-sys/portus/internal/rdma"
+)
+
+func pool(n int) *LanePool {
+	lanes := make([]*rdma.QP, n)
+	for i := range lanes {
+		lanes[i] = &rdma.QP{ID: i}
+	}
+	return NewLanePool(lanes, nil)
+}
+
+func ids(qs []*rdma.QP) []int {
+	out := make([]int, len(qs))
+	for i, q := range qs {
+		out[i] = q.ID
+	}
+	return out
+}
+
+func TestSoleLesseeGetsFullStripe(t *testing.T) {
+	p := pool(4)
+	l := p.Acquire()
+	if len(l.Lanes()) != 4 {
+		t.Fatalf("sole lessee got %v, want all 4 lanes", ids(l.Lanes()))
+	}
+	l.Release()
+	if p.Active() != 0 {
+		t.Fatalf("active = %d after release", p.Active())
+	}
+	// The next sole lessee gets the full set again.
+	l2 := p.Acquire()
+	if len(l2.Lanes()) != 4 {
+		t.Fatalf("second sole lessee got %v", ids(l2.Lanes()))
+	}
+	l2.Release()
+}
+
+func TestConcurrentLesseesShareFairly(t *testing.T) {
+	p := pool(4)
+	l1 := p.Acquire()
+	l2 := p.Acquire()
+	if len(l2.Lanes()) != 2 {
+		t.Fatalf("second of two lessees got %d lanes, want 4/2 = 2", len(l2.Lanes()))
+	}
+	l1.Release()
+	l2.Release()
+}
+
+func TestLeaseNeverEmptyUnderOversubscription(t *testing.T) {
+	// More lessees than lanes: everyone still gets at least one lane,
+	// spread across the least-loaded ones — never a block, never empty.
+	p := pool(2)
+	var leases []*Lease
+	for i := 0; i < 6; i++ {
+		l := p.Acquire()
+		if len(l.Lanes()) == 0 {
+			t.Fatalf("lessee %d got an empty grant", i)
+		}
+		leases = append(leases, l)
+	}
+	// Lanes 0 and 1 should carry a balanced share of the single-lane
+	// grants (the full-stripe first lessee loads both).
+	load := map[int]int{}
+	for _, l := range leases[1:] {
+		for _, qp := range l.Lanes() {
+			load[qp.ID]++
+		}
+	}
+	if diff := load[0] - load[1]; diff < -1 || diff > 1 {
+		t.Fatalf("unbalanced lane load %v across oversubscribed lessees", load)
+	}
+	for _, l := range leases {
+		l.Release()
+	}
+	if p.Active() != 0 {
+		t.Fatalf("active = %d after releasing all", p.Active())
+	}
+}
+
+func TestDoubleReleaseIsNoOp(t *testing.T) {
+	p := pool(2)
+	l := p.Acquire()
+	l.Release()
+	l.Release()
+	if p.Active() != 0 {
+		t.Fatalf("active = %d after double release", p.Active())
+	}
+}

@@ -233,6 +233,14 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...L
 	f.getOrCreate(labels, func() metric { return counterFunc{fn: fn} })
 }
 
+// GaugeFunc registers a gauge whose value is sampled from fn at scrape
+// time — for instantaneous values owned by another component (e.g. the
+// scheduler's queue depth).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	f := r.getFamily(name, help, "gauge")
+	f.getOrCreate(labels, func() metric { return counterFunc{fn: fn} })
+}
+
 // Histogram returns the histogram for (name, labels) with the given
 // bucket upper bounds (nil = DefLatencyBuckets). Bounds are fixed at
 // first registration; later calls reuse the existing series.

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/portus-sys/portus/internal/perfmodel"
 	"github.com/portus-sys/portus/internal/sim"
@@ -39,6 +40,7 @@ const (
 	TDump
 	TDumpResp
 	TError
+	TBusy
 )
 
 // String names a message type.
@@ -50,7 +52,7 @@ func (t Type) String() string {
 		TList: "LIST", TListResp: "LIST_RESP",
 		TDelete: "DELETE", TDeleteOK: "DELETE_OK",
 		TDump: "DUMP", TDumpResp: "DUMP_RESP",
-		TError: "ERROR",
+		TError: "ERROR", TBusy: "BUSY",
 	}
 	if n, ok := names[t]; ok {
 		return n
@@ -88,11 +90,14 @@ type Msg struct {
 	Iteration  uint64
 	Slot       int
 	Error      string
-	// InReplyTo carries the request type an ERROR responds to, so
-	// clients can release the right waiter.
+	// InReplyTo carries the request type an ERROR or BUSY responds to,
+	// so clients can release (or re-arm) the right waiter.
 	InReplyTo Type
-	Tensors   []TensorRef
-	Models    []ModelInfo
+	// RetryAfter is the daemon's backpressure hint on a BUSY reply: how
+	// long the client should wait before re-sending the request.
+	RetryAfter time.Duration
+	Tensors    []TensorRef
+	Models     []ModelInfo
 	// Payload carries a serialized checkpoint container (DUMP_RESP).
 	Payload []byte
 }

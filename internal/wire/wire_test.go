@@ -4,6 +4,7 @@ import (
 	"net"
 	"reflect"
 	"testing"
+	"time"
 
 	"github.com/portus-sys/portus/internal/sim"
 )
@@ -166,11 +167,52 @@ func TestNetConnGobRoundTrip(t *testing.T) {
 	nc.Close()
 }
 
+// TestBusyGobRoundTrip pins the BUSY backpressure reply's wire shape:
+// the correlation type and the RetryAfter hint survive gob encoding.
+func TestBusyGobRoundTrip(t *testing.T) {
+	env := sim.NewRealEnv()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan *Msg, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		nc := NewNetConn(c)
+		m, err := nc.Recv(env)
+		if err != nil {
+			return
+		}
+		done <- m
+	}()
+	sock, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := NewNetConn(sock)
+	want := &Msg{
+		Type: TBusy, Model: "gpt", Iteration: 41,
+		InReplyTo: TDoCheckpoint, RetryAfter: 750 * time.Microsecond,
+	}
+	if err := nc.Send(env, want); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("BUSY gob round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	nc.Close()
+}
+
 func TestTypeNames(t *testing.T) {
 	for ty, want := range map[Type]string{
 		TRegister: "REGISTER", TDoCheckpoint: "DO_CHECKPOINT",
 		TCheckpointDone: "CHECKPOINT_DONE", TRestore: "RESTORE",
-		TError: "ERROR",
+		TError: "ERROR", TBusy: "BUSY",
 	} {
 		if ty.String() != want {
 			t.Errorf("%d.String() = %q, want %q", ty, ty.String(), want)

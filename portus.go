@@ -115,6 +115,17 @@ type ServerConfig struct {
 	Materialized bool
 	// Workers sizes the daemon thread pool.
 	Workers int
+	// QueueCap bounds the total number of queued requests across all
+	// models; overflow is answered with BUSY + retry-after instead of
+	// queuing. 0 means the default (64), negative means unbounded.
+	QueueCap int
+	// ModelQueueCap bounds queued requests per model. 0 means the
+	// default (8), negative means unbounded.
+	ModelQueueCap int
+	// SchedPolicy selects the dispatch order across models: "fair"
+	// (weighted round-robin with restore priority, the default) or
+	// "fifo" (global arrival order).
+	SchedPolicy string
 	// CtrlAddr and FabricAddr bind the control and data listeners
 	// (empty = ephemeral loopback ports).
 	CtrlAddr   string
@@ -206,6 +217,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	d, err := daemon.New(env, daemon.Config{
 		PMem: pm, RNode: node, Fabric: fabric, Workers: cfg.Workers,
+		QueueCap: cfg.QueueCap, ModelQueueCap: cfg.ModelQueueCap, SchedPolicy: cfg.SchedPolicy,
 		PipelineDepth: cfg.PipelineDepth, Lanes: cfg.Lanes, ChunkSize: cfg.ChunkBytes,
 		RetryMax: cfg.RetryMax, RetryBackoff: cfg.RetryBackoff,
 		LaneFailLimit: cfg.LaneFailLimit, Degrade: cfg.Degrade,
