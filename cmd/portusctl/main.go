@@ -18,13 +18,21 @@
 // Observability (against portusd -admin):
 //
 //	portusctl -admin 127.0.0.1:7472 stats
+//	portusctl -admin 127.0.0.1:7472 trace MODEL        # newest trace as a text waterfall
+//	portusctl -admin 127.0.0.1:7472 trace MODEL -all   # every retained trace
+//	portusctl -admin 127.0.0.1:7472 trace MODEL -json  # raw span trees
+//	portusctl -admin 127.0.0.1:7472 trace 00000000000000a1   # by trace ID
+//	portusctl -admin 127.0.0.1:7472 events             # flight recorder + slow transfers
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strings"
@@ -55,7 +63,7 @@ func main() {
 
 func run(image, addr, admin string, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: portusctl [-image FILE | -addr HOST:PORT | -admin HOST:PORT] view|inspect|dump|repack|list|delete|stats ...")
+		return fmt.Errorf("usage: portusctl [-image FILE | -addr HOST:PORT | -admin HOST:PORT] view|inspect|dump|repack|list|delete|stats|trace|events ...")
 	}
 	switch {
 	case image != "":
@@ -71,10 +79,34 @@ func run(image, addr, admin string, args []string) error {
 
 // runAdmin talks to the daemon's admin HTTP endpoint.
 func runAdmin(admin string, args []string) error {
-	if args[0] != "stats" {
-		return fmt.Errorf("unknown admin command %q (want stats)", args[0])
+	switch args[0] {
+	case "stats":
+		resp, err := http.Get("http://" + admin + "/metrics")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("admin endpoint: HTTP %d", resp.StatusCode)
+		}
+		samples, err := telemetry.ParseText(resp.Body)
+		if err != nil {
+			return fmt.Errorf("parsing /metrics: %w", err)
+		}
+		renderStats(samples)
+		return nil
+	case "trace":
+		return runTrace(admin, args[1:])
+	case "events":
+		return adminJSON(admin, "/debug/events")
+	default:
+		return fmt.Errorf("unknown admin command %q (want stats, trace, or events)", args[0])
 	}
-	resp, err := http.Get("http://" + admin + "/metrics")
+}
+
+// adminJSON streams one admin endpoint's JSON document to stdout.
+func adminJSON(admin, path string) error {
+	resp, err := http.Get("http://" + admin + path)
 	if err != nil {
 		return err
 	}
@@ -82,12 +114,81 @@ func runAdmin(admin string, args []string) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("admin endpoint: HTTP %d", resp.StatusCode)
 	}
-	samples, err := telemetry.ParseText(resp.Body)
-	if err != nil {
-		return fmt.Errorf("parsing /metrics: %w", err)
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+// runTrace fetches recent traces and renders them as text waterfalls
+// (newest first), or raw JSON with -json. A trailing hex ID (or
+// MODEL) filters server-side.
+func runTrace(admin string, args []string) error {
+	var (
+		asJSON bool
+		model  string
+		id     string
+		n      = 1
+	)
+	for _, a := range args {
+		switch {
+		case a == "-json" || a == "--json":
+			asJSON = true
+		case a == "-all" || a == "--all":
+			n = -1
+		case isHexID(a):
+			id = a
+		default:
+			model = a
+		}
 	}
-	renderStats(samples)
+	q := ""
+	if model != "" {
+		q = "?model=" + url.QueryEscape(model)
+	} else if id != "" {
+		q = "?id=" + id
+	}
+	if asJSON {
+		return adminJSON(admin, "/debug/traces"+q)
+	}
+	resp, err := http.Get("http://" + admin + "/debug/traces" + q)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("admin endpoint: HTTP %d", resp.StatusCode)
+	}
+	var traces []*telemetry.Trace
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		return fmt.Errorf("parsing /debug/traces: %w", err)
+	}
+	if len(traces) == 0 {
+		fmt.Println("no matching traces")
+		return nil
+	}
+	if n > 0 && len(traces) > n {
+		traces = traces[:n]
+	}
+	for i, t := range traces {
+		if i > 0 {
+			fmt.Println()
+		}
+		telemetry.WriteWaterfall(os.Stdout, t)
+	}
 	return nil
+}
+
+// isHexID reports whether s looks like a 16-digit hex trace ID rather
+// than a model name.
+func isHexID(s string) bool {
+	if len(s) != 16 {
+		return false
+	}
+	for _, c := range s {
+		if !strings.ContainsRune("0123456789abcdefABCDEF", c) {
+			return false
+		}
+	}
+	return true
 }
 
 // renderStats prints the daemon counters plus latency quantiles from

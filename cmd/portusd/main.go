@@ -42,7 +42,7 @@ func main() {
 		sched        = flag.String("sched", "fair", "dispatch order across models: fair (weighted round-robin, restores first) or fifo (arrival order)")
 		materialized = flag.Bool("materialized", false, "store real checkpoint bytes instead of content fingerprints")
 		image        = flag.String("image", "", "namespace image path: loaded at startup if present, saved at shutdown")
-		admin        = flag.String("admin", "", "admin HTTP listen address serving /metrics, /debug/traces, /healthz (empty = disabled)")
+		admin        = flag.String("admin", "", "admin HTTP listen address serving /metrics, /debug/traces, /debug/events, /debug/pprof, /healthz (empty = disabled)")
 		verbose      = flag.Bool("verbose", false, "log a one-line summary for every completed checkpoint and restore")
 		depth        = flag.Int("depth", 1, "datapath pipeline depth: chunks in flight past the pull stage (>= 2 overlaps flush with pull)")
 		lanes        = flag.Int("lanes", 1, "queue-pair lanes checkpoint/restore transfers stripe chunks across")
@@ -51,6 +51,7 @@ func main() {
 		retryBackoff = flag.Duration("retry-backoff", 0, "base delay between per-chunk re-attempts, doubled each retry (0 = default 100us)")
 		laneFail     = flag.Int("lane-fail-limit", 0, "consecutive failures before a lane is quarantined and its work re-striped (0 = default 3, negative = never)")
 		degrade      = flag.Bool("degrade", false, "fall back to slower transfer strategies (one-sided -> two-sided -> host-staged) on route-class fabric errors")
+		slowBudget   = flag.Duration("slow-budget", 0, "slow-transfer watchdog budget: transfers slower than this are counted and their trace + event window captured at /debug/events (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -72,6 +73,7 @@ func main() {
 		RetryBackoff:  *retryBackoff,
 		LaneFailLimit: *laneFail,
 		Degrade:       *degrade,
+		SlowBudget:    *slowBudget,
 	}
 	if *image != "" {
 		if _, err := os.Stat(*image); err == nil {
@@ -85,7 +87,7 @@ func main() {
 	fmt.Printf("portusd: control %s, fabric %s, pmem %d GiB (%s)\n",
 		srv.CtrlAddr, srv.FabricAddr, *pmemGiB, map[bool]string{true: "materialized", false: "virtual"}[*materialized])
 	if srv.AdminAddr != "" {
-		fmt.Printf("portusd: admin http://%s (/metrics, /debug/traces, /healthz)\n", srv.AdminAddr)
+		fmt.Printf("portusd: admin http://%s (/metrics, /debug/traces, /debug/events, /debug/pprof, /healthz)\n", srv.AdminAddr)
 	}
 	if cfg.ImagePath != "" {
 		fmt.Printf("portusd: restored namespace from %s (%d models)\n",

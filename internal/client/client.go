@@ -27,6 +27,7 @@
 package client
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
@@ -87,6 +88,15 @@ type reply struct {
 	// busy counts BUSY backpressure bounces this request has absorbed,
 	// bounding the re-send loop and scaling its backoff.
 	busy int
+	// Trace context for the request: the client-minted identity plus
+	// the client-side span tree under construction. trace/await are
+	// mutated only under Client.mu until the report is shipped; traceID
+	// and awaitID ride on every (re-)send of the request so the daemon
+	// adopts the same identity across retries and reconnects.
+	trace   *telemetry.Trace
+	await   *telemetry.Span
+	traceID telemetry.TraceID
+	awaitID uint64
 }
 
 func (r *reply) wait(env sim.Env) (*wire.Msg, error) {
@@ -129,6 +139,10 @@ type Options struct {
 	// BusyBackoffMax caps the doubled client-side backoff (the daemon
 	// hint is trusted beyond it); 0 defaults to 100ms.
 	BusyBackoffMax time.Duration
+	// Events, when set, receives flight-recorder entries for client
+	// reconnects (useful when the client shares a process with the
+	// daemon, as in sim runs).
+	Events *telemetry.EventRing
 }
 
 // Register collects tensor pointers, registers each as an RDMA MR, and
@@ -262,6 +276,10 @@ func (c *Client) handleBusy(env sim.Env, m *wire.Msg) {
 		c.mu.Unlock()
 		return
 	}
+	// Re-sends carry the original trace identity so the daemon's trace
+	// (and its eventual stitch) survives the backpressure bounce.
+	resend.TraceID = uint64(r.traceID)
+	resend.SpanID = r.awaitID
 	r.busy++
 	max := c.opts.BusyRetryMax
 	if max <= 0 {
@@ -295,12 +313,19 @@ func (c *Client) handleBusy(env sim.Env, m *wire.Msg) {
 	}
 	c.mu.Unlock()
 	c.busyRetries.Inc()
+	busyAt := env.Now()
 	env.Go("portus-client-busy-retry", func(env sim.Env) {
 		env.Sleep(delay)
 		c.mu.Lock()
 		cur, ok := c.pending[key]
 		conn := c.conn
 		closed := c.closed
+		var bw *telemetry.Span
+		if ok && cur == r && !closed && r.await != nil {
+			// The busy-wait span nests inside await, so the await span
+			// still tiles the request window end to end.
+			bw = r.await.Child("busy-wait", busyAt)
+		}
 		c.mu.Unlock()
 		if !ok || cur != r || closed {
 			return // answered (or deadline-failed) while we backed off
@@ -308,6 +333,11 @@ func (c *Client) handleBusy(env sim.Env, m *wire.Msg) {
 		// A failed re-send surfaces on the receive loop, which owns
 		// reconnect; the waiter stays armed either way.
 		_ = conn.Send(env, resend)
+		if bw != nil {
+			c.mu.Lock()
+			bw.EndAt(env.Now())
+			c.mu.Unlock()
+		}
 	})
 }
 
@@ -370,16 +400,20 @@ func (c *Client) reconnect(env sim.Env) bool {
 			r.msg = m
 			c.removeLocked(regKey)
 		}
-		// Re-send outstanding requests in arming order. The daemon
-		// dedups a DO_CHECKPOINT whose iteration committed (or is in
-		// flight), so retries never double-execute.
+		// Re-send outstanding requests in arming order, each carrying
+		// its original trace identity. The daemon dedups a
+		// DO_CHECKPOINT whose iteration committed (or is in flight), so
+		// retries never double-execute.
 		var resend []*wire.Msg
 		for _, k := range c.order {
+			w := c.pending[k]
 			switch k.t {
 			case wire.TCheckpointDone:
-				resend = append(resend, &wire.Msg{Type: wire.TDoCheckpoint, Model: c.model.Spec.Name, Iteration: k.iter})
+				resend = append(resend, &wire.Msg{Type: wire.TDoCheckpoint, Model: c.model.Spec.Name, Iteration: k.iter,
+					TraceID: uint64(w.traceID), SpanID: w.awaitID})
 			case wire.TRestoreDone:
-				resend = append(resend, &wire.Msg{Type: wire.TRestore, Model: c.model.Spec.Name})
+				resend = append(resend, &wire.Msg{Type: wire.TRestore, Model: c.model.Spec.Name,
+					TraceID: uint64(w.traceID), SpanID: w.awaitID})
 			}
 		}
 		c.mu.Unlock()
@@ -387,6 +421,12 @@ func (c *Client) reconnect(env sim.Env) bool {
 			regWaiter.sig.Fire(env)
 		}
 		c.reconnects.Inc()
+		c.opts.Events.Emit(telemetry.Event{
+			Time:   env.Now(),
+			Kind:   telemetry.EvClientReconnect,
+			Model:  c.model.Spec.Name,
+			Detail: fmt.Sprintf("reconnected on attempt %d, re-sending %d requests", attempt, len(resend)),
+		})
 		for _, msg := range resend {
 			if err := conn.Send(env, msg); err != nil {
 				break // Recv will observe the failure and reconnect again
@@ -502,21 +542,78 @@ func (c *Client) CheckpointSync(env sim.Env, iteration uint64) error {
 		return fmt.Errorf("client: checkpoint %d: %w", iteration, err)
 	}
 	c.Stalled += env.Now() - start
-	c.syncLat.ObserveDuration(env.Now() - start)
+	c.syncLat.ObserveDurationTraced(env.Now()-start, cp.r.traceID)
 	return nil
 }
 
 // CheckpointAsync sends DO_CHECKPOINT and returns a completion handle
-// without waiting.
+// without waiting. It mints the request's trace: a "client:checkpoint"
+// root with a "send" span covering the control-plane send and an
+// "await" span covering everything after it. The await span's ID rides
+// on the wire so the daemon grafts its own span tree under it when the
+// two halves are stitched.
 func (c *Client) CheckpointAsync(env sim.Env, iteration uint64) (*Completion, error) {
+	t0 := env.Now()
+	tr := telemetry.NewTrace("client:checkpoint", c.model.Spec.Name, iteration, t0)
+	tr.ID = telemetry.NewTraceID()
+	send := tr.Root.Child("send", t0)
+	awaitID := telemetry.NextSpanID()
 	r := c.expect(env, wire.TCheckpointDone, iteration)
 	key := pendingKey{t: wire.TCheckpointDone, iter: iteration}
-	msg := &wire.Msg{Type: wire.TDoCheckpoint, Model: c.model.Spec.Name, Iteration: iteration}
+	c.mu.Lock()
+	r.traceID, r.awaitID = tr.ID, awaitID
+	c.mu.Unlock()
+	msg := &wire.Msg{Type: wire.TDoCheckpoint, Model: c.model.Spec.Name, Iteration: iteration,
+		TraceID: uint64(tr.ID), SpanID: awaitID}
 	if err := c.sendRequest(env, key, msg); err != nil {
 		c.errs.Inc()
 		return nil, fmt.Errorf("client: DO_CHECKPOINT: %w", err)
 	}
-	return &Completion{r: r, c: c, start: env.Now()}, nil
+	now := env.Now()
+	send.EndAt(now)
+	await := tr.Root.Child("await", now)
+	await.ID = awaitID
+	c.mu.Lock()
+	r.trace, r.await = tr, await
+	c.mu.Unlock()
+	return &Completion{r: r, c: c, start: now}, nil
+}
+
+// finishTrace closes a request's client-side spans and ships the span
+// tree to the daemon as a TRACE_REPORT so the daemon can stitch the
+// end-to-end trace. The send happens on a spawned process: under the
+// simulation engine a control-plane send sleeps the sender, and the
+// report must never charge that latency to the training loop. Span
+// mutation and encoding happen under c.mu (a late busy-retry process
+// touches the same tree under the same lock).
+func (c *Client) finishTrace(env sim.Env, r *reply, iteration uint64, err error) {
+	c.mu.Lock()
+	tr, await := r.trace, r.await
+	r.trace, r.await = nil, nil // report at most once
+	conn := c.conn
+	if tr == nil {
+		c.mu.Unlock()
+		return
+	}
+	now := env.Now()
+	await.EndAt(now)
+	tr.Finish(now)
+	if iteration != 0 {
+		tr.Iteration = iteration
+	}
+	if err != nil {
+		tr.Err = err.Error()
+	}
+	payload, jerr := json.Marshal(tr.Root)
+	c.mu.Unlock()
+	if jerr != nil {
+		return
+	}
+	report := &wire.Msg{Type: wire.TTraceReport, Model: tr.Model, Iteration: tr.Iteration,
+		TraceID: uint64(tr.ID), Payload: payload}
+	env.Go("portus-client-trace-report", func(env sim.Env) {
+		_ = conn.Send(env, report)
+	})
 }
 
 // Completion is an in-flight checkpoint handle.
@@ -541,8 +638,9 @@ func (cp *Completion) Wait(env sim.Env) error {
 			cp.c.errs.Inc()
 		} else {
 			cp.c.ckpts.Inc()
-			cp.c.ckptLat.ObserveDuration(env.Now() - cp.start)
+			cp.c.ckptLat.ObserveDurationTraced(env.Now()-cp.start, cp.r.traceID)
 		}
+		cp.c.finishTrace(env, cp.r, 0, err)
 	}
 	return err
 }
@@ -557,20 +655,37 @@ func (cp *Completion) Done(env sim.Env) bool {
 // until the write completes. It returns the restored iteration.
 func (c *Client) Restore(env sim.Env) (uint64, error) {
 	start := env.Now()
+	tr := telemetry.NewTrace("client:restore", c.model.Spec.Name, 0, start)
+	tr.ID = telemetry.NewTraceID()
+	send := tr.Root.Child("send", start)
+	awaitID := telemetry.NextSpanID()
 	r := c.expect(env, wire.TRestoreDone, restoreKey)
 	key := pendingKey{t: wire.TRestoreDone, iter: restoreKey}
-	msg := &wire.Msg{Type: wire.TRestore, Model: c.model.Spec.Name}
+	c.mu.Lock()
+	r.traceID, r.awaitID = tr.ID, awaitID
+	c.mu.Unlock()
+	msg := &wire.Msg{Type: wire.TRestore, Model: c.model.Spec.Name,
+		TraceID: uint64(tr.ID), SpanID: awaitID}
 	if err := c.sendRequest(env, key, msg); err != nil {
 		c.errs.Inc()
 		return 0, fmt.Errorf("client: RESTORE: %w", err)
 	}
+	now := env.Now()
+	send.EndAt(now)
+	await := tr.Root.Child("await", now)
+	await.ID = awaitID
+	c.mu.Lock()
+	r.trace, r.await = tr, await
+	c.mu.Unlock()
 	m, err := r.wait(env)
 	if err != nil {
 		c.errs.Inc()
+		c.finishTrace(env, r, 0, err)
 		return 0, fmt.Errorf("client: restore: %w", err)
 	}
 	c.model.Iteration = m.Iteration
-	c.restoreLat.ObserveDuration(env.Now() - start)
+	c.restoreLat.ObserveDurationTraced(env.Now()-start, tr.ID)
+	c.finishTrace(env, r, m.Iteration, nil)
 	return m.Iteration, nil
 }
 

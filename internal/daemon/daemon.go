@@ -19,6 +19,7 @@ package daemon
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -103,6 +104,16 @@ type Config struct {
 	// TraceDepth sizes the ring buffer of completed checkpoint/restore
 	// traces; defaults to 64.
 	TraceDepth int
+	// EventDepth sizes the flight recorder (the bounded ring of typed
+	// scheduling/datapath/fault events served at /debug/events);
+	// defaults to 1024.
+	EventDepth int
+	// SlowBudget is the slow-transfer watchdog's latency budget: any
+	// checkpoint or restore whose end-to-end (daemon-side) duration
+	// exceeds it increments portus_slow_transfers_total and snapshots
+	// its trace plus the surrounding flight-recorder window. 0 disables
+	// the watchdog.
+	SlowBudget time.Duration
 }
 
 // Stats is a consistent snapshot of the daemon's cumulative counters:
@@ -177,12 +188,15 @@ type Daemon struct {
 // telem bundles the daemon's registered metric handles and the
 // completed-trace ring.
 type telem struct {
-	reg    *telemetry.Registry
-	traces *telemetry.TraceRing
+	reg      *telemetry.Registry
+	traces   *telemetry.TraceRing
+	events   *telemetry.EventRing
+	watchdog *telemetry.Watchdog
 
 	registered, checkpoints, restores, errors *telemetry.Counter
 	bytesPulled, bytesPushed                  *telemetry.Counter
 	retries, degradations, dedups             *telemetry.Counter
+	slowTransfers                             *telemetry.Counter
 	quarantined                               *telemetry.Gauge
 
 	ckptLatency    *telemetry.Histogram // enqueue → commit, end to end
@@ -193,7 +207,7 @@ type telem struct {
 	restoreLatency *telemetry.Histogram
 }
 
-func newTelem(reg *telemetry.Registry, traceDepth int, pm *pmem.Device) telem {
+func newTelem(reg *telemetry.Registry, traceDepth, eventDepth int, slowBudget time.Duration, pm *pmem.Device) telem {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
@@ -203,6 +217,7 @@ func newTelem(reg *telemetry.Registry, traceDepth int, pm *pmem.Device) telem {
 	t := telem{
 		reg:         reg,
 		traces:      telemetry.NewTraceRing(traceDepth),
+		events:      telemetry.NewEventRing(eventDepth),
 		registered:  reg.Counter("portus_daemon_registered_total", "model registrations accepted"),
 		checkpoints: reg.Counter("portus_daemon_checkpoints_total", "checkpoint versions committed"),
 		restores:    reg.Counter("portus_daemon_restores_total", "restores completed"),
@@ -214,6 +229,8 @@ func newTelem(reg *telemetry.Registry, traceDepth int, pm *pmem.Device) telem {
 		degradations: reg.Counter("portus_datapath_strategy_degradations_total", "datapath strategy fallbacks taken on route-class errors"),
 		dedups:       reg.Counter("portus_daemon_dedup_total", "retried requests deduplicated instead of double-executed"),
 		quarantined:  reg.Gauge("portus_datapath_quarantined_lanes", "lanes currently quarantined out of a transfer's stripe set"),
+
+		slowTransfers: reg.Counter("portus_slow_transfers_total", "transfers whose end-to-end duration exceeded the slow-transfer budget"),
 
 		ckptLatency:    reg.Histogram("portus_checkpoint_seconds", "end-to-end checkpoint latency (enqueue to commit)", nil),
 		enqueueWait:    reg.Histogram("portus_checkpoint_enqueue_wait_seconds", "time a checkpoint job waits for a worker", nil),
@@ -228,6 +245,10 @@ func newTelem(reg *telemetry.Registry, traceDepth int, pm *pmem.Device) telem {
 		func() float64 { return float64(pm.DataFlushBytes()) })
 	reg.CounterFunc("portus_pmem_meta_flush_ops_total", "metadata-zone flush operations (incl. version-flag commits)",
 		func() float64 { return float64(pm.MetaFlushOps()) })
+	// The watchdog observes every completed trace as it lands in the
+	// ring; stitching a client tree in later never re-triggers it.
+	t.watchdog = telemetry.NewWatchdog(slowBudget, t.events, t.slowTransfers)
+	t.traces.OnComplete(t.watchdog.Observe)
 	return t
 }
 
@@ -279,7 +300,7 @@ func New(env sim.Env, cfg Config) (*Daemon, error) {
 		store:    store,
 		modelMap: rbtree.New[string, int64](),
 		sessions: make(map[string]*session),
-		tel:      newTelem(cfg.Telemetry, cfg.TraceDepth, cfg.PMem),
+		tel:      newTelem(cfg.Telemetry, cfg.TraceDepth, cfg.EventDepth, cfg.SlowBudget, cfg.PMem),
 	}
 	d.sched = sched.New(env, sched.Config{
 		ModelQueueCap: cfg.ModelQueueCap,
@@ -287,6 +308,7 @@ func New(env sim.Env, cfg Config) (*Daemon, error) {
 		Workers:       cfg.Workers,
 		Policy:        policy,
 		Telemetry:     d.tel.reg,
+		Events:        d.tel.events,
 	})
 	// The queue-depth gauge samples the scheduler — the single source of
 	// truth — instead of mirroring it in a second atomic.
@@ -365,6 +387,7 @@ func New(env sim.Env, cfg Config) (*Daemon, error) {
 			Retries:          d.tel.retries,
 			Degradations:     d.tel.degradations,
 			QuarantinedLanes: d.tel.quarantined,
+			Events:           d.tel.events,
 		},
 	})
 	// Rebuild ModelMap from the persistent ModelTable (daemon restart).
@@ -400,6 +423,14 @@ func (d *Daemon) Telemetry() *telemetry.Registry { return d.tel.reg }
 // traces (served by /debug/traces; portusd's -verbose log subscribes
 // via OnComplete).
 func (d *Daemon) Traces() *telemetry.TraceRing { return d.tel.traces }
+
+// Events exposes the flight recorder — the bounded ring of typed
+// scheduling/datapath/fault events (served by /debug/events).
+func (d *Daemon) Events() *telemetry.EventRing { return d.tel.events }
+
+// Watchdog exposes the slow-transfer watchdog (budget and captured
+// incidents; served by /debug/events).
+func (d *Daemon) Watchdog() *telemetry.Watchdog { return d.tel.watchdog }
 
 // Stats snapshots the daemon counters; see Stats for field semantics.
 func (d *Daemon) Stats() Stats {
@@ -454,12 +485,29 @@ func (d *Daemon) handleConn(env sim.Env, conn wire.Conn) {
 			d.handleDelete(env, conn, m)
 		case wire.TDump:
 			d.handleDump(env, conn, m)
+		case wire.TTraceReport:
+			d.handleTraceReport(m)
 		default:
 			// Echo the request's type so the client can correlate the
 			// error to whichever waiter sent the malformed message.
 			d.sendErrFor(env, conn, m.Type, m.Iteration, m.Model, fmt.Sprintf("unexpected message %s", m.Type))
 		}
 	}
+}
+
+// handleTraceReport stitches a client-reported span tree into the
+// matching daemon trace. The report is fire-and-forget — no reply even
+// on malformed payloads, since the client never waits on one — and
+// reports for traces already evicted from the ring are dropped.
+func (d *Daemon) handleTraceReport(m *wire.Msg) {
+	if m.TraceID == 0 || len(m.Payload) == 0 {
+		return
+	}
+	var root telemetry.Span
+	if err := json.Unmarshal(m.Payload, &root); err != nil {
+		return
+	}
+	d.tel.traces.Stitch(telemetry.TraceID(m.TraceID), &root)
 }
 
 // sendErrFor reports an error correlated to the failing request so the
@@ -589,6 +637,8 @@ func (d *Daemon) enqueue(env sim.Env, conn wire.Conn, m *wire.Msg, class sched.C
 		Class:      class,
 		Iteration:  m.Iteration,
 		EnqueuedAt: env.Now(),
+		TraceID:    telemetry.TraceID(m.TraceID),
+		ParentSpan: m.SpanID,
 		Payload:    &reqCtx{sess: sess, conn: conn},
 	})
 	switch res.Verdict {
@@ -670,11 +720,14 @@ func (d *Daemon) doCheckpoint(env sim.Env, t *sched.Task, rc *reqCtx) {
 	m.SetActive(slot, t.Iteration)
 
 	tr := telemetry.NewTrace("checkpoint", m.Name, t.Iteration, t.EnqueuedAt)
+	tr.ID = t.TraceID
+	tr.ParentSpan = t.ParentSpan
 	t0 := env.Now()
 	wait := tr.Root.Child("enqueue-wait", t.EnqueuedAt)
 	wait.EndAt(t0)
 
 	plan, cx := d.plan(rc.sess, slot)
+	cx.Trace = t.TraceID
 	lease := d.lanePool.Acquire()
 	cx.Lanes = lease.Lanes()
 	res, err := d.engine.Pull(env, cx, plan, tr.Root)
@@ -707,10 +760,10 @@ func (d *Daemon) doCheckpoint(env sim.Env, t *sched.Task, rc *reqCtx) {
 	tr.Finish(env.Now())
 	d.tel.checkpoints.Inc()
 	d.tel.bytesPulled.Add(res.Bytes)
-	d.tel.ckptLatency.ObserveDuration(tr.Duration)
-	d.tel.enqueueWait.ObserveDuration(wait.Dur())
-	d.tel.pullStage.ObserveDuration(res.Transfer)
-	d.tel.flushStage.ObserveDuration(res.Flush)
+	d.tel.ckptLatency.ObserveDurationTraced(tr.Duration, tr.ID)
+	d.tel.enqueueWait.ObserveDurationTraced(wait.Dur(), tr.ID)
+	d.tel.pullStage.ObserveDurationTraced(res.Transfer, tr.ID)
+	d.tel.flushStage.ObserveDurationTraced(res.Flush, tr.ID)
 	d.tel.traces.Add(tr)
 	d.sched.Done(env, t)
 	// The original connection may have died mid-pull; duplicate waiters
@@ -750,10 +803,13 @@ func (d *Daemon) doRestore(env sim.Env, t *sched.Task, rc *reqCtx) {
 		return
 	}
 	tr := telemetry.NewTrace("restore", m.Name, v.Iteration, t.EnqueuedAt)
+	tr.ID = t.TraceID
+	tr.ParentSpan = t.ParentSpan
 	t0 := env.Now()
 	wait := tr.Root.Child("enqueue-wait", t.EnqueuedAt)
 	wait.EndAt(t0)
 	plan, cx := d.plan(rc.sess, slot)
+	cx.Trace = t.TraceID
 	lease := d.lanePool.Acquire()
 	cx.Lanes = lease.Lanes()
 	res, err := d.engine.Push(env, cx, plan, tr.Root)
@@ -772,9 +828,9 @@ func (d *Daemon) doRestore(env sim.Env, t *sched.Task, rc *reqCtx) {
 	tr.Finish(env.Now())
 	d.tel.restores.Inc()
 	d.tel.bytesPushed.Add(res.Bytes)
-	d.tel.restoreLatency.ObserveDuration(tr.Duration)
-	d.tel.pushStage.ObserveDuration(res.Transfer)
-	d.tel.enqueueWait.ObserveDuration(wait.Dur())
+	d.tel.restoreLatency.ObserveDurationTraced(tr.Duration, tr.ID)
+	d.tel.pushStage.ObserveDurationTraced(res.Transfer, tr.ID)
+	d.tel.enqueueWait.ObserveDurationTraced(wait.Dur(), tr.ID)
 	d.tel.traces.Add(tr)
 	d.sched.Done(env, t)
 	done := &wire.Msg{Type: wire.TRestoreDone, Model: m.Name, Iteration: v.Iteration, Slot: slot}

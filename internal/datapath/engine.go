@@ -3,6 +3,7 @@ package datapath
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -42,6 +43,9 @@ type Metrics struct {
 	// QuarantinedLanes gauges lanes currently removed from a stripe
 	// set; it returns to zero when the run completes.
 	QuarantinedLanes *telemetry.Gauge
+	// Events receives flight-recorder entries for retries, strategy
+	// degradations, and lane quarantines; nil disables emission.
+	Events *telemetry.EventRing
 }
 
 // Config parameterizes an Engine.
@@ -178,13 +182,15 @@ type run struct {
 	retries      int
 	degradations int
 	quarantined  int
+	// trace links the run's flight-recorder events to the request.
+	trace telemetry.TraceID
 }
 
-func (e *Engine) newRun() *run {
+func (e *Engine) newRun(cx *Context) *run {
 	chain := make([]Strategy, 0, 1+len(e.cfg.Fallbacks))
 	chain = append(chain, e.cfg.Strategy)
 	chain = append(chain, e.cfg.Fallbacks...)
-	return &run{chain: chain}
+	return &run{chain: chain, trace: cx.Trace}
 }
 
 func (r *run) strategy() Strategy {
@@ -193,33 +199,48 @@ func (r *run) strategy() Strategy {
 	return r.chain[r.cur]
 }
 
+// event records a healing decision in the flight recorder (nil-safe).
+func (r *run) event(e *Engine, env sim.Env, kind telemetry.EventKind, detail string) {
+	e.cfg.Metrics.Events.Emit(telemetry.Event{
+		Time:   env.Now(),
+		Kind:   kind,
+		Trace:  r.trace,
+		Detail: detail,
+	})
+}
+
 // degrade advances to the next fallback strategy; it reports false when
 // the chain is exhausted (the caller must treat the error as final or
 // spend a retry attempt on the current strategy).
-func (r *run) degrade(e *Engine) bool {
+func (r *run) degrade(e *Engine, env sim.Env) bool {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.cur+1 >= len(r.chain) {
+		r.mu.Unlock()
 		return false
 	}
 	r.cur++
 	r.degradations++
+	from, to := r.chain[r.cur-1].Name(), r.chain[r.cur].Name()
+	r.mu.Unlock()
 	e.cfg.Metrics.Degradations.Inc()
+	r.event(e, env, telemetry.EvStrategyDegrade, from+" -> "+to)
 	return true
 }
 
-func (r *run) noteRetry(e *Engine) {
+func (r *run) noteRetry(e *Engine, env sim.Env, chunk string) {
 	r.mu.Lock()
 	r.retries++
 	r.mu.Unlock()
 	e.cfg.Metrics.Retries.Inc()
+	r.event(e, env, telemetry.EvDatapathRetry, chunk)
 }
 
-func (r *run) quarantine(e *Engine) {
+func (r *run) quarantine(e *Engine, env sim.Env, laneID int) {
 	r.mu.Lock()
 	r.quarantined++
 	r.mu.Unlock()
 	e.cfg.Metrics.QuarantinedLanes.Inc()
+	r.event(e, env, telemetry.EvLaneQuarantine, "lane "+strconv.Itoa(laneID))
 }
 
 // finish returns quarantined lanes to the gauge (quarantine is scoped
@@ -277,7 +298,7 @@ func (e *Engine) Pull(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (R
 // chunk, then flush the whole batch. With no faults it reproduces the
 // pre-engine datapath's timing and span structure exactly.
 func (e *Engine) pullSequential(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (Result, error) {
-	rs := e.newRun()
+	rs := e.newRun(cx)
 	lane0 := e.lanesFor(cx)[0]
 	lcx := laneContext(cx, lane0)
 	t0 := env.Now()
@@ -291,17 +312,17 @@ func (e *Engine) pullSequential(env sim.Env, cx *Context, p Plan, root *telemetr
 			err := rs.strategy().Pull(env, lcx, c)
 			if err == nil {
 				pulled += c.Len
-				sp.SetAttr("bytes", fmt.Sprint(c.Len))
-				sp.SetAttr("lane", fmt.Sprint(lane0.ID))
+				sp.SetAttr("bytes", strconv.FormatInt(c.Len, 10))
+				sp.SetAttr("lane", strconv.Itoa(lane0.ID))
 				if attempts > 0 {
-					sp.SetAttr("attempt", fmt.Sprint(attempts+1))
+					sp.SetAttr("attempt", strconv.Itoa(attempts+1))
 				}
 				sp.EndAt(env.Now())
 				break
 			}
 			sp.SetAttr("error", err.Error())
 			sp.EndAt(env.Now())
-			if isRouteErr(err) && rs.degrade(e) {
+			if isRouteErr(err) && rs.degrade(e, env) {
 				continue // fresh strategy, immediate re-attempt
 			}
 			attempts++
@@ -311,7 +332,7 @@ func (e *Engine) pullSequential(env sim.Env, cx *Context, p Plan, root *telemetr
 				rs.finish(e, &res)
 				return res, fmt.Errorf("pulling %s: %w", c.Name, err)
 			}
-			rs.noteRetry(e)
+			rs.noteRetry(e, env, "pull "+c.Name)
 			env.Sleep(e.backoff(attempts))
 		}
 	}
@@ -332,7 +353,7 @@ func (e *Engine) pullSequential(env sim.Env, cx *Context, p Plan, root *telemetr
 				rs.finish(e, &res)
 				return res, fmt.Errorf("flushing %s: %w", c.Name, err)
 			}
-			rs.noteRetry(e)
+			rs.noteRetry(e, env, "flush "+c.Name)
 			// A re-flush pays the CLWB cost for this chunk again on top
 			// of the batch cost charged below.
 			env.Sleep(e.backoff(attempts) + e.cfg.FlushCost(c.Len))
@@ -360,7 +381,7 @@ func (e *Engine) pullSequential(env sim.Env, cx *Context, p Plan, root *telemetr
 // by workClosed) so a quarantined lane can never send on a closed
 // queue.
 func (e *Engine) pullPipelined(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (Result, error) {
-	rs := e.newRun()
+	rs := e.newRun(cx)
 	laneSet := e.lanesFor(cx)
 	t0 := env.Now()
 	pull := root.Child("pull", t0)
@@ -439,10 +460,10 @@ func (e *Engine) pullPipelined(env sim.Env, cx *Context, p Plan, root *telemetry
 						if now > lastPullEnd {
 							lastPullEnd = now
 						}
-						sp.SetAttr("bytes", fmt.Sprint(it.c.Len))
-						sp.SetAttr("lane", fmt.Sprint(qp.ID))
+						sp.SetAttr("bytes", strconv.FormatInt(it.c.Len, 10))
+						sp.SetAttr("lane", strconv.Itoa(qp.ID))
 						if it.attempts > 0 {
-							sp.SetAttr("attempt", fmt.Sprint(it.attempts+1))
+							sp.SetAttr("attempt", strconv.Itoa(it.attempts+1))
 						}
 						sp.EndAt(now)
 						mu.Unlock()
@@ -454,7 +475,7 @@ func (e *Engine) pullPipelined(env sim.Env, cx *Context, p Plan, root *telemetry
 					mu.Lock()
 					sp.SetAttr("error", err.Error())
 					sp.EndAt(now)
-					if isRouteErr(err) && rs.degrade(e) {
+					if isRouteErr(err) && rs.degrade(e, env) {
 						mu.Unlock()
 						continue // fresh strategy, immediate re-attempt
 					}
@@ -468,11 +489,11 @@ func (e *Engine) pullPipelined(env sim.Env, cx *Context, p Plan, root *telemetry
 						mu.Unlock()
 						return
 					}
-					rs.noteRetry(e)
+					rs.noteRetry(e, env, "pull "+it.c.Name)
 					consec++
 					if lim := e.cfg.Retry.LaneFailLimit; lim > 0 && consec >= lim && healthy > 1 {
 						healthy--
-						rs.quarantine(e)
+						rs.quarantine(e, env, qp.ID)
 						if !workClosed {
 							work.Send(env, it) // re-stripe over the healthy lanes
 						}
@@ -511,7 +532,7 @@ func (e *Engine) pullPipelined(env sim.Env, cx *Context, p Plan, root *telemetry
 					mu.Unlock()
 					break
 				}
-				rs.noteRetry(e)
+				rs.noteRetry(e, env, "flush "+c.Name)
 				env.Sleep(e.backoff(attempts))
 			}
 			mu.Lock()
@@ -529,6 +550,9 @@ func (e *Engine) pullPipelined(env sim.Env, cx *Context, p Plan, root *telemetry
 	flushed.Wait(env)
 
 	if firstErr != nil {
+		// Close the stage span even on failure: an unclosed span (End ==
+		// 0) renders with a negative duration in dumps.
+		pull.EndAt(env.Now())
 		var res Result
 		rs.finish(e, &res)
 		return res, firstErr
@@ -555,7 +579,7 @@ func (e *Engine) Push(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (R
 	if root == nil {
 		root = &telemetry.Span{}
 	}
-	rs := e.newRun()
+	rs := e.newRun(cx)
 	laneSet := e.lanesFor(cx)
 	t0 := env.Now()
 	push := root.Child("push", t0)
@@ -571,17 +595,17 @@ func (e *Engine) Push(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (R
 				err := rs.strategy().Push(env, lcx, c)
 				if err == nil {
 					pushed += c.Len
-					sp.SetAttr("bytes", fmt.Sprint(c.Len))
-					sp.SetAttr("lane", fmt.Sprint(laneSet[0].ID))
+					sp.SetAttr("bytes", strconv.FormatInt(c.Len, 10))
+					sp.SetAttr("lane", strconv.Itoa(laneSet[0].ID))
 					if attempts > 0 {
-						sp.SetAttr("attempt", fmt.Sprint(attempts+1))
+						sp.SetAttr("attempt", strconv.Itoa(attempts+1))
 					}
 					sp.EndAt(env.Now())
 					break
 				}
 				sp.SetAttr("error", err.Error())
 				sp.EndAt(env.Now())
-				if isRouteErr(err) && rs.degrade(e) {
+				if isRouteErr(err) && rs.degrade(e, env) {
 					continue
 				}
 				attempts++
@@ -591,7 +615,7 @@ func (e *Engine) Push(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (R
 					rs.finish(e, &res)
 					return res, fmt.Errorf("restoring %s: %w", c.Name, err)
 				}
-				rs.noteRetry(e)
+				rs.noteRetry(e, env, "push "+c.Name)
 				env.Sleep(e.backoff(attempts))
 			}
 		}
@@ -655,10 +679,10 @@ func (e *Engine) Push(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (R
 						mu.Lock()
 						consec = 0
 						pushed += it.c.Len
-						sp.SetAttr("bytes", fmt.Sprint(it.c.Len))
-						sp.SetAttr("lane", fmt.Sprint(qp.ID))
+						sp.SetAttr("bytes", strconv.FormatInt(it.c.Len, 10))
+						sp.SetAttr("lane", strconv.Itoa(qp.ID))
 						if it.attempts > 0 {
-							sp.SetAttr("attempt", fmt.Sprint(it.attempts+1))
+							sp.SetAttr("attempt", strconv.Itoa(it.attempts+1))
 						}
 						sp.EndAt(now)
 						doneN++
@@ -672,7 +696,7 @@ func (e *Engine) Push(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (R
 					mu.Lock()
 					sp.SetAttr("error", err.Error())
 					sp.EndAt(now)
-					if isRouteErr(err) && rs.degrade(e) {
+					if isRouteErr(err) && rs.degrade(e, env) {
 						mu.Unlock()
 						continue
 					}
@@ -686,11 +710,11 @@ func (e *Engine) Push(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (R
 						mu.Unlock()
 						return
 					}
-					rs.noteRetry(e)
+					rs.noteRetry(e, env, "push "+it.c.Name)
 					consec++
 					if lim := e.cfg.Retry.LaneFailLimit; lim > 0 && consec >= lim && healthy > 1 {
 						healthy--
-						rs.quarantine(e)
+						rs.quarantine(e, env, qp.ID)
 						if !workClosed {
 							work.Send(env, it)
 						}
@@ -705,6 +729,8 @@ func (e *Engine) Push(env sim.Env, cx *Context, p Plan, root *telemetry.Span) (R
 	}
 	lanes.Wait(env)
 	if firstErr != nil {
+		// Close the stage span even on failure (see pullPipelined).
+		push.EndAt(env.Now())
 		var res Result
 		rs.finish(e, &res)
 		return res, firstErr

@@ -15,7 +15,7 @@
 package datapath
 
 import (
-	"fmt"
+	"strconv"
 
 	"github.com/portus-sys/portus/internal/perfmodel"
 )
@@ -40,16 +40,24 @@ type Chunk struct {
 	TensorOff int64  // offset within the tensor (= offset within the remote MR)
 	PMemOff   int64  // absolute offset within the PMem data zone
 	Len       int64
+	// label is the precomputed span-name suffix ("<tensor>" or
+	// "<tensor>#<seq>"): spanName runs per transfer attempt inside the
+	// engine's lock, so formatting is paid once at planning time.
+	label string
 }
 
 // spanName labels the chunk's trace span: "pull:<tensor>" when the
 // tensor is a single chunk (the pre-chunking span name, which tooling
 // keys on), "pull:<tensor>#<seq>" when split.
 func (c Chunk) spanName(verb string) string {
+	if c.label != "" {
+		return verb + ":" + c.label
+	}
+	// Hand-built chunks (tests, sentinels) have no precomputed label.
 	if c.Chunks <= 1 {
 		return verb + ":" + c.Name
 	}
-	return fmt.Sprintf("%s:%s#%d", verb, c.Name, c.Seq)
+	return verb + ":" + c.Name + "#" + strconv.Itoa(c.Seq)
 }
 
 // Plan is an ordered chunk schedule covering every tensor extent
@@ -86,6 +94,10 @@ func NewPlan(tensors []TensorRange, chunkSize int64) Plan {
 					ln = chunkSize
 				}
 			}
+			label := t.Name
+			if n > 1 {
+				label = t.Name + "#" + strconv.Itoa(k)
+			}
 			p.Chunks = append(p.Chunks, Chunk{
 				Tensor:    ti,
 				Name:      t.Name,
@@ -94,6 +106,7 @@ func NewPlan(tensors []TensorRange, chunkSize int64) Plan {
 				TensorOff: off,
 				PMemOff:   t.PMemOff + off,
 				Len:       ln,
+				label:     label,
 			})
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"github.com/portus-sys/portus/internal/perfmodel"
 	"github.com/portus-sys/portus/internal/rdma"
 	"github.com/portus-sys/portus/internal/sim"
+	"github.com/portus-sys/portus/internal/telemetry"
 )
 
 // Context carries the endpoints a transfer runs between: the daemon's
@@ -14,6 +15,10 @@ type Context struct {
 	Local   *rdma.Node
 	LocalMR rdma.MR
 	Remote  []rdma.RemoteMR
+	// Trace links this transfer's flight-recorder events (retries,
+	// quarantines, degradations) to the request's trace; zero when the
+	// request is untraced.
+	Trace telemetry.TraceID
 	// HostStage is the storage server's DRAM staging resource; required
 	// by HostStaged, unused by the other strategies.
 	HostStage *sim.BandwidthResource

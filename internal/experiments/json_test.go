@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestQuantilesEdges(t *testing.T) {
+	if q := quantiles(nil); q.Count != 0 || q.P99 != 0 {
+		t.Fatalf("empty quantiles = %+v", q)
+	}
+	q := quantiles([]time.Duration{time.Second})
+	if q.Count != 1 || q.Min != 1 || q.P50 != 1 || q.P99 != 1 || q.Max != 1 || q.Mean != 1 {
+		t.Fatalf("single-sample quantiles = %+v", q)
+	}
+	q = quantiles([]time.Duration{time.Second, 2 * time.Second, 3 * time.Second, 4 * time.Second})
+	if q.Min != 1 || q.Max != 4 || q.P50 != 2 || q.Mean != 2.5 {
+		t.Fatalf("quantiles = %+v", q)
+	}
+}
+
+func TestProbeForOverrides(t *testing.T) {
+	base := ProbeFor("fig11")
+	if base != defaultProbe() {
+		t.Fatalf("unknown id must use the baseline probe, got %+v", base)
+	}
+	pipe := ProbeFor("ablation-pipeline")
+	if pipe.PipelineDepth != 4 || pipe.Lanes != 4 {
+		t.Fatalf("pipeline probe = %+v", pipe)
+	}
+}
+
+// TestRunPerfProbeStitchesAndTiles runs a small instrumented probe and
+// checks the machine-readable invariants the perf-smoke CI job gates
+// on: every checkpoint stitched, stages harvested, and span sums
+// within the divergence budget (exactly zero under the sim clock).
+func TestRunPerfProbeStitchesAndTiles(t *testing.T) {
+	res, err := RunPerfProbe(ProbeConfig{
+		Model: "resnet50", Iterations: 4, PipelineDepth: 1, Lanes: 1, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checkpoint.Count != 4 {
+		t.Fatalf("checkpoint samples = %d, want 4", res.Checkpoint.Count)
+	}
+	if res.StitchedTraces != 4 {
+		t.Fatalf("stitched = %d/4, want all", res.StitchedTraces)
+	}
+	if res.SpanSumDivergence != 0 {
+		t.Fatalf("span-sum divergence = %v, want 0 under the sim clock", res.SpanSumDivergence)
+	}
+	if res.BytesPerCheckpoint <= 0 || res.ThroughputGBps <= 0 {
+		t.Fatalf("throughput record = %+v", res)
+	}
+	for _, stage := range []string{"send", "await", "enqueue-wait", "pull", "flush", "commit"} {
+		q, ok := res.Stages[stage]
+		if !ok || q.Count == 0 {
+			t.Fatalf("stage %q missing from probe (have %v)", stage, res.Stages)
+		}
+	}
+
+	// The report document round-trips as JSON.
+	rep := Report{Set: "test", Experiments: []ExperimentReport{{ID: "x", Probe: &res}}}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.MaxDivergence() != 0 {
+		t.Fatalf("MaxDivergence after round trip = %v", back.MaxDivergence())
+	}
+}

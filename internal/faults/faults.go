@@ -84,6 +84,10 @@ type Config struct {
 	// Telemetry, when set, receives portus_faults_injected_total
 	// counters labeled by site.
 	Telemetry *telemetry.Registry
+	// Events, when set, receives a flight-recorder entry for every
+	// injected fault, so /debug/events shows harness activity inline
+	// with the scheduling and datapath decisions it provoked.
+	Events *telemetry.EventRing
 }
 
 // Injector makes the schedule's decisions and counts what it injected.
@@ -118,7 +122,9 @@ func NewInjector(cfg Config) *Injector {
 }
 
 // decide advances site's ordinal and reports whether this op faults.
-func (in *Injector) decide(site string, r Rule) bool {
+// env stamps the flight-recorder entry; callers without a clock (the
+// flush path) pass nil.
+func (in *Injector) decide(env sim.Env, site string, r Rule) bool {
 	if !r.enabled() {
 		return false
 	}
@@ -136,6 +142,17 @@ func (in *Injector) decide(site string, r Rule) bool {
 	in.mu.Unlock()
 	if hit && c != nil {
 		c.Inc()
+	}
+	if hit {
+		var now time.Duration
+		if env != nil {
+			now = env.Now()
+		}
+		in.cfg.Events.Emit(telemetry.Event{
+			Time:   now,
+			Kind:   telemetry.EvFaultInject,
+			Detail: fmt.Sprintf("%s op %d", site, op),
+		})
 	}
 	return hit
 }
@@ -172,13 +189,13 @@ type faultFabric struct {
 // verbFault runs the shared pre-verb schedule: an optional delay, then
 // a route failure or a transient completion error.
 func (f *faultFabric) verbFault(env sim.Env, site string, r Rule) error {
-	if f.in.decide(SiteDelay, f.in.cfg.Delay) {
+	if f.in.decide(env, SiteDelay, f.in.cfg.Delay) {
 		env.Sleep(f.in.cfg.DelayBy)
 	}
-	if f.in.decide(SiteRoute, f.in.cfg.Route) {
+	if f.in.decide(env, SiteRoute, f.in.cfg.Route) {
 		return fmt.Errorf("%w: %w", ErrInjected, rdma.ErrNoRoute)
 	}
-	if f.in.decide(site, r) {
+	if f.in.decide(env, site, r) {
 		return fmt.Errorf("%w: %s completion error", ErrInjected, site)
 	}
 	return nil
@@ -241,7 +258,7 @@ func (c *faultConn) Send(env sim.Env, m *wire.Msg) error {
 		c.mu.Unlock()
 		return wire.ErrClosed
 	}
-	if c.in.decide(SiteConn, c.in.cfg.Conn) {
+	if c.in.decide(env, SiteConn, c.in.cfg.Conn) {
 		c.dropped = true
 		c.mu.Unlock()
 		return c.drop()
@@ -256,7 +273,7 @@ func (c *faultConn) Recv(env sim.Env) (*wire.Msg, error) {
 		c.mu.Unlock()
 		return nil, wire.ErrClosed
 	}
-	if c.in.decide(SiteConn, c.in.cfg.Conn) {
+	if c.in.decide(env, SiteConn, c.in.cfg.Conn) {
 		c.dropped = true
 		c.mu.Unlock()
 		return nil, c.drop()
@@ -278,7 +295,7 @@ func (c *faultConn) Close() error {
 // result plugs into datapath.Config.Flush / daemon.Config.Flush.
 func (in *Injector) Flush(dev *pmem.Device) func(off, n int64) error {
 	return func(off, n int64) error {
-		if in.decide(SiteFlush, in.cfg.Flush) {
+		if in.decide(nil, SiteFlush, in.cfg.Flush) {
 			if half := n / 2; half > 0 {
 				dev.FlushData(off, half)
 			}

@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/portus-sys/portus/internal/sim"
+	"github.com/portus-sys/portus/internal/telemetry"
+)
+
+// eventKinds returns the ring's kinds oldest-first for easy comparison.
+func eventKinds(ring *telemetry.EventRing) []telemetry.EventKind {
+	snap := ring.Snapshot()
+	out := make([]telemetry.EventKind, len(snap))
+	for i, ev := range snap {
+		out[len(snap)-1-i] = ev.Kind
+	}
+	return out
+}
+
+// TestSchedulerEmitsFlightRecorderEvents locks the admission-path event
+// contract: admit, dedup, coalesce, and busy verdicts each leave a
+// typed entry carrying the task's trace id.
+func TestSchedulerEmitsFlightRecorderEvents(t *testing.T) {
+	run(t, func(env sim.Env) {
+		ring := telemetry.NewEventRing(32)
+		s := New(env, Config{ModelQueueCap: 1, GlobalCap: 2, Workers: 1, Events: ring})
+
+		id := telemetry.NewTraceID()
+		first := &Task{Model: "m", Class: ClassCheckpoint, Iteration: 1, TraceID: id, Payload: "a"}
+		if v := s.Submit(env, first); v.Verdict != Admitted {
+			t.Fatalf("verdict = %v", v.Verdict)
+		}
+		// Same (model, iteration) while queued: deduped.
+		if v := s.Submit(env, &Task{Model: "m", Class: ClassCheckpoint, Iteration: 1, Payload: "b"}); v.Verdict != Deduped {
+			t.Fatalf("verdict = %v", v.Verdict)
+		}
+		// Running task occupies the lane; a newer iteration coalesces
+		// over the queue capacity... first pull iter 1 into a worker.
+		running, _ := s.Next(env)
+		if v := s.Submit(env, &Task{Model: "m", Class: ClassCheckpoint, Iteration: 2, Payload: "c"}); v.Verdict != Admitted {
+			t.Fatalf("verdict = %v", v.Verdict)
+		}
+		// Queue for "m" is full (cap 1): iteration 3 supersedes the
+		// queued iteration 2 instead of bouncing.
+		if v := s.Submit(env, &Task{Model: "m", Class: ClassCheckpoint, Iteration: 3, Payload: "d"}); v.Verdict != CoalescedVerdict {
+			t.Fatalf("verdict = %v", v.Verdict)
+		}
+		// Global cap (2) reached by other models: busy.
+		if v := s.Submit(env, &Task{Model: "n", Class: ClassCheckpoint, Iteration: 1, Payload: "e"}); v.Verdict != Admitted {
+			t.Fatalf("verdict = %v", v.Verdict)
+		}
+		busy := s.Submit(env, &Task{Model: "o", Class: ClassCheckpoint, Iteration: 1, Payload: "f"})
+		if busy.Verdict != Rejected {
+			t.Fatalf("verdict = %v, want Rejected", busy.Verdict)
+		}
+		s.Done(env, running)
+
+		kinds := eventKinds(ring)
+		want := []telemetry.EventKind{
+			telemetry.EvSchedAdmit,    // iter 1
+			telemetry.EvSchedDedup,    // duplicate iter 1
+			telemetry.EvSchedAdmit,    // iter 2
+			telemetry.EvSchedCoalesce, // iter 3 supersedes 2
+			telemetry.EvSchedAdmit,    // model n
+			telemetry.EvSchedBusy,     // model o bounced
+		}
+		if len(kinds) != len(want) {
+			t.Fatalf("event kinds = %v, want %v", kinds, want)
+		}
+		for i := range want {
+			if kinds[i] != want[i] {
+				t.Fatalf("event[%d] = %s, want %s (all: %v)", i, kinds[i], want[i], kinds)
+			}
+		}
+		// The admit event carries the submitting task's trace id, and
+		// the busy event carries the retry hint in its detail.
+		snap := ring.Snapshot() // newest first
+		if admit := snap[len(snap)-1]; admit.Trace != id || admit.Model != "m" {
+			t.Fatalf("admit event = %+v, want trace %s", admit, id)
+		}
+		if !strings.Contains(snap[0].Detail, "retry after") {
+			t.Fatalf("busy event detail = %q", snap[0].Detail)
+		}
+	})
+}
+
+// TestSchedulerNilEventRing: event emission is optional — a scheduler
+// without a ring must behave identically.
+func TestSchedulerNilEventRing(t *testing.T) {
+	run(t, func(env sim.Env) {
+		s := New(env, Config{})
+		if v := s.Submit(env, task("m", ClassCheckpoint, 1)); v.Verdict != Admitted {
+			t.Fatalf("verdict = %v", v.Verdict)
+		}
+		tk, ok := s.Next(env)
+		if !ok {
+			t.Fatal("Next returned no task")
+		}
+		s.Done(env, tk)
+	})
+}

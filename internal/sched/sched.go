@@ -123,6 +123,11 @@ type Task struct {
 	Model     string
 	Class     Class
 	Iteration uint64
+	// TraceID/ParentSpan carry the client's trace context through the
+	// queue so the executor's trace adopts the client-minted identity.
+	// Zero means untraced.
+	TraceID    telemetry.TraceID
+	ParentSpan uint64
 	// EnqueuedAt is the submitter's clock at submission (for wait
 	// accounting and traces).
 	EnqueuedAt time.Duration
@@ -161,6 +166,9 @@ type Config struct {
 	// gauges, and per-class wait histograms; nil creates a private
 	// registry.
 	Telemetry *telemetry.Registry
+	// Events receives flight-recorder entries for admission decisions
+	// (admit/coalesce/dedup/busy); nil disables event emission.
+	Events *telemetry.EventRing
 }
 
 // lane is one model's FIFO queue pair plus its in-flight slot.
@@ -288,6 +296,19 @@ func (s *Scheduler) retryAfter() time.Duration {
 	return d
 }
 
+// event records a flight-recorder entry for an admission decision.
+// Emit is nil-safe, so untraced/unconfigured schedulers pay one call.
+func (s *Scheduler) event(env sim.Env, kind telemetry.EventKind, t *Task, detail string) {
+	s.cfg.Events.Emit(telemetry.Event{
+		Time:      env.Now(),
+		Kind:      kind,
+		Model:     t.Model,
+		Iteration: t.Iteration,
+		Trace:     t.TraceID,
+		Detail:    detail,
+	})
+}
+
 // Submit admits, coalesces, dedups, or rejects a task. It never
 // blocks. The task must not be reused after submission unless the
 // verdict is Rejected.
@@ -306,6 +327,7 @@ func (s *Scheduler) Submit(env sim.Env, t *Task) Result {
 		(t.Class == ClassRestore || r.Iteration == t.Iteration) {
 		r.Dups = append(r.Dups, t.Payload)
 		s.dedups.Inc()
+		s.event(env, telemetry.EvSchedDedup, t, "attached to running task")
 		return Result{Verdict: Deduped}
 	}
 	// Dedup / coalesce against the queued tasks of the same class.
@@ -313,6 +335,7 @@ func (s *Scheduler) Submit(env sim.Env, t *Task) Result {
 		if t.Class == ClassRestore || q.Iteration == t.Iteration {
 			q.Dups = append(q.Dups, t.Payload)
 			s.dedups.Inc()
+			s.event(env, telemetry.EvSchedDedup, t, "attached to queued task")
 			return Result{Verdict: Deduped}
 		}
 		if s.cfg.DisableCoalesce {
@@ -330,12 +353,14 @@ func (s *Scheduler) Submit(env sim.Env, t *Task) Result {
 			t.seq = q.seq
 			*q = *t
 			s.coalesced.Inc()
+			s.event(env, telemetry.EvSchedCoalesce, t, fmt.Sprintf("superseded queued iter %d", t.Coalesced[0].Iteration))
 			return Result{Verdict: CoalescedVerdict}
 		}
 		// The incoming request is the stale one (a late retry racing a
 		// newer submission): absorb it into the newer task.
 		q.Coalesced = append(q.Coalesced, Stale{Iteration: t.Iteration, Payload: t.Payload})
 		s.coalesced.Inc()
+		s.event(env, telemetry.EvSchedCoalesce, t, fmt.Sprintf("absorbed by queued iter %d", q.Iteration))
 		return Result{Verdict: CoalescedVerdict}
 	}
 
@@ -343,7 +368,9 @@ func (s *Scheduler) Submit(env sim.Env, t *Task) Result {
 	// requests merged above never bounce.
 	if s.queued >= s.cfg.GlobalCap || l.queued() >= s.cfg.ModelQueueCap {
 		s.busyReplies.Inc()
-		return Result{Verdict: Rejected, RetryAfter: s.retryAfter()}
+		ra := s.retryAfter()
+		s.event(env, telemetry.EvSchedBusy, t, "retry after "+ra.String())
+		return Result{Verdict: Rejected, RetryAfter: ra}
 	}
 
 	s.seq++
@@ -354,6 +381,7 @@ func (s *Scheduler) Submit(env sim.Env, t *Task) Result {
 	l.depth.Inc()
 	s.globalDepth.Inc()
 	s.admitted.Inc()
+	s.event(env, telemetry.EvSchedAdmit, t, "")
 	if wasEmpty && l.running == nil {
 		// The lane just became dispatchable: hand a worker a token.
 		s.tokens.Send(env, struct{}{})

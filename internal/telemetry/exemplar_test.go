@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// S4: quantile edge cases — empty, single-sample, and all-equal
+// histograms must return finite, sane values.
+func TestHistogramQuantileSingleAndAllEqual(t *testing.T) {
+	single := NewHistogram([]float64{0.1, 1, 10})
+	single.Observe(0.05)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := single.Quantile(q)
+		if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 {
+			t.Fatalf("single-sample Quantile(%v) = %v", q, got)
+		}
+		if got > 0.1 {
+			t.Fatalf("single-sample Quantile(%v) = %v, want <= first bound", q, got)
+		}
+	}
+
+	equal := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 50; i++ {
+		equal.Observe(1.5)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		got := equal.Quantile(q)
+		if math.IsNaN(got) || got < 1 || got > 2 {
+			t.Fatalf("all-equal Quantile(%v) = %v, want within (1, 2]", q, got)
+		}
+	}
+
+	// Out-of-range q must not panic or go negative on any of them.
+	for _, h := range []*Histogram{NewHistogram(nil), single, equal} {
+		for _, q := range []float64{-1, 2} {
+			if got := h.Quantile(q); math.IsNaN(got) || got < 0 {
+				t.Fatalf("Quantile(%v) = %v", q, got)
+			}
+		}
+	}
+}
+
+func TestExemplarTracksWorstObservation(t *testing.T) {
+	h := NewHistogram(nil)
+	if _, ok := h.Exemplar(); ok {
+		t.Fatal("fresh histogram must have no exemplar")
+	}
+	h.ObserveTraced(0.2, TraceID(2))
+	h.ObserveTraced(0.9, TraceID(9))
+	h.ObserveTraced(0.5, TraceID(5))
+	ex, ok := h.Exemplar()
+	if !ok || ex.Trace != TraceID(9) || ex.Value != 0.9 {
+		t.Fatalf("exemplar = %+v ok=%v, want the worst traced observation", ex, ok)
+	}
+	// Untraced observations count toward the histogram but never
+	// displace the exemplar, even when slower.
+	h.ObserveTraced(5, 0)
+	h.Observe(10)
+	if ex, _ := h.Exemplar(); ex.Trace != TraceID(9) {
+		t.Fatalf("exemplar displaced by untraced observation: %+v", ex)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+}
+
+// S4: the exemplar must stay consistent (a value/trace pair that was
+// actually observed, and the maximum of the set) under concurrent
+// traced observes; run under -race.
+func TestExemplarConcurrentObserves(t *testing.T) {
+	h := NewHistogram(nil)
+	const goroutines, per = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; i <= per; i++ {
+				// Value encodes the trace id, so the pair is checkable.
+				id := uint64(g*per + i)
+				h.ObserveDurationTraced(time.Duration(id)*time.Microsecond, TraceID(id))
+			}
+		}(g)
+	}
+	wg.Wait()
+	ex, ok := h.Exemplar()
+	if !ok {
+		t.Fatal("no exemplar after concurrent observes")
+	}
+	wantID := uint64(goroutines * per)
+	if ex.Trace != TraceID(wantID) {
+		t.Fatalf("exemplar trace = %s, want %s", ex.Trace, TraceID(wantID))
+	}
+	if want := (time.Duration(wantID) * time.Microsecond).Seconds(); math.Abs(ex.Value-want) > 1e-12 {
+		t.Fatalf("exemplar value = %v, want %v (pair must stay consistent)", ex.Value, want)
+	}
+	if h.Count() != goroutines*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), goroutines*per)
+	}
+}
+
+func TestExemplarInExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("demo_seconds", "demo", nil)
+	h.ObserveTraced(0.25, TraceID(0xbeef))
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, "# EXEMPLAR demo_seconds 0.25 trace_id=000000000000beef") {
+		t.Fatalf("exposition missing exemplar comment:\n%s", out)
+	}
+	// Exemplar lines are comments: the scrape must still parse.
+	samples, err := ParseText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("exposition with exemplars does not parse: %v", err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples parsed")
+	}
+}

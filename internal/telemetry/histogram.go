@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -31,6 +32,17 @@ type Histogram struct {
 	infCnt  atomic.Uint64 // observations above the last bound
 	total   atomic.Uint64
 	sumBits atomic.Uint64 // float64 bits of the running sum
+
+	exMu  sync.Mutex
+	ex    Exemplar
+	hasEx bool
+}
+
+// Exemplar links a histogram's worst observation to the trace that
+// produced it, so a bad quantile points straight at its span tree.
+type Exemplar struct {
+	Value float64 `json:"value"`
+	Trace TraceID `json:"trace_id"`
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -75,6 +87,36 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveDuration records d in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveTraced records v and, when id is non-zero and v is the worst
+// value seen so far, remembers (v, id) as the histogram's exemplar.
+func (h *Histogram) ObserveTraced(v float64, id TraceID) {
+	h.Observe(v)
+	if h == nil || id == 0 {
+		return
+	}
+	h.exMu.Lock()
+	if !h.hasEx || v > h.ex.Value {
+		h.ex = Exemplar{Value: v, Trace: id}
+		h.hasEx = true
+	}
+	h.exMu.Unlock()
+}
+
+// ObserveDurationTraced records d in seconds with a trace exemplar.
+func (h *Histogram) ObserveDurationTraced(d time.Duration, id TraceID) {
+	h.ObserveTraced(d.Seconds(), id)
+}
+
+// Exemplar returns the trace-linked worst observation, if any.
+func (h *Histogram) Exemplar() (Exemplar, bool) {
+	if h == nil {
+		return Exemplar{}, false
+	}
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	return h.ex, h.hasEx
+}
 
 // Count reports the number of observations.
 func (h *Histogram) Count() uint64 {
@@ -176,6 +218,12 @@ func (h *Histogram) writeSeries(w io.Writer, name, labels string) {
 	fmt.Fprintf(w, "%s_bucket%s %d\n", name, braced(joinLabels(labels, `le="+Inf"`)), cum[len(cum)-1])
 	fmt.Fprintf(w, "%s_sum%s %s\n", name, braced(labels), formatFloat(h.Sum()))
 	fmt.Fprintf(w, "%s_count%s %d\n", name, braced(labels), h.Count())
+	// Exemplars ride as comment lines: the classic text format has no
+	// exemplar syntax, and ParseText (like any text-format scraper)
+	// skips '#' lines, so old consumers are unaffected.
+	if ex, ok := h.Exemplar(); ok {
+		fmt.Fprintf(w, "# EXEMPLAR %s%s %s trace_id=%s\n", name, braced(labels), formatFloat(ex.Value), ex.Trace)
+	}
 }
 
 func joinLabels(a, b string) string {

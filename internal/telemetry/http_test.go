@@ -108,3 +108,110 @@ func TestHealthz(t *testing.T) {
 		t.Fatalf("healthz = %d %q", code, body)
 	}
 }
+
+func TestEventsEndpointJSON(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ring := telemetry.NewTraceRing(8)
+	events := telemetry.NewEventRing(8)
+	slow := reg.Counter("portus_slow_transfers_total", "")
+	wd := telemetry.NewWatchdog(10*time.Millisecond, events, slow)
+	ring.OnComplete(wd.Observe)
+	srv := httptest.NewServer(telemetry.AdminHandler(reg, ring, events, wd))
+	t.Cleanup(srv.Close)
+
+	events.Emit(telemetry.Event{Kind: telemetry.EvSchedAdmit, Model: "m", Time: time.Millisecond})
+	tr := telemetry.NewTrace("checkpoint", "m", 1, 0)
+	tr.Finish(time.Second) // over budget: captured by the watchdog
+	ring.Add(tr)
+
+	code, body, hdr := get(t, srv.URL+"/debug/events")
+	if code != http.StatusOK || !strings.Contains(hdr.Get("Content-Type"), "application/json") {
+		t.Fatalf("code=%d content-type=%q", code, hdr.Get("Content-Type"))
+	}
+	var doc struct {
+		Budget   string            `json:"watchdog_budget"`
+		Events   []telemetry.Event `json:"events"`
+		Slow     []json.RawMessage `json:"slow_transfers"`
+		Emitted  uint64            `json:"events_total"`
+		Retained int               `json:"events_retained"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("events doc does not parse: %v\n%s", err, body)
+	}
+	if doc.Budget != "10ms" {
+		t.Fatalf("budget = %q, want 10ms", doc.Budget)
+	}
+	if len(doc.Slow) != 1 {
+		t.Fatalf("slow incidents = %d, want 1", len(doc.Slow))
+	}
+	// Admit event + the watchdog marker, newest first.
+	if len(doc.Events) != 2 || doc.Events[0].Kind != telemetry.EvWatchdogSlow {
+		t.Fatalf("events = %+v", doc.Events)
+	}
+	if doc.Emitted != 2 || doc.Retained != 2 {
+		t.Fatalf("emitted/retained = %d/%d, want 2/2", doc.Emitted, doc.Retained)
+	}
+}
+
+func TestEventsEndpointNilSafe(t *testing.T) {
+	srv, _, _ := newAdminServer(t) // Handler(): no events ring, no watchdog
+	code, body, _ := get(t, srv.URL+"/debug/events")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	if !strings.Contains(body, `"events": []`) || !strings.Contains(body, `"slow_transfers": []`) {
+		t.Fatalf("nil rings must serve empty arrays, got:\n%s", body)
+	}
+}
+
+func TestTracesEndpointFiltersByID(t *testing.T) {
+	srv, _, ring := newAdminServer(t)
+	a := telemetry.NewTrace("checkpoint", "m", 1, 0)
+	a.ID = telemetry.NewTraceID()
+	a.Finish(time.Millisecond)
+	b := telemetry.NewTrace("checkpoint", "m", 2, 0)
+	b.ID = telemetry.NewTraceID()
+	b.Finish(time.Millisecond)
+	ring.Add(a)
+	ring.Add(b)
+
+	code, body, _ := get(t, srv.URL+"/debug/traces?id="+a.ID.String())
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	var traces []*telemetry.Trace
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 || traces[0].Iteration != 1 {
+		t.Fatalf("id filter returned %+v", traces)
+	}
+	if code, _, _ := get(t, srv.URL+"/debug/traces?id=zzz"); code != http.StatusBadRequest {
+		t.Fatalf("malformed id: code = %d, want 400", code)
+	}
+}
+
+func TestPprofEndpointServes(t *testing.T) {
+	srv, _, _ := newAdminServer(t)
+	code, body, _ := get(t, srv.URL+"/debug/pprof/goroutine?debug=1")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof goroutine: code=%d body=%.80q", code, body)
+	}
+}
+
+func TestRuntimeMetricsRegistered(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterRuntimeMetrics(reg)
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"portus_go_goroutines",
+		"portus_go_heap_alloc_bytes",
+		"portus_go_gc_cycles_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("runtime metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package telemetry
+
+import "runtime"
+
+// RegisterRuntimeMetrics exports Go runtime health gauges on reg:
+// goroutine count, heap usage, and GC activity. Values are sampled at
+// scrape time via runtime.ReadMemStats, so the cost (a brief
+// stop-the-world) is paid by the scraper, not the datapath.
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("portus_go_goroutines", "Number of live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	mem := func(pick func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return pick(&ms)
+		}
+	}
+	reg.GaugeFunc("portus_go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.HeapAlloc) }))
+	reg.GaugeFunc("portus_go_heap_objects", "Number of allocated heap objects.",
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.HeapObjects) }))
+	reg.GaugeFunc("portus_go_sys_bytes", "Bytes of memory obtained from the OS.",
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.Sys) }))
+	reg.CounterFunc("portus_go_gc_cycles_total", "Completed GC cycles.",
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.NumGC) }))
+	reg.CounterFunc("portus_go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.",
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.PauseTotalNs) / 1e9 }))
+}

@@ -1,9 +1,59 @@
 package telemetry
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// TraceID identifies one end-to-end request across processes. The
+// client mints it and carries it on every wire message; the daemon
+// adopts it so both halves of a checkpoint land in the same trace. The
+// zero value means "untraced" — messages from clients that predate
+// trace propagation decode with ID 0 and are served normally.
+type TraceID uint64
+
+// String renders the ID the way it appears in exemplars and waterfalls.
+func (id TraceID) String() string {
+	if id == 0 {
+		return "untraced"
+	}
+	return fmt.Sprintf("%016x", uint64(id))
+}
+
+// MarshalText renders the hex form for JSON documents.
+func (id TraceID) MarshalText() ([]byte, error) { return []byte(id.String()), nil }
+
+// UnmarshalText accepts the hex form (or "untraced"/empty for zero).
+func (id *TraceID) UnmarshalText(b []byte) error {
+	s := string(b)
+	if s == "" || s == "untraced" {
+		*id = 0
+		return nil
+	}
+	var v uint64
+	if _, err := fmt.Sscanf(s, "%x", &v); err != nil {
+		return fmt.Errorf("telemetry: bad trace id %q: %w", s, err)
+	}
+	*id = TraceID(v)
+	return nil
+}
+
+// idCounter feeds NewTraceID and NextSpanID. A process-local counter is
+// deterministic under the simulation engine (no entropy source) and
+// unique within one process, which is the collision scope that matters:
+// in sim mode all actors share the process, and in TCP mode the daemon
+// only ever compares IDs minted by one client per connection.
+var idCounter atomic.Uint64
+
+// NewTraceID mints a fresh non-zero trace ID.
+func NewTraceID() TraceID { return TraceID(idCounter.Add(1)) }
+
+// NextSpanID mints a span ID, unique within the process. Only spans
+// that a remote peer must graft under (e.g. the client's await span)
+// need IDs; purely local spans may leave ID zero.
+func NextSpanID() uint64 { return idCounter.Add(1) }
 
 // Span is one timed stage of a request, possibly with nested child
 // stages. Times are env.Now() values (virtual under the simulation
@@ -11,6 +61,7 @@ import (
 // runtimes. Spans are built by the single worker that owns the request
 // and must not be mutated after the trace is added to a ring.
 type Span struct {
+	ID       uint64            `json:"id,omitempty"`
 	Name     string            `json:"name"`
 	Start    time.Duration     `json:"start"`
 	End      time.Duration     `json:"end"`
@@ -53,9 +104,42 @@ func (s *Span) Find(name string) *Span {
 	return nil
 }
 
+// FindByID returns the first span (depth-first, including s itself)
+// with the given non-zero ID, or nil.
+func (s *Span) FindByID(id uint64) *Span {
+	if id == 0 {
+		return nil
+	}
+	if s.ID == id {
+		return s
+	}
+	for _, c := range s.Children {
+		if m := c.FindByID(id); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// Walk visits s and every descendant depth-first.
+func (s *Span) Walk(fn func(*Span)) {
+	fn(s)
+	for _, c := range s.Children {
+		c.Walk(fn)
+	}
+}
+
 // Trace is one completed request lifecycle: a root span tree plus
 // request identity. Kind is "checkpoint" or "restore".
 type Trace struct {
+	// ID is the client-minted trace ID; zero for untraced requests.
+	ID TraceID `json:"trace_id,omitempty"`
+	// ParentSpan is the client-side span ID the daemon's root should be
+	// grafted under when the client's half of the trace arrives.
+	ParentSpan uint64 `json:"parent_span,omitempty"`
+	// Stitched marks a trace whose Root already contains both the
+	// client- and daemon-side span trees.
+	Stitched  bool          `json:"stitched,omitempty"`
 	Kind      string        `json:"kind"`
 	Model     string        `json:"model"`
 	Iteration uint64        `json:"iteration"`
@@ -157,4 +241,60 @@ func (r *TraceRing) Total() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.total
+}
+
+// Find returns the newest retained trace with the given ID, or nil.
+func (r *TraceRing) Find(id TraceID) *Trace {
+	if r == nil || id == 0 {
+		return nil
+	}
+	for _, t := range r.Snapshot() {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// Stitch grafts a client-side span tree onto the retained daemon trace
+// with the given ID, producing the end-to-end view. The daemon root is
+// appended under the client span whose ID matches the trace's
+// ParentSpan (the client's await span), falling back to the client
+// root. Because retained traces are immutable, the ring slot is
+// replaced with a new Trace — snapshots taken earlier stay valid. The
+// stitched trace's Duration becomes the client root's duration (true
+// end-to-end latency). Returns the stitched trace, or nil when no
+// retained trace carries the ID.
+func (r *TraceRing) Stitch(id TraceID, clientRoot *Span) *Trace {
+	if r == nil || id == 0 || clientRoot == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 0; i < len(r.buf); i++ {
+		idx := (r.next - 1 - i + len(r.buf)) % len(r.buf)
+		old := r.buf[idx]
+		if old == nil || old.ID != id || old.Stitched {
+			continue
+		}
+		graft := clientRoot
+		if p := clientRoot.FindByID(old.ParentSpan); p != nil {
+			graft = p
+		}
+		graft.Children = append(graft.Children, old.Root)
+		stitched := &Trace{
+			ID:        id,
+			Stitched:  true,
+			Kind:      old.Kind,
+			Model:     old.Model,
+			Iteration: old.Iteration,
+			Bytes:     old.Bytes,
+			Err:       old.Err,
+			Root:      clientRoot,
+			Duration:  clientRoot.Dur(),
+		}
+		r.buf[idx] = stitched
+		return stitched
+	}
+	return nil
 }

@@ -1,0 +1,210 @@
+package telemetry_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/portus-sys/portus/internal/telemetry"
+)
+
+// TestTraceRingConcurrentAddSnapshotOnComplete hammers the ring from
+// writer, reader, and subscriber goroutines at once; run under -race
+// this is the S3 concurrency check.
+func TestTraceRingConcurrentAddSnapshotOnComplete(t *testing.T) {
+	ring := telemetry.NewTraceRing(16)
+	var completed atomic.Int64
+	ring.OnComplete(func(*telemetry.Trace) { completed.Add(1) })
+
+	const writers, perWriter = 8, 100
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tr := telemetry.NewTrace("checkpoint", "m", uint64(w*perWriter+i), 0)
+				tr.ID = telemetry.NewTraceID()
+				tr.Finish(time.Duration(i))
+				ring.Add(tr)
+				if i%7 == 0 {
+					// Late OnComplete registration must be safe mid-stream.
+					ring.OnComplete(func(*telemetry.Trace) {})
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			for _, tr := range ring.Snapshot() {
+				// Snapshot traces are safe to read while writers run.
+				_ = tr.Duration
+				_ = tr.Root.Dur()
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := completed.Load(); got < writers*perWriter {
+		t.Fatalf("first OnComplete handler saw %d traces, want >= %d", got, writers*perWriter)
+	}
+	if ring.Total() != writers*perWriter {
+		t.Fatalf("Total = %d, want %d", ring.Total(), writers*perWriter)
+	}
+}
+
+// TestTraceRingWraparoundNewestFirstAcrossSeam adds 2.5x capacity and
+// checks the snapshot order crosses the ring seam correctly.
+func TestTraceRingWraparoundNewestFirstAcrossSeam(t *testing.T) {
+	const cap = 4
+	ring := telemetry.NewTraceRing(cap)
+	for i := 0; i < 10; i++ {
+		tr := telemetry.NewTrace("checkpoint", "m", uint64(i), 0)
+		tr.Finish(time.Duration(i))
+		ring.Add(tr)
+	}
+	snap := ring.Snapshot()
+	if len(snap) != cap {
+		t.Fatalf("snapshot len = %d, want %d", len(snap), cap)
+	}
+	for i := 0; i < cap; i++ {
+		if want := uint64(9 - i); snap[i].Iteration != want {
+			t.Fatalf("snapshot[%d].Iteration = %d, want %d", i, snap[i].Iteration, want)
+		}
+	}
+}
+
+func TestTraceRingFindByID(t *testing.T) {
+	ring := telemetry.NewTraceRing(4)
+	id := telemetry.NewTraceID()
+	tr := telemetry.NewTrace("checkpoint", "m", 1, 0)
+	tr.ID = id
+	tr.Finish(time.Millisecond)
+	ring.Add(tr)
+	if got := ring.Find(id); got != tr {
+		t.Fatalf("Find(%s) = %v, want the added trace", id, got)
+	}
+	if got := ring.Find(telemetry.NewTraceID()); got != nil {
+		t.Fatalf("Find(unknown) = %v, want nil", got)
+	}
+	if got := ring.Find(0); got != nil {
+		t.Fatal("Find(0) must not match untraced entries")
+	}
+}
+
+// TestTraceRingStitchGraftsUnderParentSpan is the stitching contract:
+// the daemon tree ends up under the client span named by ParentSpan,
+// the ring slot is replaced, and previously published snapshots are
+// untouched (traces are immutable once added).
+func TestTraceRingStitchGraftsUnderParentSpan(t *testing.T) {
+	ring := telemetry.NewTraceRing(4)
+	id := telemetry.NewTraceID()
+
+	daemonTr := telemetry.NewTrace("checkpoint", "m", 3, 10)
+	daemonTr.ID = id
+	daemonTr.ParentSpan = telemetry.NextSpanID()
+	daemonTr.Bytes = 4096
+	daemonTr.Finish(40)
+	ring.Add(daemonTr)
+	before := ring.Snapshot()
+
+	clientRoot := &telemetry.Span{Name: "client:checkpoint", Start: 0}
+	send := clientRoot.Child("send", 0)
+	send.EndAt(10)
+	await := clientRoot.Child("await", 10)
+	await.ID = daemonTr.ParentSpan
+	await.EndAt(50)
+	clientRoot.EndAt(50)
+
+	stitched := ring.Stitch(id, clientRoot)
+	if stitched == nil {
+		t.Fatal("Stitch returned nil for a known id")
+	}
+	if !stitched.Stitched || stitched.ID != id {
+		t.Fatalf("stitched = %+v", stitched)
+	}
+	if stitched.Root != clientRoot || stitched.Duration != 50 {
+		t.Fatalf("stitched root/duration = %v/%v", stitched.Root.Name, stitched.Duration)
+	}
+	// Daemon subtree grafted under the await span, not the root.
+	if len(await.Children) != 1 || await.Children[0] != daemonTr.Root {
+		t.Fatalf("await children = %+v, want the daemon root", await.Children)
+	}
+	// Identity metadata carried over from the daemon trace.
+	if stitched.Bytes != 4096 || stitched.Iteration != 3 || stitched.Kind != "checkpoint" {
+		t.Fatalf("stitched metadata = %+v", stitched)
+	}
+	// Ring now serves the stitched trace; the old snapshot still holds
+	// the original object.
+	after := ring.Snapshot()
+	if after[0] != stitched {
+		t.Fatal("ring slot not replaced with the stitched trace")
+	}
+	if before[0] != daemonTr {
+		t.Fatal("pre-stitch snapshot must keep pointing at the original trace")
+	}
+
+	// A second report for the same id must not double-stitch.
+	if again := ring.Stitch(id, clientRoot); again != nil {
+		t.Fatalf("second Stitch = %v, want nil", again)
+	}
+}
+
+func TestTraceRingStitchUnknownParentFallsBackToRoot(t *testing.T) {
+	ring := telemetry.NewTraceRing(2)
+	id := telemetry.NewTraceID()
+	daemonTr := telemetry.NewTrace("checkpoint", "m", 1, 0)
+	daemonTr.ID = id
+	daemonTr.ParentSpan = 0xdeadbeef // never minted client-side
+	daemonTr.Finish(10)
+	ring.Add(daemonTr)
+
+	clientRoot := &telemetry.Span{Name: "client:checkpoint"}
+	clientRoot.EndAt(12)
+	if st := ring.Stitch(id, clientRoot); st == nil {
+		t.Fatal("Stitch must succeed even when the parent span is missing")
+	}
+	if len(clientRoot.Children) != 1 || clientRoot.Children[0] != daemonTr.Root {
+		t.Fatal("daemon tree must graft under the client root as a fallback")
+	}
+}
+
+func TestTraceRingStitchMisses(t *testing.T) {
+	ring := telemetry.NewTraceRing(2)
+	root := &telemetry.Span{Name: "client:checkpoint"}
+	if ring.Stitch(telemetry.NewTraceID(), root) != nil {
+		t.Fatal("Stitch on an empty ring must return nil")
+	}
+	if ring.Stitch(0, root) != nil {
+		t.Fatal("Stitch of the zero id must return nil")
+	}
+	var nilRing *telemetry.TraceRing
+	if nilRing.Stitch(telemetry.NewTraceID(), root) != nil {
+		t.Fatal("Stitch on a nil ring must return nil")
+	}
+}
+
+func TestTraceIDMarshalRoundTrip(t *testing.T) {
+	id := telemetry.TraceID(0xabcdef)
+	text, err := id.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(text) != "0000000000abcdef" {
+		t.Fatalf("marshal = %q", text)
+	}
+	var back telemetry.TraceID
+	if err := back.UnmarshalText(text); err != nil || back != id {
+		t.Fatalf("round trip = %v, %v", back, err)
+	}
+	var zero telemetry.TraceID
+	if err := zero.UnmarshalText([]byte("untraced")); err != nil || zero != 0 {
+		t.Fatalf("untraced = %v, %v", zero, err)
+	}
+	if telemetry.TraceID(0).String() != "untraced" {
+		t.Fatalf("zero id renders as %q", telemetry.TraceID(0).String())
+	}
+}

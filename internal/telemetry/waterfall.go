@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WriteWaterfall renders a trace's span tree as a text waterfall:
+// indented span names, offset and duration columns, and a proportional
+// bar showing where each span sits inside the root's window. portusctl
+// uses it for `portusctl trace <model>`.
+func WriteWaterfall(w io.Writer, t *Trace) {
+	if t == nil || t.Root == nil {
+		fmt.Fprintln(w, "(no trace)")
+		return
+	}
+	header := fmt.Sprintf("%s %s iter=%d bytes=%d dur=%s", t.Kind, t.Model, t.Iteration, t.Bytes, t.Duration)
+	if t.ID != 0 {
+		header += " trace=" + t.ID.String()
+	}
+	if t.Stitched {
+		header += " (stitched)"
+	}
+	if t.Err != "" {
+		header += " err=" + t.Err
+	}
+	fmt.Fprintln(w, header)
+
+	// Column widths: name column sized to the deepest indented name.
+	nameW := 0
+	t.Root.Walk(func(s *Span) {
+		if n := len(spanLabel(s)) + 2*spanDepth(t.Root, s); n > nameW {
+			nameW = n
+		}
+	})
+	if nameW < 12 {
+		nameW = 12
+	}
+
+	const barW = 40
+	total := t.Root.Dur()
+	if total <= 0 {
+		total = 1
+	}
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		name := strings.Repeat("  ", depth) + spanLabel(s)
+		off := s.Start - t.Root.Start
+		bar := renderBar(off, s.Dur(), total, barW)
+		fmt.Fprintf(w, "%-*s %10s %10s  |%s|\n", nameW, name, fmtDur(off), fmtDur(s.Dur()), bar)
+		children := append([]*Span(nil), s.Children...)
+		sort.SliceStable(children, func(i, j int) bool { return children[i].Start < children[j].Start })
+		for _, c := range children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+}
+
+func spanLabel(s *Span) string {
+	if bytes, ok := s.Attrs["bytes"]; ok {
+		return s.Name + " (" + bytes + "B)"
+	}
+	return s.Name
+}
+
+func spanDepth(root, target *Span) int {
+	depth := -1
+	var walk func(s *Span, d int)
+	walk = func(s *Span, d int) {
+		if s == target {
+			depth = d
+			return
+		}
+		for _, c := range s.Children {
+			walk(c, d+1)
+		}
+	}
+	walk(root, 0)
+	if depth < 0 {
+		return 0
+	}
+	return depth
+}
+
+func renderBar(off, dur, total time.Duration, width int) string {
+	start := int(float64(off) / float64(total) * float64(width))
+	n := int(float64(dur) / float64(total) * float64(width))
+	if start < 0 {
+		start = 0
+	}
+	if start > width {
+		start = width
+	}
+	if n < 1 && dur > 0 {
+		n = 1
+	}
+	if start+n > width {
+		n = width - start
+	}
+	if n < 0 {
+		n = 0
+	}
+	return strings.Repeat(" ", start) + strings.Repeat("=", n) + strings.Repeat(" ", width-start-n)
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/1e6)
+	default:
+		return fmt.Sprintf("%.0fµs", float64(d)/1e3)
+	}
+}

@@ -41,21 +41,33 @@ const (
 	TDumpResp
 	TError
 	TBusy
+	// TTraceReport carries the client's half of a span tree after a
+	// traced request completes, so the daemon can stitch the end-to-end
+	// trace. Payload holds the JSON-encoded telemetry.Span; TraceID
+	// identifies the daemon trace to graft onto. Fire-and-forget: the
+	// daemon never replies, and old daemons that predate the type just
+	// log an unknown-message error without disturbing the session.
+	TTraceReport
 )
+
+// typeNames is the Type.String lookup table, hoisted to package level:
+// String runs on hot logging/labeling paths, and allocating a map per
+// call showed up in profiles.
+var typeNames = [...]string{
+	TRegister: "REGISTER", TRegisterOK: "REGISTER_OK",
+	TDoCheckpoint: "DO_CHECKPOINT", TCheckpointDone: "CHECKPOINT_DONE",
+	TRestore: "RESTORE", TRestoreDone: "RESTORE_DONE",
+	TList: "LIST", TListResp: "LIST_RESP",
+	TDelete: "DELETE", TDeleteOK: "DELETE_OK",
+	TDump: "DUMP", TDumpResp: "DUMP_RESP",
+	TError: "ERROR", TBusy: "BUSY",
+	TTraceReport: "TRACE_REPORT",
+}
 
 // String names a message type.
 func (t Type) String() string {
-	names := map[Type]string{
-		TRegister: "REGISTER", TRegisterOK: "REGISTER_OK",
-		TDoCheckpoint: "DO_CHECKPOINT", TCheckpointDone: "CHECKPOINT_DONE",
-		TRestore: "RESTORE", TRestoreDone: "RESTORE_DONE",
-		TList: "LIST", TListResp: "LIST_RESP",
-		TDelete: "DELETE", TDeleteOK: "DELETE_OK",
-		TDump: "DUMP", TDumpResp: "DUMP_RESP",
-		TError: "ERROR", TBusy: "BUSY",
-	}
-	if n, ok := names[t]; ok {
-		return n
+	if int(t) < len(typeNames) && typeNames[t] != "" {
+		return typeNames[t]
 	}
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
@@ -96,9 +108,17 @@ type Msg struct {
 	// RetryAfter is the daemon's backpressure hint on a BUSY reply: how
 	// long the client should wait before re-sending the request.
 	RetryAfter time.Duration
-	Tensors    []TensorRef
-	Models     []ModelInfo
-	// Payload carries a serialized checkpoint container (DUMP_RESP).
+	// TraceID propagates the client-minted trace identity; SpanID is
+	// the client-side span the daemon's work should be grafted under.
+	// Both are gob-compatible additions: messages from clients that
+	// predate them decode with zero values, meaning "untraced", and old
+	// decoders simply discard the fields.
+	TraceID uint64
+	SpanID  uint64
+	Tensors []TensorRef
+	Models  []ModelInfo
+	// Payload carries a serialized checkpoint container (DUMP_RESP) or
+	// a JSON span tree (TRACE_REPORT).
 	Payload []byte
 }
 

@@ -230,3 +230,75 @@ func TestApproxSizeGrowsWithContent(t *testing.T) {
 		t.Fatalf("approxSize: big %d <= small %d", big, small)
 	}
 }
+
+// TestTypeStringDoesNotAllocate pins the hot-path fix: Type.String for
+// known types must index the package-level name table, not rebuild a
+// map per call.
+func TestTypeStringDoesNotAllocate(t *testing.T) {
+	for _, ty := range []Type{TRegister, TDoCheckpoint, TCheckpointDone, TBusy, TTraceReport} {
+		allocs := testing.AllocsPerRun(100, func() { _ = ty.String() })
+		if allocs != 0 {
+			t.Errorf("%s.String() allocates %.1f times per call, want 0", ty, allocs)
+		}
+	}
+}
+
+func TestTraceReportTypeName(t *testing.T) {
+	if got := TTraceReport.String(); got != "TRACE_REPORT" {
+		t.Fatalf("TTraceReport.String() = %q", got)
+	}
+}
+
+// TestTraceContextGobCompat pins forward/backward compatibility of the
+// trace fields: a message encoded without TraceID/SpanID (an old
+// client) decodes with both zero — the untraced sentinel — and a
+// traced message round-trips its ids intact.
+func TestTraceContextGobCompat(t *testing.T) {
+	env := sim.NewRealEnv()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan *Msg, 2)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		nc := NewNetConn(c)
+		for i := 0; i < 2; i++ {
+			m, err := nc.Recv(env)
+			if err != nil {
+				return
+			}
+			done <- m
+		}
+	}()
+	sock, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := NewNetConn(sock)
+	defer nc.Close()
+
+	// Untraced request: gob omits zero fields, so this is byte-for-byte
+	// what an old client sends.
+	if err := nc.Send(env, &Msg{Type: TDoCheckpoint, Model: "m", Iteration: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	if got.TraceID != 0 || got.SpanID != 0 {
+		t.Fatalf("untraced message decoded trace context %d/%d, want 0/0", got.TraceID, got.SpanID)
+	}
+
+	// Traced request round-trips both ids.
+	want := &Msg{Type: TDoCheckpoint, Model: "m", Iteration: 2, TraceID: 0xa1, SpanID: 0xb2}
+	if err := nc.Send(env, want); err != nil {
+		t.Fatal(err)
+	}
+	got = <-done
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("traced gob round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -132,8 +132,10 @@ type ServerConfig struct {
 	FabricAddr string
 	// AdminAddr, when set, binds an HTTP admin listener serving
 	// /metrics (Prometheus text format), /debug/traces (JSON span
-	// trees of recent checkpoints/restores), and /healthz. Use ":0"
-	// for an ephemeral port (the bound address is Server.AdminAddr).
+	// trees of recent checkpoints/restores), /debug/events (the
+	// flight recorder and slow-transfer incidents), /debug/pprof, and
+	// /healthz. Use ":0" for an ephemeral port (the bound address is
+	// Server.AdminAddr).
 	AdminAddr string
 	// ImagePath, when set, loads an existing namespace image at startup
 	// (SaveImage persists one).
@@ -163,6 +165,12 @@ type ServerConfig struct {
 	// two-sided → host-staged) when the active one hits route-class
 	// fabric errors.
 	Degrade bool
+	// SlowBudget arms the slow-transfer watchdog: any checkpoint or
+	// restore exceeding this daemon-side duration increments
+	// portus_slow_transfers_total and captures its trace plus the
+	// surrounding flight-recorder event window (served at
+	// /debug/events). 0 disables the watchdog.
+	SlowBudget time.Duration
 }
 
 // Server is a running Portus storage server over TCP.
@@ -221,6 +229,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		PipelineDepth: cfg.PipelineDepth, Lanes: cfg.Lanes, ChunkSize: cfg.ChunkBytes,
 		RetryMax: cfg.RetryMax, RetryBackoff: cfg.RetryBackoff,
 		LaneFailLimit: cfg.LaneFailLimit, Degrade: cfg.Degrade,
+		SlowBudget: cfg.SlowBudget,
 	})
 	if err != nil {
 		return nil, err
@@ -247,7 +256,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		}
 		s.adminLn = adminLn
 		s.AdminAddr = adminLn.Addr().String()
-		go func() { _ = http.Serve(adminLn, telemetry.Handler(d.Telemetry(), d.Traces())) }()
+		telemetry.RegisterRuntimeMetrics(d.Telemetry())
+		go func() {
+			_ = http.Serve(adminLn, telemetry.AdminHandler(d.Telemetry(), d.Traces(), d.Events(), d.Watchdog()))
+		}()
 	}
 	return s, nil
 }
@@ -266,6 +278,10 @@ func (s *Server) Telemetry() *telemetry.Registry { return s.d.Telemetry() }
 // Traces exposes the ring of recently completed checkpoint/restore
 // span trees (what /debug/traces serves).
 func (s *Server) Traces() *telemetry.TraceRing { return s.d.Traces() }
+
+// Events exposes the daemon's flight recorder (also served by the admin
+// endpoint's /debug/events).
+func (s *Server) Events() *telemetry.EventRing { return s.d.Events() }
 
 // PMem exposes the namespace (for image persistence).
 func (s *Server) PMem() *pmem.Device { return s.pm }
