@@ -1,7 +1,7 @@
 # Pre-PR gate: run `make check` before sending changes for review.
 GO ?= go
 
-.PHONY: check build test race vet fmt chaos multitenant
+.PHONY: check build test race vet fmt chaos multitenant scale
 
 check: fmt vet race
 
@@ -24,6 +24,12 @@ chaos:
 # backpressure never lose a committed checkpoint.
 multitenant:
 	$(GO) run ./cmd/portus-bench multitenant
+
+# Sharded-tier scaling sweep: GPT-1.5B group checkpoints over 1/2/4
+# storage nodes; exits nonzero if 4 nodes deliver < 2.5x the 1-node
+# aggregate throughput.
+scale:
+	$(GO) run ./cmd/portus-bench scale
 
 vet:
 	$(GO) vet ./...

@@ -414,14 +414,33 @@ func runOnline(addr string, args []string) error {
 		if resp.Type == wire.TError {
 			return fmt.Errorf("daemon: %s", resp.Error)
 		}
-		fmt.Printf("%-40s %8s %10s %-8s %-8s %10s\n", "MODEL", "TENSORS", "SIZE", "SLOT0", "SLOT1", "LATEST")
+		// Sharded-tier daemons stamp each model with the answering node
+		// and its placement owner; show the ownership columns when
+		// present.
+		sharded := false
+		for _, mi := range resp.Models {
+			if mi.Node != "" {
+				sharded = true
+				break
+			}
+		}
+		if sharded {
+			fmt.Printf("%-40s %8s %10s %-8s %-8s %10s %-10s %-10s\n", "MODEL", "TENSORS", "SIZE", "SLOT0", "SLOT1", "LATEST", "NODE", "OWNER")
+		} else {
+			fmt.Printf("%-40s %8s %10s %-8s %-8s %10s\n", "MODEL", "TENSORS", "SIZE", "SLOT0", "SLOT1", "LATEST")
+		}
 		for _, mi := range resp.Models {
 			latest := "-"
 			if mi.HasDone {
 				latest = fmt.Sprint(mi.LatestIter)
 			}
-			fmt.Printf("%-40s %8d %10s %-8s %-8s %10s\n",
-				mi.Name, mi.Tensors, metrics.FormatBytes(mi.Bytes), mi.Slot0, mi.Slot1, latest)
+			if sharded {
+				fmt.Printf("%-40s %8d %10s %-8s %-8s %10s %-10s %-10s\n",
+					mi.Name, mi.Tensors, metrics.FormatBytes(mi.Bytes), mi.Slot0, mi.Slot1, latest, mi.Node, mi.Owner)
+			} else {
+				fmt.Printf("%-40s %8d %10s %-8s %-8s %10s\n",
+					mi.Name, mi.Tensors, metrics.FormatBytes(mi.Bytes), mi.Slot0, mi.Slot1, latest)
+			}
 		}
 		return nil
 	case "dump":

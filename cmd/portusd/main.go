@@ -23,6 +23,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	portus "github.com/portus-sys/portus"
@@ -31,9 +33,12 @@ import (
 )
 
 func main() {
+	var peers peerList
+	flag.Var(&peers, "peer", "storage-group member as NAME,CTRL_ADDR,FABRIC_ADDR[,WEIGHT_GIB]; repeat per peer (this daemon is added automatically)")
 	var (
 		ctrl         = flag.String("ctrl", "127.0.0.1:7470", "control-plane listen address")
 		fabric       = flag.String("fabric", "127.0.0.1:7471", "soft-RDMA agent listen address")
+		nodeName     = flag.String("node-name", "storage", "this daemon's storage-node name within its group")
 		pmemGiB      = flag.Int64("pmem-gib", 4, "devdax data-zone capacity in GiB")
 		metaMiB      = flag.Int64("meta-mib", 64, "metadata-zone capacity in MiB")
 		workers      = flag.Int("workers", 8, "daemon thread-pool width")
@@ -54,8 +59,18 @@ func main() {
 		slowBudget   = flag.Duration("slow-budget", 0, "slow-transfer watchdog budget: transfers slower than this are counted and their trace + event window captured at /debug/events (0 = disabled)")
 	)
 	flag.Parse()
+	// Peers with no explicit weight are assumed symmetric with this
+	// daemon's namespace; every member must compute identical weights
+	// for routing to agree.
+	for i := range peers {
+		if peers[i].Weight == 0 {
+			peers[i].Weight = *pmemGiB << 30
+		}
+	}
 
 	cfg := portus.ServerConfig{
+		NodeName:      *nodeName,
+		Peers:         peers,
 		PMemBytes:     *pmemGiB << 30,
 		MetaBytes:     *metaMiB << 20,
 		Workers:       *workers,
@@ -84,8 +99,16 @@ func main() {
 	if err != nil {
 		log.Fatalf("portusd: %v", err)
 	}
-	fmt.Printf("portusd: control %s, fabric %s, pmem %d GiB (%s)\n",
-		srv.CtrlAddr, srv.FabricAddr, *pmemGiB, map[bool]string{true: "materialized", false: "virtual"}[*materialized])
+	fmt.Printf("portusd: node %s, control %s, fabric %s, pmem %d GiB (%s)\n",
+		*nodeName, srv.CtrlAddr, srv.FabricAddr, *pmemGiB, map[bool]string{true: "materialized", false: "virtual"}[*materialized])
+	if len(peers) > 0 {
+		names := make([]string, len(peers))
+		for i, p := range peers {
+			names[i] = p.Name
+		}
+		fmt.Printf("portusd: storage group of %d (peers: %s), placement epoch %d\n",
+			len(peers)+1, strings.Join(names, ", "), srv.Daemon().Group().Epoch())
+	}
 	if srv.AdminAddr != "" {
 		fmt.Printf("portusd: admin http://%s (/metrics, /debug/traces, /debug/events, /debug/pprof, /healthz)\n", srv.AdminAddr)
 	}
@@ -109,6 +132,37 @@ func main() {
 		fmt.Printf("portusd: namespace image saved to %s\n", *image)
 	}
 	srv.Close()
+}
+
+// peerList parses repeated -peer flags into placement records.
+type peerList []portus.PlacementNode
+
+func (p *peerList) String() string {
+	names := make([]string, len(*p))
+	for i, n := range *p {
+		names[i] = n.Name
+	}
+	return strings.Join(names, ";")
+}
+
+func (p *peerList) Set(v string) error {
+	parts := strings.Split(v, ",")
+	if len(parts) < 3 || len(parts) > 4 {
+		return fmt.Errorf("want NAME,CTRL_ADDR,FABRIC_ADDR[,WEIGHT_GIB], got %q", v)
+	}
+	n := portus.PlacementNode{Name: parts[0], CtrlAddr: parts[1], FabricAddr: parts[2]}
+	if n.Name == "" {
+		return fmt.Errorf("peer %q has no name", v)
+	}
+	if len(parts) == 4 {
+		gib, err := strconv.ParseInt(parts[3], 10, 64)
+		if err != nil || gib <= 0 {
+			return fmt.Errorf("bad peer weight %q (want GiB > 0)", parts[3])
+		}
+		n.Weight = gib << 30
+	}
+	*p = append(*p, n)
+	return nil
 }
 
 // logTrace prints the one-line per-operation summary behind -verbose,

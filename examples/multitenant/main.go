@@ -66,7 +66,7 @@ func run(env portus.Env) {
 		fmt.Printf("%-12s %9.1fs %9.2f it/s %9.2fs %7.1f%%\n",
 			name, r.Elapsed.Seconds(), r.Throughput(), r.StallTime.Seconds(), 100*r.GPUUtilization())
 	}
-	st := tb.Daemon.Stats()
+	st := tb.Daemons[0].Stats()
 	fmt.Printf("\ndaemon: %d checkpoints from %d tenants, %.1f GiB pulled\n",
 		st.Checkpoints, len(tenants), float64(st.BytesPulled)/(1<<30))
 }

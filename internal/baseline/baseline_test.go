@@ -48,7 +48,7 @@ func TestTorchSaveRoundTripMaterialized(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cp := NewTorchSave(fsim.NewBeeGFS(cl.Storage), cl.Compute[0], placed)
+		cp := NewTorchSave(fsim.NewBeeGFS(cl.Storage[0]), cl.Compute[0], placed)
 
 		placed.ApplyUpdate(7)
 		if err := cp.Checkpoint(env, 7); err != nil {
@@ -108,7 +108,7 @@ func TestExt4RejectsRemoteNode(t *testing.T) {
 func TestRestoreWithoutCheckpointFails(t *testing.T) {
 	runCluster(t, true, func(env sim.Env, cl *cluster.Cluster) {
 		placed, _ := gpu.Place(cl.GPU(0, 0), tinyModel())
-		cp := NewTorchSave(fsim.NewBeeGFS(cl.Storage), cl.Compute[0], placed)
+		cp := NewTorchSave(fsim.NewBeeGFS(cl.Storage[0]), cl.Compute[0], placed)
 		if _, err := cp.Restore(env); err == nil {
 			t.Error("restore with no checkpoint succeeded")
 		}
@@ -124,7 +124,7 @@ func TestCheckFreqOverlapsPersist(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cf := NewCheckFreq(fsim.NewBeeGFS(cl.Storage), cl.Compute[0], placed)
+		cf := NewCheckFreq(fsim.NewBeeGFS(cl.Storage[0]), cl.Compute[0], placed)
 
 		start := env.Now()
 		if err := cf.Checkpoint(env, 1); err != nil {
@@ -182,7 +182,7 @@ func TestTableIBreakdown(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		bg := fsim.NewBeeGFS(cl.Storage)
+		bg := fsim.NewBeeGFS(cl.Storage[0])
 
 		// Reproduce the stages by charging them the way TorchSave does,
 		// sampling the clock between stages.
@@ -225,7 +225,7 @@ func TestAdaptiveInterval(t *testing.T) {
 func TestBeeGFSStatsCountDatapathWork(t *testing.T) {
 	runCluster(t, true, func(env sim.Env, cl *cluster.Cluster) {
 		placed, _ := gpu.Place(cl.GPU(0, 0), tinyModel())
-		bg := fsim.NewBeeGFS(cl.Storage)
+		bg := fsim.NewBeeGFS(cl.Storage[0])
 		cp := NewTorchSave(bg, cl.Compute[0], placed)
 		if err := cp.Checkpoint(env, 1); err != nil {
 			t.Fatal(err)

@@ -140,7 +140,7 @@ func TestClientBackoffUnderFullDaemonQueue(t *testing.T) {
 		}
 		reg := telemetry.NewRegistry()
 		d, err := daemon.New(env, daemon.Config{
-			PMem: cl.Storage.PMem, RNode: cl.Storage.RNode, Fabric: cl.Fabric,
+			PMem: cl.Storage[0].PMem, RNode: cl.Storage[0].RNode, Fabric: cl.Fabric,
 			Workers: 1, QueueCap: 1, ModelQueueCap: 1, Telemetry: reg,
 		})
 		if err != nil {

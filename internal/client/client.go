@@ -97,6 +97,10 @@ type reply struct {
 	await   *telemetry.Span
 	traceID telemetry.TraceID
 	awaitID uint64
+	// restoreIter is the exact iteration a RESTORE asked for (0 means
+	// newest); re-sends after BUSY or reconnect must repeat it so a
+	// pinned group restore stays pinned.
+	restoreIter uint64
 }
 
 func (r *reply) wait(env sim.Env) (*wire.Msg, error) {
@@ -280,6 +284,9 @@ func (c *Client) handleBusy(env sim.Env, m *wire.Msg) {
 	// (and its eventual stitch) survives the backpressure bounce.
 	resend.TraceID = uint64(r.traceID)
 	resend.SpanID = r.awaitID
+	if resend.Type == wire.TRestore {
+		resend.Iteration = r.restoreIter
+	}
 	r.busy++
 	max := c.opts.BusyRetryMax
 	if max <= 0 {
@@ -413,7 +420,7 @@ func (c *Client) reconnect(env sim.Env) bool {
 					TraceID: uint64(w.traceID), SpanID: w.awaitID})
 			case wire.TRestoreDone:
 				resend = append(resend, &wire.Msg{Type: wire.TRestore, Model: c.model.Spec.Name,
-					TraceID: uint64(w.traceID), SpanID: w.awaitID})
+					Iteration: w.restoreIter, TraceID: uint64(w.traceID), SpanID: w.awaitID})
 			}
 		}
 		c.mu.Unlock()
@@ -654,8 +661,23 @@ func (cp *Completion) Done(env sim.Env) bool {
 // memory (the model object must already be placed, "empty"), blocking
 // until the write completes. It returns the restored iteration.
 func (c *Client) Restore(env sim.Env) (uint64, error) {
+	return c.restore(env, 0)
+}
+
+// RestoreAt is Restore pinned to an exact iteration: the daemon serves
+// the version slot holding it, or fails if that iteration is not a
+// complete version on PMem. Group restores use this to land every
+// shard on the manifest's group-committed iteration.
+func (c *Client) RestoreAt(env sim.Env, iteration uint64) (uint64, error) {
+	if iteration == 0 {
+		return 0, fmt.Errorf("client: RestoreAt: iteration must be nonzero")
+	}
+	return c.restore(env, iteration)
+}
+
+func (c *Client) restore(env sim.Env, iteration uint64) (uint64, error) {
 	start := env.Now()
-	tr := telemetry.NewTrace("client:restore", c.model.Spec.Name, 0, start)
+	tr := telemetry.NewTrace("client:restore", c.model.Spec.Name, iteration, start)
 	tr.ID = telemetry.NewTraceID()
 	send := tr.Root.Child("send", start)
 	awaitID := telemetry.NextSpanID()
@@ -663,8 +685,9 @@ func (c *Client) Restore(env sim.Env) (uint64, error) {
 	key := pendingKey{t: wire.TRestoreDone, iter: restoreKey}
 	c.mu.Lock()
 	r.traceID, r.awaitID = tr.ID, awaitID
+	r.restoreIter = iteration
 	c.mu.Unlock()
-	msg := &wire.Msg{Type: wire.TRestore, Model: c.model.Spec.Name,
+	msg := &wire.Msg{Type: wire.TRestore, Model: c.model.Spec.Name, Iteration: iteration,
 		TraceID: uint64(tr.ID), SpanID: awaitID}
 	if err := c.sendRequest(env, key, msg); err != nil {
 		c.errs.Inc()

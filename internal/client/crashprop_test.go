@@ -32,7 +32,7 @@ func crashRun(t *testing.T, crashDelay time.Duration, n int) {
 
 		env.Go("power-failure", func(env sim.Env) {
 			env.Sleep(crashDelay)
-			h.cl.Storage.PMem.Crash()
+			h.cl.Storage[0].PMem.Crash()
 		})
 
 		var completed []uint64
@@ -47,10 +47,10 @@ func crashRun(t *testing.T, crashDelay time.Duration, n int) {
 		}
 
 		// Final power failure drops anything unflushed; recover.
-		h.cl.Storage.PMem.Crash()
+		h.cl.Storage[0].PMem.Crash()
 		d2, err := daemon.New(env, daemon.Config{
-			PMem:   h.cl.Storage.PMem,
-			RNode:  h.cl.Storage.RNode,
+			PMem:   h.cl.Storage[0].PMem,
+			RNode:  h.cl.Storage[0].RNode,
 			Fabric: h.cl.Fabric,
 		})
 		if err != nil {
@@ -75,7 +75,7 @@ func crashRun(t *testing.T, crashDelay time.Duration, n int) {
 		}
 		for i := range m.Tensors {
 			ext := m.TensorData(i, slot)
-			got := h.cl.Storage.PMem.Data().StampOf(ext.Off, ext.Size)
+			got := h.cl.Storage[0].PMem.Data().StampOf(ext.Off, ext.Size)
 			want := placed.ExpectedStamp(i, v.Iteration)
 			if got != want {
 				t.Fatalf("crash=%v: tensor %d of recovered iteration %d has wrong content", crashDelay, i, v.Iteration)

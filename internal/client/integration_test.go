@@ -43,8 +43,8 @@ func startHarness(t *testing.T, env sim.Env, materialized bool, cfgMut func(*clu
 		t.Fatal(err)
 	}
 	d, err := daemon.New(env, daemon.Config{
-		PMem:   cl.Storage.PMem,
-		RNode:  cl.Storage.RNode,
+		PMem:   cl.Storage[0].PMem,
+		RNode:  cl.Storage[0].RNode,
 		Fabric: cl.Fabric,
 	})
 	if err != nil {
@@ -290,12 +290,12 @@ func TestCrashDuringPullRecoversPreviousVersion(t *testing.T) {
 			t.Fatal(err)
 		}
 		// Crash while the pull is in flight (pull takes >0 time; crash now).
-		h.cl.Storage.PMem.Crash()
+		h.cl.Storage[0].PMem.Crash()
 
 		// A new daemon opens the same namespace and must serve iter 1.
 		d2, err := daemon.New(env, daemon.Config{
-			PMem:   h.cl.Storage.PMem,
-			RNode:  h.cl.Storage.RNode,
+			PMem:   h.cl.Storage[0].PMem,
+			RNode:  h.cl.Storage[0].RNode,
 			Fabric: h.cl.Fabric,
 		})
 		if err != nil {
@@ -326,8 +326,8 @@ func TestDaemonRestartRebuildsModelMap(t *testing.T) {
 			}
 		}
 		d2, err := daemon.New(env, daemon.Config{
-			PMem:   h.cl.Storage.PMem,
-			RNode:  h.cl.Storage.RNode,
+			PMem:   h.cl.Storage[0].PMem,
+			RNode:  h.cl.Storage[0].RNode,
 			Fabric: h.cl.Fabric,
 		})
 		if err != nil {

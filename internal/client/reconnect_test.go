@@ -212,8 +212,8 @@ func TestDaemonRestartEndToEndRecovery(t *testing.T) {
 		// The daemon "crashes": a fresh daemon instance mounts the same
 		// namespace and serves on a new address.
 		d2, err := daemon.New(env, daemon.Config{
-			PMem:   h.cl.Storage.PMem,
-			RNode:  h.cl.Storage.RNode,
+			PMem:   h.cl.Storage[0].PMem,
+			RNode:  h.cl.Storage[0].RNode,
 			Fabric: h.cl.Fabric,
 		})
 		if err != nil {

@@ -1,0 +1,359 @@
+// Router: the client-side half of the sharded storage tier. A training
+// job's shards are registered with the daemon the placement table
+// assigns each one; checkpoints fan out across the owning daemons
+// concurrently; restores stripe back from all of them, pinned to the
+// manifest's group-committed iteration. Each member reuses the full
+// single-daemon Client machinery — reconnect, busy backoff, tracing —
+// against its own daemon.
+
+package client
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/portus-sys/portus/internal/gpu"
+	"github.com/portus-sys/portus/internal/placement"
+	"github.com/portus-sys/portus/internal/rdma"
+	"github.com/portus-sys/portus/internal/sim"
+	"github.com/portus-sys/portus/internal/telemetry"
+	"github.com/portus-sys/portus/internal/wire"
+)
+
+// Dial connects to a named storage daemon's control plane.
+type Dial func(env sim.Env, node string) (wire.Conn, error)
+
+// ShardError is the typed partial-failure report of a group operation:
+// it names the lagging shard and the daemon that owns it, so an
+// operator knows exactly which member held back the commit.
+type ShardError struct {
+	Shard     string
+	Node      string
+	Iteration uint64
+	Err       error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("shard %q on %q lagging at iteration %d: %v", e.Shard, e.Node, e.Iteration, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// RouterOptions tunes a Router.
+type RouterOptions struct {
+	// Client is the template for every member's Options; a nil Dialer
+	// gets one wired to the member's owning node, enabling per-member
+	// reconnect out of the box.
+	Client Options
+	// Telemetry receives the router's per-shard and group histograms.
+	Telemetry *telemetry.Registry
+	// Group labels the router's metrics (typically the parent model
+	// name); defaults to the first registered shard's name.
+	Group string
+}
+
+// RouterMember is one shard's binding: the shard name, its owning
+// storage node, and the live Client against that node's daemon.
+type RouterMember struct {
+	Shard string
+	Node  string
+	C     *Client
+
+	lat   *telemetry.Histogram
+	fails *telemetry.Counter
+}
+
+// Router routes a sharded model's traffic across the storage tier.
+type Router struct {
+	pmap     *placement.Map
+	dial     Dial
+	opts     RouterOptions
+	manifest *placement.Manifest
+
+	members  []*RouterMember
+	groupLat *telemetry.Histogram
+}
+
+// NewRouter creates a router over a placement table.
+func NewRouter(pmap *placement.Map, dial Dial, opts RouterOptions) *Router {
+	return &Router{pmap: pmap, dial: dial, opts: opts, manifest: placement.NewManifest()}
+}
+
+// FetchPlacement asks any one daemon for the tier's placement table —
+// the discovery handshake that lets a router be configured with a
+// single member address.
+func FetchPlacement(env sim.Env, conn wire.Conn) (*placement.Map, error) {
+	if err := conn.Send(env, &wire.Msg{Type: wire.TPlacement}); err != nil {
+		return nil, fmt.Errorf("client: PLACEMENT: %w", err)
+	}
+	m, err := conn.Recv(env)
+	if err != nil {
+		return nil, fmt.Errorf("client: PLACEMENT reply: %w", err)
+	}
+	if m.Type != wire.TPlacementResp {
+		return nil, fmt.Errorf("client: unexpected %s reply to PLACEMENT", m.Type)
+	}
+	nodes := make([]placement.Node, len(m.Placement))
+	for i, p := range m.Placement {
+		nodes[i] = placement.Node{Name: p.Node, CtrlAddr: p.CtrlAddr, FabricAddr: p.FabricAddr, Weight: p.Weight}
+	}
+	return placement.NewAtEpoch(m.Epoch, nodes...)
+}
+
+// Placement exposes the routing table.
+func (r *Router) Placement() *placement.Map { return r.pmap }
+
+// Manifest exposes the group commit record.
+func (r *Router) Manifest() *placement.Manifest { return r.manifest }
+
+// Members lists the registered shards in registration order.
+func (r *Router) Members() []*RouterMember {
+	out := make([]*RouterMember, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// Owner reports which storage node the placement table assigns a shard.
+func (r *Router) Owner(shard string) string { return r.pmap.Owner(shard) }
+
+// Register binds one placed shard to its owning daemon: it dials the
+// owner, runs the normal registration handshake there, and adds the
+// shard to the manifest. node is the compute node hosting the shard's
+// GPU memory.
+func (r *Router) Register(env sim.Env, node *rdma.Node, placed *gpu.PlacedModel) (*RouterMember, error) {
+	shard := placed.Spec.Name
+	owner, ok := r.pmap.Lookup(r.pmap.Owner(shard))
+	if !ok {
+		return nil, fmt.Errorf("client: no placement for shard %q", shard)
+	}
+	opts := r.opts.Client
+	if opts.Telemetry == nil {
+		opts.Telemetry = r.opts.Telemetry
+	}
+	if opts.Dialer == nil {
+		opts.Dialer = func(env sim.Env) (wire.Conn, error) { return r.dial(env, owner.Name) }
+	}
+	conn, err := opts.Dialer(env)
+	if err != nil {
+		return nil, fmt.Errorf("client: dialing %s for shard %q: %w", owner.Name, shard, err)
+	}
+	c, err := RegisterOpts(env, conn, node, placed, opts)
+	if err != nil {
+		return nil, fmt.Errorf("client: registering shard %q on %s: %w", shard, owner.Name, err)
+	}
+	m := &RouterMember{Shard: shard, Node: owner.Name, C: c}
+	if reg := r.opts.Telemetry; reg != nil {
+		group := r.opts.Group
+		if group == "" {
+			group = shard
+		}
+		m.lat = reg.Histogram("portus_router_checkpoint_seconds",
+			"per-shard checkpoint latency as seen by the router", nil,
+			telemetry.L("model", group), telemetry.L("shard", shard), telemetry.L("node", owner.Name))
+		m.fails = reg.Counter("portus_router_shard_failures_total",
+			"group operations this shard failed or lagged",
+			telemetry.L("model", group), telemetry.L("shard", shard), telemetry.L("node", owner.Name))
+		if r.groupLat == nil {
+			r.groupLat = reg.Histogram("portus_router_group_checkpoint_seconds",
+				"group checkpoint latency (all shards committed)", nil,
+				telemetry.L("model", group))
+		}
+	}
+	r.manifest.AddShard(shard)
+	r.members = append(r.members, m)
+	return m, nil
+}
+
+// GroupCompletion tracks one fanned-out group checkpoint.
+type GroupCompletion struct {
+	r     *Router
+	iter  uint64
+	start time.Duration
+	cps   []*Completion // index-aligned with r.members; nil where send failed
+	errs  []error       // send-phase errors, index-aligned
+	done  bool
+	err   error
+}
+
+// CheckpointAsync fans DO_CHECKPOINT out to every shard's daemon
+// concurrently and returns a group handle. A send-phase failure on some
+// member is reported by Wait as a ShardError; the other members'
+// checkpoints proceed regardless.
+func (r *Router) CheckpointAsync(env sim.Env, iteration uint64) (*GroupCompletion, error) {
+	if len(r.members) == 0 {
+		return nil, errors.New("client: router has no registered shards")
+	}
+	gc := &GroupCompletion{
+		r: r, iter: iteration, start: env.Now(),
+		cps:  make([]*Completion, len(r.members)),
+		errs: make([]error, len(r.members)),
+	}
+	g := sim.NewGroup(env)
+	for i, m := range r.members {
+		i, m := i, m
+		g.Add(env, 1)
+		env.Go("portus-router-ckpt", func(env sim.Env) {
+			defer g.Done(env)
+			gc.cps[i], gc.errs[i] = m.C.CheckpointAsync(env, iteration)
+		})
+	}
+	g.Wait(env)
+	return gc, nil
+}
+
+// Wait blocks until every shard's daemon commits the iteration (the
+// group becomes restorable at it and the manifest records that), or
+// returns a ShardError naming the first lagging shard. Shards that did
+// commit are still recorded in the manifest, so a partial failure never
+// un-commits the previous group iteration.
+func (gc *GroupCompletion) Wait(env sim.Env) error {
+	if gc.done {
+		return gc.err
+	}
+	gc.done = true
+	g := sim.NewGroup(env)
+	for i, m := range gc.r.members {
+		if gc.cps[i] == nil {
+			continue
+		}
+		i, m := i, m
+		g.Add(env, 1)
+		env.Go("portus-router-wait", func(env sim.Env) {
+			defer g.Done(env)
+			t0 := env.Now()
+			if err := gc.cps[i].Wait(env); err != nil {
+				gc.errs[i] = err
+				return
+			}
+			gc.r.manifest.Done(m.Shard, gc.iter)
+			m.lat.ObserveDuration(env.Now() - t0)
+		})
+	}
+	g.Wait(env)
+	for i, m := range gc.r.members {
+		if gc.errs[i] != nil {
+			m.fails.Inc()
+			if gc.err == nil {
+				gc.err = &ShardError{Shard: m.Shard, Node: m.Node, Iteration: gc.iter, Err: gc.errs[i]}
+			}
+		}
+	}
+	if gc.err == nil && gc.r.groupLat != nil {
+		gc.r.groupLat.ObserveDuration(env.Now() - gc.start)
+	}
+	return gc.err
+}
+
+// Done reports completion of every shard without blocking.
+func (gc *GroupCompletion) Done(env sim.Env) bool {
+	if gc.done {
+		return true
+	}
+	for i, cp := range gc.cps {
+		if gc.errs[i] != nil {
+			continue
+		}
+		if cp == nil || !cp.Done(env) {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckpointSync is CheckpointAsync + Wait.
+func (r *Router) CheckpointSync(env sim.Env, iteration uint64) error {
+	gc, err := r.CheckpointAsync(env, iteration)
+	if err != nil {
+		return err
+	}
+	return gc.Wait(env)
+}
+
+// Restore stripes the group-committed iteration back concurrently from
+// every shard's daemon. With an empty manifest (a fresh router after a
+// failure) it first rebuilds the manifest from the daemons' LIST
+// responses. Returns the restored iteration.
+func (r *Router) Restore(env sim.Env) (uint64, error) {
+	if len(r.members) == 0 {
+		return 0, errors.New("client: router has no registered shards")
+	}
+	target := r.manifest.Committed()
+	if target == 0 {
+		if err := r.SyncManifest(env); err != nil {
+			return 0, err
+		}
+		target = r.manifest.Committed()
+	}
+	if target == 0 {
+		return 0, errors.New("client: no group-committed iteration to restore")
+	}
+	g := sim.NewGroup(env)
+	errs := make([]error, len(r.members))
+	for i, m := range r.members {
+		i, m := i, m
+		g.Add(env, 1)
+		env.Go("portus-router-restore", func(env sim.Env) {
+			defer g.Done(env)
+			_, errs[i] = m.C.RestoreAt(env, target)
+		})
+	}
+	g.Wait(env)
+	for i, m := range r.members {
+		if errs[i] != nil {
+			m.fails.Inc()
+			return 0, &ShardError{Shard: m.Shard, Node: m.Node, Iteration: target, Err: errs[i]}
+		}
+	}
+	return target, nil
+}
+
+// SyncManifest rebuilds the manifest from the daemons' LIST responses:
+// each shard's recent-done window is reconstructed from the version
+// slots its owning daemon reports. This is how a restarted router
+// learns what is restorable without any client-side persistence.
+func (r *Router) SyncManifest(env sim.Env) error {
+	byNode := make(map[string][]*RouterMember)
+	for _, m := range r.members {
+		byNode[m.Node] = append(byNode[m.Node], m)
+	}
+	for node, members := range byNode {
+		conn, err := r.dial(env, node)
+		if err != nil {
+			return fmt.Errorf("client: manifest sync: dialing %s: %w", node, err)
+		}
+		if err := conn.Send(env, &wire.Msg{Type: wire.TList}); err != nil {
+			conn.Close()
+			return fmt.Errorf("client: manifest sync: LIST to %s: %w", node, err)
+		}
+		resp, err := conn.Recv(env)
+		conn.Close()
+		if err != nil {
+			return fmt.Errorf("client: manifest sync: LIST reply from %s: %w", node, err)
+		}
+		if resp.Type != wire.TListResp {
+			return fmt.Errorf("client: manifest sync: unexpected %s reply from %s", resp.Type, node)
+		}
+		infos := make(map[string]wire.ModelInfo, len(resp.Models))
+		for _, mi := range resp.Models {
+			infos[mi.Name] = mi
+		}
+		for _, m := range members {
+			if mi, ok := infos[m.Shard]; ok {
+				r.manifest.Observe(m.Shard, mi.Slot0Iter, mi.Slot1Iter)
+			}
+		}
+	}
+	return nil
+}
+
+// Close tears down every member client.
+func (r *Router) Close() error {
+	var first error
+	for _, m := range r.members {
+		if err := m.C.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,6 +1,7 @@
 // Package cluster assembles the paper's testbed topology (§V-A): one or
 // more compute nodes (Client-Volta: 4×V100, Client-Ampere: 8×A40, each
-// with a 100 Gbps RNIC) and one AEP storage node carrying the Optane
+// with a 100 Gbps RNIC) and an AEP storage tier (one node by default,
+// more for sharded-tier runs), each member carrying the Optane
 // namespaces — half provisioned devdax for Portus, half fsdax under
 // ext4-DAX for the BeeGFS baseline. It owns the shared simulated
 // resources every datapath contends on: per-node PCIe and serializer
@@ -24,7 +25,11 @@ type Config struct {
 	GPUsPerNode  int
 	// GPUMemBytes is each GPU's HBM capacity.
 	GPUMemBytes int64
-	// PMemBytes is the devdax namespace capacity on the storage node.
+	// StorageNodes is the storage-tier size; each member gets its own
+	// RNIC, PMem namespace, and BeeGFS resources (default 1, the
+	// paper's single-AEP-node testbed).
+	StorageNodes int
+	// PMemBytes is the devdax namespace capacity on each storage node.
 	PMemBytes int64
 	// PMemMetaBytes overrides the metadata zone size (optional).
 	PMemMetaBytes int64
@@ -49,6 +54,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.GPUMemBytes == 0 {
 		c.GPUMemBytes = 32 << 30
+	}
+	if c.StorageNodes == 0 {
+		c.StorageNodes = 1
 	}
 	if c.PMemBytes == 0 {
 		c.PMemBytes = 768 << 30
@@ -91,7 +99,9 @@ type Cluster struct {
 	Env     sim.Env
 	Fabric  *rdma.SimFabric
 	Compute []*ComputeNode
-	Storage *StorageNode
+	// Storage holds the storage tier, one entry per node, named
+	// "storage0".."storageN-1".
+	Storage []*StorageNode
 }
 
 // New builds a cluster under env. Must run inside a simulation process
@@ -118,25 +128,31 @@ func New(env sim.Env, cfg Config) (*Cluster, error) {
 		cl.Fabric.AddNode(cn.RNode)
 		cl.Compute = append(cl.Compute, cn)
 	}
-	st := &StorageNode{
-		Name:  "storage",
-		RNode: rdma.NewNodeWithRates(env, "storage", rates),
-		PMem: pmem.New(pmem.Config{
-			Name:         "pmem-devdax",
-			DataSize:     cfg.PMemBytes,
-			MetaSize:     cfg.PMemMetaBytes,
-			Materialized: cfg.Materialized,
-			Mode:         pmem.Devdax,
-			Media:        media(cfg.DRAMFallback),
-		}),
-		Ingest: sim.NewBandwidthResource(env, "storage/beegfs", perfmodel.BeeGFSServerBW),
-		DAX:    sim.NewBandwidthResource(env, "storage/dax", perfmodel.BeeGFSDAXWriteBW),
+	for s := 0; s < cfg.StorageNodes; s++ {
+		name := StorageNodeName(s)
+		st := &StorageNode{
+			Name:  name,
+			RNode: rdma.NewNodeWithRates(env, name, rates),
+			PMem: pmem.New(pmem.Config{
+				Name:         name + "/pmem-devdax",
+				DataSize:     cfg.PMemBytes,
+				MetaSize:     cfg.PMemMetaBytes,
+				Materialized: cfg.Materialized,
+				Mode:         pmem.Devdax,
+				Media:        media(cfg.DRAMFallback),
+			}),
+			Ingest: sim.NewBandwidthResource(env, name+"/beegfs", perfmodel.BeeGFSServerBW),
+			DAX:    sim.NewBandwidthResource(env, name+"/dax", perfmodel.BeeGFSDAXWriteBW),
+		}
+		st.Ingest.SetContention(perfmodel.BeeGFSContention)
+		cl.Fabric.AddNode(st.RNode)
+		cl.Storage = append(cl.Storage, st)
 	}
-	st.Ingest.SetContention(perfmodel.BeeGFSContention)
-	cl.Fabric.AddNode(st.RNode)
-	cl.Storage = st
 	return cl, nil
 }
+
+// StorageNodeName names storage-tier member i ("storage0", ...).
+func StorageNodeName(i int) string { return fmt.Sprintf("storage%d", i) }
 
 // GPU returns GPU g of compute node n.
 func (c *Cluster) GPU(n, g int) *gpu.GPU { return c.Compute[n].GPUs[g] }

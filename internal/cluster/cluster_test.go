@@ -31,10 +31,10 @@ func TestDefaultsAreClientVolta(t *testing.T) {
 	if len(cl.Compute) != 1 || len(cl.Compute[0].GPUs) != 4 {
 		t.Fatalf("default topology: %d nodes, %d GPUs", len(cl.Compute), len(cl.Compute[0].GPUs))
 	}
-	if cl.Storage.PMem.Mode() != pmem.Devdax {
-		t.Fatalf("Portus namespace mode = %v, want devdax", cl.Storage.PMem.Mode())
+	if cl.Storage[0].PMem.Mode() != pmem.Devdax {
+		t.Fatalf("Portus namespace mode = %v, want devdax", cl.Storage[0].PMem.Mode())
 	}
-	if cl.Storage.PMem.Materialized() {
+	if cl.Storage[0].PMem.Materialized() {
 		t.Fatal("default content mode should be virtual")
 	}
 }
@@ -65,15 +65,68 @@ func TestResourceCapacities(t *testing.T) {
 	if got := cl.Compute[0].Serializer.Capacity(); got != perfmodel.SerializerNodeBW {
 		t.Errorf("Serializer capacity = %v", got)
 	}
-	if got := cl.Storage.Ingest.Capacity(); got != perfmodel.BeeGFSServerBW {
+	if got := cl.Storage[0].Ingest.Capacity(); got != perfmodel.BeeGFSServerBW {
 		t.Errorf("Ingest capacity = %v", got)
 	}
 }
 
 func TestRateOverride(t *testing.T) {
 	rates := rdma.DefaultRates().WithGPUReadCap(2 * perfmodel.GB)
+	rates.NICBandwidth = 3 * perfmodel.GB
 	cl := build(t, cluster.Config{GPUMemBytes: 1 << 20, PMemBytes: 1 << 20, Rates: &rates})
 	if cl == nil {
 		t.Fatal("cluster with rate override failed")
+	}
+	// The override must reach every node's NIC, compute and storage.
+	if got := cl.Compute[0].RNode.NIC().Capacity(); got != 3*perfmodel.GB {
+		t.Errorf("compute NIC capacity = %v, want the 3 GB/s override", got)
+	}
+	if got := cl.Storage[0].RNode.NIC().Capacity(); got != 3*perfmodel.GB {
+		t.Errorf("storage NIC capacity = %v, want the 3 GB/s override", got)
+	}
+}
+
+func TestDRAMFallbackMedia(t *testing.T) {
+	cl := build(t, cluster.Config{GPUMemBytes: 1 << 20, PMemBytes: 1 << 20, DRAMFallback: true})
+	if got := cl.Storage[0].PMem.Media(); got != pmem.MediaDRAM {
+		t.Fatalf("DRAMFallback namespace media = %v, want MediaDRAM", got)
+	}
+	cl = build(t, cluster.Config{GPUMemBytes: 1 << 20, PMemBytes: 1 << 20})
+	if got := cl.Storage[0].PMem.Media(); got != pmem.MediaPMem {
+		t.Fatalf("default namespace media = %v, want MediaPMem", got)
+	}
+}
+
+func TestPMemMetaBytesPropagates(t *testing.T) {
+	cl := build(t, cluster.Config{GPUMemBytes: 1 << 20, PMemBytes: 1 << 20, PMemMetaBytes: 3 << 20})
+	if got := cl.Storage[0].PMem.MetaSize(); got != 3<<20 {
+		t.Fatalf("metadata zone = %d bytes, want %d", got, 3<<20)
+	}
+	if got := cl.Storage[0].PMem.DataSize(); got != 1<<20 {
+		t.Fatalf("data zone = %d bytes, want %d", got, 1<<20)
+	}
+}
+
+func TestStorageTierTopology(t *testing.T) {
+	cl := build(t, cluster.Config{GPUMemBytes: 1 << 20, PMemBytes: 1 << 20, StorageNodes: 3})
+	if len(cl.Storage) != 3 {
+		t.Fatalf("storage tier size = %d, want 3", len(cl.Storage))
+	}
+	seen := map[string]bool{}
+	for i, st := range cl.Storage {
+		if st.Name != cluster.StorageNodeName(i) {
+			t.Errorf("storage node %d named %q, want %q", i, st.Name, cluster.StorageNodeName(i))
+		}
+		if seen[st.RNode.Name()] {
+			t.Errorf("storage nodes share RDMA identity %q", st.RNode.Name())
+		}
+		seen[st.RNode.Name()] = true
+		if st.PMem == nil || st.Ingest == nil || st.DAX == nil {
+			t.Errorf("storage node %d missing per-node resources", i)
+		}
+	}
+	// Each member owns a distinct namespace.
+	if cl.Storage[0].PMem == cl.Storage[1].PMem {
+		t.Fatal("storage nodes share a PMem device")
 	}
 }

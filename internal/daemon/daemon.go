@@ -29,6 +29,7 @@ import (
 	"github.com/portus-sys/portus/internal/datapath"
 	"github.com/portus-sys/portus/internal/index"
 	"github.com/portus-sys/portus/internal/perfmodel"
+	"github.com/portus-sys/portus/internal/placement"
 	"github.com/portus-sys/portus/internal/pmem"
 	"github.com/portus-sys/portus/internal/rbtree"
 	"github.com/portus-sys/portus/internal/rdma"
@@ -44,6 +45,16 @@ type Config struct {
 	PMem   *pmem.Device
 	RNode  *rdma.Node
 	Fabric rdma.Fabric
+	// NodeName identifies this daemon's storage node within a
+	// multi-daemon group; defaults to the RDMA node's name. Reported in
+	// LIST responses and checked against the placement table.
+	NodeName string
+	// Group is the storage tier's placement table, shared by every
+	// member daemon. Nil means a single-node group containing only this
+	// daemon (the classic topology); registrations for models the table
+	// assigns elsewhere are refused, steering stale clients to re-fetch
+	// routing via PLACEMENT.
+	Group *placement.Map
 	// Workers sizes the thread pool; defaults to 8.
 	Workers int
 	// TableCap bounds the ModelTable; defaults to 512.
@@ -151,6 +162,11 @@ type Daemon struct {
 	store  *index.Store
 	dataMR rdma.MR
 
+	// nodeName and group identify this daemon's place in the storage
+	// tier; group is never nil after New.
+	nodeName string
+	group    *placement.Map
+
 	// sched owns admission, dedup, coalescing, ordering, and
 	// backpressure for every checkpoint/restore request; the daemon's
 	// request path is a thin shim around Submit/Next/Done.
@@ -197,6 +213,7 @@ type telem struct {
 	bytesPulled, bytesPushed                  *telemetry.Counter
 	retries, degradations, dedups             *telemetry.Counter
 	slowTransfers                             *telemetry.Counter
+	adminList, adminDump, adminDelete         *telemetry.Counter
 	quarantined                               *telemetry.Gauge
 
 	ckptLatency    *telemetry.Histogram // enqueue → commit, end to end
@@ -231,6 +248,10 @@ func newTelem(reg *telemetry.Registry, traceDepth, eventDepth int, slowBudget ti
 		quarantined:  reg.Gauge("portus_datapath_quarantined_lanes", "lanes currently quarantined out of a transfer's stripe set"),
 
 		slowTransfers: reg.Counter("portus_slow_transfers_total", "transfers whose end-to-end duration exceeded the slow-transfer budget"),
+
+		adminList:   reg.Counter("portus_admin_ops_total", "admin operations served", telemetry.L("op", "list")),
+		adminDump:   reg.Counter("portus_admin_ops_total", "admin operations served", telemetry.L("op", "dump")),
+		adminDelete: reg.Counter("portus_admin_ops_total", "admin operations served", telemetry.L("op", "delete")),
 
 		ckptLatency:    reg.Histogram("portus_checkpoint_seconds", "end-to-end checkpoint latency (enqueue to commit)", nil),
 		enqueueWait:    reg.Histogram("portus_checkpoint_enqueue_wait_seconds", "time a checkpoint job waits for a worker", nil),
@@ -295,9 +316,26 @@ func New(env sim.Env, cfg Config) (*Daemon, error) {
 	default:
 		return nil, fmt.Errorf("daemon: unknown scheduler policy %q (want fair or fifo)", cfg.SchedPolicy)
 	}
+	nodeName := cfg.NodeName
+	if nodeName == "" {
+		nodeName = cfg.RNode.Name()
+	}
+	group := cfg.Group
+	if group == nil {
+		// Classic single-node topology: a one-member table that assigns
+		// everything to this daemon.
+		group, err = placement.New(placement.Node{Name: nodeName, Weight: cfg.PMem.DataSize()})
+		if err != nil {
+			return nil, fmt.Errorf("daemon: self placement: %w", err)
+		}
+	} else if _, ok := group.Lookup(nodeName); !ok {
+		return nil, fmt.Errorf("daemon: node %q is not a member of the placement map", nodeName)
+	}
 	d := &Daemon{
 		cfg:      cfg,
 		store:    store,
+		nodeName: nodeName,
+		group:    group,
 		modelMap: rbtree.New[string, int64](),
 		sessions: make(map[string]*session),
 		tel:      newTelem(cfg.Telemetry, cfg.TraceDepth, cfg.EventDepth, cfg.SlowBudget, cfg.PMem),
@@ -415,6 +453,12 @@ func New(env sim.Env, cfg Config) (*Daemon, error) {
 // Store exposes the persistent index (for portusctl and the repacker).
 func (d *Daemon) Store() *index.Store { return d.store }
 
+// NodeName is this daemon's storage-node identity within its group.
+func (d *Daemon) NodeName() string { return d.nodeName }
+
+// Group exposes the placement table this daemon serves PLACEMENT from.
+func (d *Daemon) Group() *placement.Map { return d.group }
+
 // Telemetry exposes the daemon's metrics registry (served by the admin
 // endpoint's /metrics).
 func (d *Daemon) Telemetry() *telemetry.Registry { return d.tel.reg }
@@ -485,6 +529,8 @@ func (d *Daemon) handleConn(env sim.Env, conn wire.Conn) {
 			d.handleDelete(env, conn, m)
 		case wire.TDump:
 			d.handleDump(env, conn, m)
+		case wire.TPlacement:
+			d.handlePlacement(env, conn)
 		case wire.TTraceReport:
 			d.handleTraceReport(m)
 		default:
@@ -533,6 +579,14 @@ type peerAdder interface {
 func (d *Daemon) handleRegister(env sim.Env, conn wire.Conn, m *wire.Msg) {
 	if len(m.Tensors) == 0 {
 		d.sendErrFor(env, conn, wire.TRegister, 0, m.Model, "registration packet has no tensors")
+		return
+	}
+	if owner := d.group.Owner(m.Model); owner != d.nodeName {
+		// A misrouted registration means the client holds a stale table;
+		// refusing it here (naming the owner and epoch) keeps each model's
+		// data on exactly one daemon.
+		d.sendErrFor(env, conn, wire.TRegister, 0, m.Model,
+			fmt.Sprintf("model %q is placed on %q (placement epoch %d), not %q", m.Model, owner, d.group.Epoch(), d.nodeName))
 		return
 	}
 	if m.FabricAddr != "" {
@@ -787,7 +841,10 @@ func flushCost(bytes int64) time.Duration {
 	return time.Duration(float64(bytes) / float64(perfmodel.MiB) * float64(perfmodel.FlushPerMiB))
 }
 
-// doRestore writes the newest done version into the client's GPU memory.
+// doRestore writes a done version into the client's GPU memory: the
+// newest one by default, or — when the request names an iteration — the
+// exact slot holding it, which is how a striped group restore pins
+// every shard to the manifest's group-committed iteration.
 func (d *Daemon) doRestore(env sim.Env, t *sched.Task, rc *reqCtx) {
 	m := rc.sess.model
 	fail := func(iter uint64, msg string) {
@@ -797,8 +854,23 @@ func (d *Daemon) doRestore(env sim.Env, t *sched.Task, rc *reqCtx) {
 			d.sendErrFor(env, dp.(*reqCtx).conn, wire.TRestore, iter, m.Name, msg)
 		}
 	}
-	slot, v, ok := m.LatestDone()
-	if !ok {
+	var (
+		slot int
+		v    index.Version
+		ok   bool
+	)
+	if t.Iteration != 0 {
+		for s := 0; s < 2; s++ {
+			if h := m.VersionHeader(s); h.State == index.StateDone && h.Iteration == t.Iteration {
+				slot, v, ok = s, h, true
+				break
+			}
+		}
+		if !ok {
+			fail(t.Iteration, fmt.Sprintf("iteration %d has no complete version on PMem", t.Iteration))
+			return
+		}
+	} else if slot, v, ok = m.LatestDone(); !ok {
 		fail(0, "no complete checkpoint version on PMem")
 		return
 	}
@@ -840,13 +912,20 @@ func (d *Daemon) doRestore(env sim.Env, t *sched.Task, rc *reqCtx) {
 	}
 }
 
-// handleList reports all stored models.
+// handleList reports all stored models, stamped with this node's
+// identity and each model's placement owner so portusctl (and the
+// client router's manifest rebuild) can see shard ownership.
 func (d *Daemon) handleList(env sim.Env, conn wire.Conn) {
 	models, err := d.store.Models()
 	if err != nil {
 		d.sendErrFor(env, conn, wire.TList, 0, "", err.Error())
 		return
 	}
+	d.tel.adminList.Inc()
+	d.tel.events.Emit(telemetry.Event{
+		Time: env.Now(), Kind: telemetry.EvAdminList,
+		Detail: fmt.Sprintf("%d models", len(models)),
+	})
 	resp := &wire.Msg{Type: wire.TListResp}
 	for _, m := range models {
 		info := wire.ModelInfo{
@@ -855,6 +934,13 @@ func (d *Daemon) handleList(env sim.Env, conn wire.Conn) {
 			Bytes:   m.TotalSize(),
 			Slot0:   index.StateName(m.VersionHeader(0).State),
 			Slot1:   index.StateName(m.VersionHeader(1).State),
+			Node:    d.nodeName,
+			Owner:   d.group.Owner(m.Name),
+		}
+		for s, dst := range []*uint64{&info.Slot0Iter, &info.Slot1Iter} {
+			if h := m.VersionHeader(s); h.State == index.StateDone {
+				*dst = h.Iteration
+			}
 		}
 		if _, v, ok := m.LatestDone(); ok {
 			info.HasDone = true
@@ -865,6 +951,18 @@ func (d *Daemon) handleList(env sim.Env, conn wire.Conn) {
 	if err := conn.Send(env, resp); err != nil {
 		return
 	}
+}
+
+// handlePlacement answers with the group's placement table, letting a
+// client configured with any single member discover the whole tier.
+func (d *Daemon) handlePlacement(env sim.Env, conn wire.Conn) {
+	resp := &wire.Msg{Type: wire.TPlacementResp, Epoch: d.group.Epoch()}
+	for _, n := range d.group.Nodes() {
+		resp.Placement = append(resp.Placement, wire.PlacementEntry{
+			Node: n.Name, CtrlAddr: n.CtrlAddr, FabricAddr: n.FabricAddr, Weight: n.Weight,
+		})
+	}
+	_ = conn.Send(env, resp)
 }
 
 // handleDump archives a model's newest complete version as a
@@ -883,6 +981,11 @@ func (d *Daemon) handleDump(env sim.Env, conn wire.Conn, m *wire.Msg) {
 		d.sendErrFor(env, conn, wire.TDump, 0, m.Model, "no complete checkpoint version to archive")
 		return
 	}
+	d.tel.adminDump.Inc()
+	d.tel.events.Emit(telemetry.Event{
+		Time: env.Now(), Kind: telemetry.EvAdminDump,
+		Model: m.Model, Iteration: v.Iteration,
+	})
 	ckpt := &serialize.Checkpoint{Model: model.Name, Iteration: v.Iteration}
 	for i, tm := range model.Tensors {
 		ext := model.TensorData(i, slot)
@@ -911,22 +1014,31 @@ func (d *Daemon) handleDump(env sim.Env, conn wire.Conn, m *wire.Msg) {
 	}
 }
 
-// handleDelete removes a finished model and frees its PMem.
+// handleDelete removes a finished model and frees its PMem. The store
+// delete runs first: if it fails, the in-memory maps are untouched, so
+// the model stays visible and servable instead of lingering on PMem as
+// an orphan the daemon no longer knows about.
 func (d *Daemon) handleDelete(env sim.Env, conn wire.Conn, m *wire.Msg) {
 	if !d.sched.Idle(m.Model) {
 		d.sendErrFor(env, conn, wire.TDelete, 0, m.Model, "model has an operation in flight")
 		return
 	}
 	d.mu.Lock()
-	delete(d.sessions, m.Model)
-	d.modelMap.Delete(m.Model)
 	err := d.store.DeleteModel(m.Model)
+	if err == nil {
+		delete(d.sessions, m.Model)
+		d.modelMap.Delete(m.Model)
+	}
 	d.mu.Unlock()
 	if err != nil {
 		d.sendErrFor(env, conn, wire.TDelete, 0, m.Model, err.Error())
 		return
 	}
 	d.sched.Forget(m.Model)
+	d.tel.adminDelete.Inc()
+	d.tel.events.Emit(telemetry.Event{
+		Time: env.Now(), Kind: telemetry.EvAdminDelete, Model: m.Model,
+	})
 	if err := conn.Send(env, &wire.Msg{Type: wire.TDeleteOK, Model: m.Model}); err != nil {
 		return
 	}

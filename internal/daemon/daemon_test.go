@@ -20,7 +20,7 @@ func startDaemon(t *testing.T, env sim.Env) (*daemon.Daemon, *wire.SimNet) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := daemon.New(env, daemon.Config{PMem: cl.Storage.PMem, RNode: cl.Storage.RNode, Fabric: cl.Fabric})
+	d, err := daemon.New(env, daemon.Config{PMem: cl.Storage[0].PMem, RNode: cl.Storage[0].RNode, Fabric: cl.Fabric})
 	if err != nil {
 		t.Fatal(err)
 	}

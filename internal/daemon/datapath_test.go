@@ -24,7 +24,7 @@ func fullRig(t *testing.T, env sim.Env, dmut func(*daemon.Config)) (*daemon.Daem
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := daemon.Config{PMem: cl.Storage.PMem, RNode: cl.Storage.RNode, Fabric: cl.Fabric}
+	cfg := daemon.Config{PMem: cl.Storage[0].PMem, RNode: cl.Storage[0].RNode, Fabric: cl.Fabric}
 	if dmut != nil {
 		dmut(&cfg)
 	}
@@ -119,7 +119,7 @@ func chunkedRig(t *testing.T, env sim.Env, dmut func(*daemon.Config)) (*daemon.D
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := daemon.Config{PMem: cl.Storage.PMem, RNode: cl.Storage.RNode, Fabric: cl.Fabric}
+	cfg := daemon.Config{PMem: cl.Storage[0].PMem, RNode: cl.Storage[0].RNode, Fabric: cl.Fabric}
 	if dmut != nil {
 		dmut(&cfg)
 	}
@@ -266,7 +266,7 @@ func TestDaemonDuplicateInFlightBothAnswered(t *testing.T) {
 		}
 		reg := telemetry.NewRegistry()
 		d, err := daemon.New(env, daemon.Config{
-			PMem: cl.Storage.PMem, RNode: cl.Storage.RNode, Fabric: cl.Fabric,
+			PMem: cl.Storage[0].PMem, RNode: cl.Storage[0].RNode, Fabric: cl.Fabric,
 			Telemetry: reg,
 		})
 		if err != nil {

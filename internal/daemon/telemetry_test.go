@@ -29,7 +29,7 @@ func startTracedDaemon(t *testing.T, env sim.Env) (*daemon.Daemon, *telemetry.Re
 	}
 	reg := telemetry.NewRegistry()
 	d, err := daemon.New(env, daemon.Config{
-		PMem: cl.Storage.PMem, RNode: cl.Storage.RNode, Fabric: cl.Fabric,
+		PMem: cl.Storage[0].PMem, RNode: cl.Storage[0].RNode, Fabric: cl.Fabric,
 		Telemetry: reg, TraceDepth: 8,
 	})
 	if err != nil {

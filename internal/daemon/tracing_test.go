@@ -230,7 +230,7 @@ func TestWatchdogCapturesSlowCheckpoint(t *testing.T) {
 			Delay: faults.Rule{Rate: 1}, DelayBy: baseline,
 		})
 		d, err := daemon.New(env, daemon.Config{
-			PMem: cl.Storage.PMem, RNode: cl.Storage.RNode,
+			PMem: cl.Storage[0].PMem, RNode: cl.Storage[0].RNode,
 			Fabric:    inj.Fabric(cl.Fabric),
 			Telemetry: reg, TraceDepth: 8,
 			SlowBudget: baseline + baseline/4,

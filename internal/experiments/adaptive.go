@@ -24,7 +24,7 @@ func profileCheckFreq(spec model.Spec) (snapshot, persist time.Duration) {
 		if err != nil {
 			panic(err)
 		}
-		backend := fsim.NewBeeGFS(rig.cl.Storage)
+		backend := fsim.NewBeeGFS(rig.cl.Storage[0])
 		start := env.Now()
 		_ = baseline.Snapshot(env, rig.cl.Compute[0], placed)
 		snapshot = env.Now() - start

@@ -82,8 +82,8 @@ func RunChaos(seed int64, rate float64, checkpoints int) ChaosOutcome {
 			panic(err)
 		}
 		d, err := daemon.New(env, daemon.Config{
-			PMem:          cl.Storage.PMem,
-			RNode:         cl.Storage.RNode,
+			PMem:          cl.Storage[0].PMem,
+			RNode:         cl.Storage[0].RNode,
 			Fabric:        inj.Fabric(cl.Fabric),
 			Workers:       2,
 			PipelineDepth: 2,
@@ -93,7 +93,7 @@ func RunChaos(seed int64, rate float64, checkpoints int) ChaosOutcome {
 			RetryBackoff:  50 * time.Microsecond,
 			LaneFailLimit: 3,
 			Degrade:       true,
-			Flush:         inj.Flush(cl.Storage.PMem),
+			Flush:         inj.Flush(cl.Storage[0].PMem),
 			Telemetry:     reg,
 		})
 		if err != nil {

@@ -53,7 +53,7 @@ func AblationChurn() []*Table {
 		if err != nil {
 			panic(err)
 		}
-		return baseline.NewCheckFreq(fsim.NewBeeGFS(rig.cl.Storage), rig.cl.Compute[0], placed)
+		return baseline.NewCheckFreq(fsim.NewBeeGFS(rig.cl.Storage[0]), rig.cl.Compute[0], placed)
 	}, cfInterval)
 
 	p := measurePortus(spec)

@@ -102,6 +102,7 @@ func Registry() []Experiment {
 		{"ablation-adaptive", "Ablation: finest sustainable checkpoint frequency (CheckFreq tuner)", AblationAdaptive},
 		{"ablation-churn", "Ablation: goodput under sustained failures (§I churn regime)", AblationChurn},
 		{"ablation-pipeline", "Ablation: datapath pipeline depth x lane striping", AblationPipeline},
+		{"scale", "Sharded storage tier: aggregate checkpoint throughput vs node count", Scale},
 		{"multitenant", "Multi-tenant scheduling: fairness, coalescing, backpressure", Multitenant},
 		{"chaos", "Chaos: checkpoint goodput and recoverability under injected faults", Chaos},
 		{"appendix", "Full 76-model zoo checkpoint times (Appendix)", Appendix},
@@ -141,7 +142,7 @@ func newPortusRig(env sim.Env, cfg cluster.Config, dmut func(*daemon.Config)) (*
 	if err != nil {
 		return nil, err
 	}
-	dcfg := daemon.Config{PMem: cl.Storage.PMem, RNode: cl.Storage.RNode, Fabric: cl.Fabric}
+	dcfg := daemon.Config{PMem: cl.Storage[0].PMem, RNode: cl.Storage[0].RNode, Fabric: cl.Fabric}
 	if dmut != nil {
 		dmut(&dcfg)
 	}

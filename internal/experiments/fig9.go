@@ -51,14 +51,14 @@ func Fig9() []*Table {
 		if err != nil {
 			panic(err)
 		}
-		return baseline.NewTorchSave(fsim.NewBeeGFS(rig.cl.Storage), rig.cl.Compute[0], placed)
+		return baseline.NewTorchSave(fsim.NewBeeGFS(rig.cl.Storage[0]), rig.cl.Compute[0], placed)
 	})
 	run("CheckFreq (Fig 9b)", func(env sim.Env, rig *portusRig) train.Checkpointer {
 		placed, err := gpu.Place(rig.cl.GPU(0, 0), spec)
 		if err != nil {
 			panic(err)
 		}
-		return baseline.NewCheckFreq(fsim.NewBeeGFS(rig.cl.Storage), rig.cl.Compute[0], placed)
+		return baseline.NewCheckFreq(fsim.NewBeeGFS(rig.cl.Storage[0]), rig.cl.Compute[0], placed)
 	})
 	run("Portus sync (Fig 9c)", func(env sim.Env, rig *portusRig) train.Checkpointer {
 		_, c, err := rig.place(env, 0, 0, spec)

@@ -58,7 +58,7 @@ func megatronTorchSaveDump(spec model.Spec) time.Duration {
 		if err != nil {
 			panic(err)
 		}
-		backend := fsim.NewBeeGFS(rig.cl.Storage)
+		backend := fsim.NewBeeGFS(rig.cl.Storage[0])
 		start := env.Now()
 		g := sim.NewGroup(env)
 		for i := range placed {
@@ -162,7 +162,7 @@ func gptTrainingRun(policy string, iterations, interval int) train.Result {
 		var members []train.Checkpointer
 		switch policy {
 		case "checkfreq":
-			backend := fsim.NewBeeGFS(rig.cl.Storage)
+			backend := fsim.NewBeeGFS(rig.cl.Storage[0])
 			for i := range placed {
 				members = append(members, baseline.NewCheckFreq(backend, rig.cl.Compute[placements[i].Node], placed[i]))
 			}

@@ -48,7 +48,7 @@ func measureBaseline(spec model.Spec, kind backendKind) baselineRun {
 		}
 		var backend fsim.Backend
 		if kind == beeGFS {
-			backend = fsim.NewBeeGFS(cl.cl.Storage)
+			backend = fsim.NewBeeGFS(cl.cl.Storage[0])
 		} else {
 			backend = fsim.NewExt4NVMe(cl.cl.Compute[0])
 		}

@@ -43,7 +43,7 @@ func virtualCkpt(model string, n int64) *serialize.Checkpoint {
 
 func TestBeeGFSSaveLoadRoundTrip(t *testing.T) {
 	withCluster(t, 1, func(env sim.Env, cl *cluster.Cluster) {
-		bg := fsim.NewBeeGFS(cl.Storage)
+		bg := fsim.NewBeeGFS(cl.Storage[0])
 		if err := bg.Save(env, cl.Compute[0], virtualCkpt("m", 1<<20)); err != nil {
 			t.Fatal(err)
 		}
@@ -62,7 +62,7 @@ func TestBeeGFSSaveLoadRoundTrip(t *testing.T) {
 
 func TestBeeGFSSharedAcrossNodes(t *testing.T) {
 	withCluster(t, 2, func(env sim.Env, cl *cluster.Cluster) {
-		bg := fsim.NewBeeGFS(cl.Storage)
+		bg := fsim.NewBeeGFS(cl.Storage[0])
 		if err := bg.Save(env, cl.Compute[0], virtualCkpt("shared", 1<<20)); err != nil {
 			t.Fatal(err)
 		}
@@ -76,7 +76,7 @@ func TestBeeGFSSharedAcrossNodes(t *testing.T) {
 
 func TestSaveOverwritesPreviousVersion(t *testing.T) {
 	withCluster(t, 1, func(env sim.Env, cl *cluster.Cluster) {
-		bg := fsim.NewBeeGFS(cl.Storage)
+		bg := fsim.NewBeeGFS(cl.Storage[0])
 		c1 := virtualCkpt("m", 1<<20)
 		c1.Iteration = 1
 		c2 := virtualCkpt("m", 1<<20)
@@ -96,7 +96,7 @@ func TestSaveOverwritesPreviousVersion(t *testing.T) {
 
 func TestStoredCheckpointDoesNotAliasCaller(t *testing.T) {
 	withCluster(t, 1, func(env sim.Env, cl *cluster.Cluster) {
-		bg := fsim.NewBeeGFS(cl.Storage)
+		bg := fsim.NewBeeGFS(cl.Storage[0])
 		ck := virtualCkpt("m", 1<<20)
 		if err := bg.Save(env, cl.Compute[0], ck); err != nil {
 			t.Fatal(err)
@@ -114,13 +114,13 @@ func TestBeeGFSConcurrentWritersContend(t *testing.T) {
 	// concurrent writers saving N bytes (daemon contention, §II-A).
 	const n = 256 << 20
 	solo := withCluster(t, 1, func(env sim.Env, cl *cluster.Cluster) {
-		bg := fsim.NewBeeGFS(cl.Storage)
+		bg := fsim.NewBeeGFS(cl.Storage[0])
 		if err := bg.Save(env, cl.Compute[0], virtualCkpt("m", n)); err != nil {
 			t.Fatal(err)
 		}
 	})
 	crowd := withCluster(t, 1, func(env sim.Env, cl *cluster.Cluster) {
-		bg := fsim.NewBeeGFS(cl.Storage)
+		bg := fsim.NewBeeGFS(cl.Storage[0])
 		g := sim.NewGroup(env)
 		for i := 0; i < 8; i++ {
 			i := i
@@ -161,7 +161,7 @@ func TestStatsBreakdownSumsToTotal(t *testing.T) {
 	var total time.Duration
 	var st fsim.Stats
 	total = withCluster(t, 1, func(env sim.Env, cl *cluster.Cluster) {
-		bg := fsim.NewBeeGFS(cl.Storage)
+		bg := fsim.NewBeeGFS(cl.Storage[0])
 		if err := bg.Save(env, cl.Compute[0], virtualCkpt("m", 64<<20)); err != nil {
 			t.Fatal(err)
 		}

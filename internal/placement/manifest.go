@@ -1,0 +1,143 @@
+package placement
+
+import (
+	"sort"
+	"sync"
+)
+
+// ManifestWindow is how many recently-DONE iterations each shard
+// retains — matched to the two double-mapped version slots every model
+// keeps on PMem, because an iteration older than that has been evicted
+// and is no longer restorable anyway.
+const ManifestWindow = 2
+
+// Manifest is the iteration-level commit record of a sharded
+// checkpoint. Each member shard reports the iterations its owning
+// daemon has marked DONE; an iteration is group-committed — and hence
+// restorable — iff it is present in every shard's recent-done window.
+// A mid-checkpoint daemon failure therefore never loses a committed
+// checkpoint: the failed shard simply never reports the new iteration,
+// and Committed() keeps answering the previous one, which every daemon
+// still holds in a DONE slot.
+type Manifest struct {
+	mu     sync.Mutex
+	window int
+	order  []string
+	// shards holds each shard's recent DONE iterations, newest last.
+	shards map[string][]uint64
+}
+
+// NewManifest creates an empty manifest with the standard window.
+func NewManifest() *Manifest {
+	return &Manifest{window: ManifestWindow, shards: make(map[string][]uint64)}
+}
+
+// AddShard registers a member shard. Idempotent.
+func (mf *Manifest) AddShard(name string) {
+	mf.mu.Lock()
+	defer mf.mu.Unlock()
+	if _, ok := mf.shards[name]; ok {
+		return
+	}
+	mf.shards[name] = nil
+	mf.order = append(mf.order, name)
+}
+
+// Shards lists the member shards in registration order.
+func (mf *Manifest) Shards() []string {
+	mf.mu.Lock()
+	defer mf.mu.Unlock()
+	out := make([]string, len(mf.order))
+	copy(out, mf.order)
+	return out
+}
+
+// Done records that shard's daemon reported iteration DONE.
+func (mf *Manifest) Done(shard string, iter uint64) {
+	mf.Observe(shard, iter)
+}
+
+// Observe merges one or more known-DONE iterations for a shard —
+// the rebuild path when a router resynchronizes the manifest from the
+// daemons' LIST responses. Only the newest `window` survive.
+func (mf *Manifest) Observe(shard string, iters ...uint64) {
+	mf.mu.Lock()
+	defer mf.mu.Unlock()
+	if _, ok := mf.shards[shard]; !ok {
+		mf.order = append(mf.order, shard)
+	}
+	w := mf.shards[shard]
+	for _, it := range iters {
+		if it == 0 || contains(w, it) {
+			continue
+		}
+		w = append(w, it)
+	}
+	sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+	if len(w) > mf.window {
+		w = w[len(w)-mf.window:]
+	}
+	mf.shards[shard] = w
+}
+
+// Committed returns the highest iteration present in every shard's
+// window — the group-committed checkpoint a striped restore must
+// target. Zero means no iteration is restorable across all shards.
+func (mf *Manifest) Committed() uint64 {
+	mf.mu.Lock()
+	defer mf.mu.Unlock()
+	if len(mf.order) == 0 {
+		return 0
+	}
+	var best uint64
+	for _, it := range mf.shards[mf.order[0]] {
+		ok := true
+		for _, s := range mf.order[1:] {
+			if !contains(mf.shards[s], it) {
+				ok = false
+				break
+			}
+		}
+		if ok && it > best {
+			best = it
+		}
+	}
+	return best
+}
+
+// Lagging names the shards whose window does not contain iter — the
+// members holding back a group commit at that iteration.
+func (mf *Manifest) Lagging(iter uint64) []string {
+	mf.mu.Lock()
+	defer mf.mu.Unlock()
+	var out []string
+	for _, s := range mf.order {
+		if !contains(mf.shards[s], iter) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Snapshot returns a copy of every shard's window, for debugging and
+// experiment tables.
+func (mf *Manifest) Snapshot() map[string][]uint64 {
+	mf.mu.Lock()
+	defer mf.mu.Unlock()
+	out := make(map[string][]uint64, len(mf.shards))
+	for s, w := range mf.shards {
+		cw := make([]uint64, len(w))
+		copy(cw, w)
+		out[s] = cw
+	}
+	return out
+}
+
+func contains(w []uint64, it uint64) bool {
+	for _, v := range w {
+		if v == it {
+			return true
+		}
+	}
+	return false
+}

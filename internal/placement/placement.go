@@ -1,0 +1,169 @@
+// Package placement is the routing brain of the sharded storage tier:
+// a deterministic, versioned placement map assigning every registered
+// model (and every parallel shard) an owning storage daemon, plus the
+// iteration-level manifest that makes a multi-daemon checkpoint commit
+// all-or-nothing.
+//
+// Ownership uses weighted rendezvous (highest-random-weight) hashing
+// over storage-node names, weighted by PMem capacity: every participant
+// computes the same owner from nothing but the node list, so there is
+// no placement service to keep consistent, and adding a node moves only
+// ~1/N of the keys. The map carries an epoch so clients can detect
+// stale routing tables against the daemons' view.
+package placement
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Node is one storage-tier member as the placement map sees it.
+type Node struct {
+	Name string
+	// Weight biases rendezvous hashing; by convention it is the node's
+	// PMem data capacity in bytes. Zero or negative means "equal share".
+	Weight int64
+	// CtrlAddr/FabricAddr locate the daemon for TCP deployments. Empty
+	// in simulated runs, where the node name is the dialing address.
+	CtrlAddr   string
+	FabricAddr string
+}
+
+// Map is a versioned placement table. All methods are safe for
+// concurrent use; Owner is pure given a fixed node list, so two
+// processes holding maps at the same epoch route identically.
+type Map struct {
+	mu    sync.RWMutex
+	epoch uint64
+	nodes []Node
+}
+
+// New builds a placement map at epoch 1 over the given nodes.
+func New(nodes ...Node) (*Map, error) {
+	m := &Map{}
+	if err := m.set(1, nodes); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// NewAtEpoch rebuilds a map received from a daemon at a known epoch
+// (the TPlacementResp path).
+func NewAtEpoch(epoch uint64, nodes ...Node) (*Map, error) {
+	if epoch == 0 {
+		return nil, fmt.Errorf("placement: epoch must be >= 1")
+	}
+	m := &Map{}
+	if err := m.set(epoch, nodes); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *Map) set(epoch uint64, nodes []Node) error {
+	if len(nodes) == 0 {
+		return fmt.Errorf("placement: empty node list")
+	}
+	seen := make(map[string]bool, len(nodes))
+	cp := make([]Node, len(nodes))
+	for i, n := range nodes {
+		if n.Name == "" {
+			return fmt.Errorf("placement: node %d has no name", i)
+		}
+		if seen[n.Name] {
+			return fmt.Errorf("placement: duplicate node %q", n.Name)
+		}
+		seen[n.Name] = true
+		if n.Weight <= 0 {
+			n.Weight = 1
+		}
+		cp[i] = n
+	}
+	// Sorted order keeps Nodes() (and thus wire encodings and epoch
+	// comparisons) deterministic regardless of construction order.
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Name < cp[j].Name })
+	m.epoch = epoch
+	m.nodes = cp
+	return nil
+}
+
+// Epoch returns the table version.
+func (m *Map) Epoch() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.epoch
+}
+
+// Nodes returns a copy of the membership, sorted by name.
+func (m *Map) Nodes() []Node {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]Node, len(m.nodes))
+	copy(out, m.nodes)
+	return out
+}
+
+// Len returns the member count.
+func (m *Map) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.nodes)
+}
+
+// Lookup finds a member by name.
+func (m *Map) Lookup(name string) (Node, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, n := range m.nodes {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return Node{}, false
+}
+
+// Update replaces the membership and bumps the epoch.
+func (m *Map) Update(nodes []Node) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.set(m.epoch+1, nodes)
+}
+
+// Owner returns the name of the storage node owning key.
+func (m *Map) Owner(key string) string {
+	return m.OwnerNode(key).Name
+}
+
+// OwnerNode returns the full record of the storage node owning key,
+// chosen by weighted rendezvous hashing: each node scores
+// -weight/ln(u) where u is a uniform hash of (key, node), and the
+// highest score wins. Capacity-proportional in expectation, and any
+// membership change remaps only keys whose winner changed.
+func (m *Map) OwnerNode(key string) Node {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var best Node
+	bestScore := math.Inf(-1)
+	for _, n := range m.nodes {
+		s := score(key, n)
+		if s > bestScore || (s == bestScore && n.Name < best.Name) {
+			best, bestScore = n, s
+		}
+	}
+	return best
+}
+
+// score computes one node's rendezvous score for key.
+func score(key string, n Node) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(n.Name))
+	// Map the 64-bit hash into u ∈ (0, 1]; ln(u) < 0 so the score is
+	// positive and grows with weight.
+	u := (float64(h.Sum64()) + 1) / float64(math.MaxUint64)
+	return -float64(n.Weight) / math.Log(u)
+}

@@ -1,0 +1,190 @@
+package placement
+
+import (
+	"fmt"
+	"testing"
+)
+
+func nodes3() []Node {
+	return []Node{
+		{Name: "storage0", Weight: 100 << 30},
+		{Name: "storage1", Weight: 100 << 30},
+		{Name: "storage2", Weight: 100 << 30},
+	}
+}
+
+func TestOwnerDeterministicAndStable(t *testing.T) {
+	m1, err := New(nodes3()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same membership presented in a different order must route
+	// identically — placement is a pure function of the node set.
+	rev := nodes3()
+	rev[0], rev[2] = rev[2], rev[0]
+	m2, err := New(rev...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("model-%d/mp_rank_%02d", i, i%4)
+		if a, b := m1.Owner(key), m2.Owner(key); a != b {
+			t.Fatalf("key %q: owner differs across construction order: %q vs %q", key, a, b)
+		}
+		if a, b := m1.Owner(key), m1.Owner(key); a != b {
+			t.Fatalf("key %q: owner not stable: %q vs %q", key, a, b)
+		}
+	}
+}
+
+func TestOwnerSpreadsLoad(t *testing.T) {
+	m, err := New(nodes3()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[m.Owner(fmt.Sprintf("shard-%d", i))]++
+	}
+	for _, n := range nodes3() {
+		got := counts[n.Name]
+		want := keys / 3
+		if got < want/2 || got > want*2 {
+			t.Fatalf("node %s owns %d of %d keys; want roughly %d", n.Name, got, keys, want)
+		}
+	}
+}
+
+func TestOwnerRespectsWeights(t *testing.T) {
+	// A node with 3x the PMem capacity should own roughly 3x the keys.
+	m, err := New(
+		Node{Name: "small", Weight: 100 << 30},
+		Node{Name: "big", Weight: 300 << 30},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[m.Owner(fmt.Sprintf("m%d", i))]++
+	}
+	ratio := float64(counts["big"]) / float64(counts["small"])
+	if ratio < 2.0 || ratio > 4.5 {
+		t.Fatalf("big/small ownership ratio = %.2f (big=%d small=%d); want ~3", ratio, counts["big"], counts["small"])
+	}
+}
+
+func TestMembershipChangeMovesMinority(t *testing.T) {
+	m, err := New(nodes3()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := map[string]string{}
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("m%d", i)
+		before[k] = m.Owner(k)
+	}
+	if err := m.Update(append(nodes3(), Node{Name: "storage3", Weight: 100 << 30})); err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch() != 2 {
+		t.Fatalf("epoch after update = %d, want 2", m.Epoch())
+	}
+	moved := 0
+	for k, owner := range before {
+		now := m.Owner(k)
+		if now != owner {
+			if now != "storage3" {
+				t.Fatalf("key %q moved %q -> %q; rendezvous may only move keys to the new node", k, owner, now)
+			}
+			moved++
+		}
+	}
+	// 1-of-4 of the keys should move, give or take.
+	if moved < keys/8 || moved > keys/2 {
+		t.Fatalf("%d of %d keys moved on grow; want ~%d", moved, keys, keys/4)
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Fatal("empty node list accepted")
+	}
+	if _, err := New(Node{Name: "a"}, Node{Name: "a"}); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+	if _, err := New(Node{}); err == nil {
+		t.Fatal("unnamed node accepted")
+	}
+	if _, err := NewAtEpoch(0, Node{Name: "a"}); err == nil {
+		t.Fatal("epoch 0 accepted")
+	}
+	m, err := NewAtEpoch(7, Node{Name: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch() != 7 {
+		t.Fatalf("epoch = %d, want 7", m.Epoch())
+	}
+	if n, ok := m.Lookup("a"); !ok || n.Weight != 1 {
+		t.Fatalf("Lookup(a) = %+v, %v; want defaulted weight 1", n, ok)
+	}
+}
+
+func TestManifestCommitRule(t *testing.T) {
+	mf := NewManifest()
+	mf.AddShard("s0")
+	mf.AddShard("s1")
+	if got := mf.Committed(); got != 0 {
+		t.Fatalf("empty manifest Committed = %d, want 0", got)
+	}
+	mf.Done("s0", 1)
+	if got := mf.Committed(); got != 0 {
+		t.Fatalf("half-done iteration committed: %d", got)
+	}
+	if lag := mf.Lagging(1); len(lag) != 1 || lag[0] != "s1" {
+		t.Fatalf("Lagging(1) = %v, want [s1]", lag)
+	}
+	mf.Done("s1", 1)
+	if got := mf.Committed(); got != 1 {
+		t.Fatalf("Committed = %d, want 1", got)
+	}
+	// s0 races ahead; the group commit stays at the last iteration all
+	// shards share.
+	mf.Done("s0", 2)
+	if got := mf.Committed(); got != 1 {
+		t.Fatalf("Committed = %d after partial iter 2, want 1", got)
+	}
+	mf.Done("s1", 2)
+	mf.Done("s0", 3)
+	mf.Done("s1", 3)
+	if got := mf.Committed(); got != 3 {
+		t.Fatalf("Committed = %d, want 3", got)
+	}
+	// The window matches the two PMem version slots: iteration 1 has
+	// been evicted and must no longer be reported committed.
+	if lag := mf.Lagging(1); len(lag) != 2 {
+		t.Fatalf("evicted iteration still in windows: Lagging(1) = %v", lag)
+	}
+}
+
+func TestManifestObserveRebuild(t *testing.T) {
+	mf := NewManifest()
+	// Rebuild-from-LIST path: windows arrive unordered, with zeros for
+	// empty slots.
+	mf.Observe("s0", 5, 4)
+	mf.Observe("s1", 0, 5)
+	if got := mf.Committed(); got != 5 {
+		t.Fatalf("Committed = %d, want 5", got)
+	}
+	snap := mf.Snapshot()
+	if len(snap["s0"]) != 2 || snap["s0"][0] != 4 || snap["s0"][1] != 5 {
+		t.Fatalf("s0 window = %v, want [4 5]", snap["s0"])
+	}
+	if len(snap["s1"]) != 1 || snap["s1"][0] != 5 {
+		t.Fatalf("s1 window = %v, want [5]", snap["s1"])
+	}
+}

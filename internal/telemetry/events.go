@@ -23,6 +23,11 @@ const (
 	EvFaultInject     EventKind = "fault.inject"
 	EvClientReconnect EventKind = "client.reconnect"
 	EvWatchdogSlow    EventKind = "watchdog.slow"
+	// Admin operations: operator-triggered list/archive/delete requests,
+	// recorded so portusctl events shows who touched the stored models.
+	EvAdminList   EventKind = "admin.list"
+	EvAdminDump   EventKind = "admin.dump"
+	EvAdminDelete EventKind = "admin.delete"
 )
 
 // Event is one flight-recorder entry: a typed, timestamped record of a

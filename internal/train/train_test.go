@@ -86,7 +86,7 @@ func portusSetup(t *testing.T, env sim.Env, spec model.Spec) (*gpu.PlacedModel, 
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := daemon.New(env, daemon.Config{PMem: cl.Storage.PMem, RNode: cl.Storage.RNode, Fabric: cl.Fabric})
+	d, err := daemon.New(env, daemon.Config{PMem: cl.Storage[0].PMem, RNode: cl.Storage[0].RNode, Fabric: cl.Fabric})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +230,7 @@ func TestCheckFreqPolicyInTrainingLoop(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cf := baseline.NewCheckFreq(fsim.NewBeeGFS(cl.Storage), cl.Compute[0], placed)
+		cf := baseline.NewCheckFreq(fsim.NewBeeGFS(cl.Storage[0]), cl.Compute[0], placed)
 		res, err := train.Run(env, train.Config{
 			Spec:       spec,
 			Placed:     placed,

@@ -1,0 +1,92 @@
+package wire
+
+import (
+	"net"
+	"reflect"
+	"testing"
+
+	"github.com/portus-sys/portus/internal/sim"
+)
+
+// roundTrip sends want over a real TCP loopback gob connection and
+// returns what the far side decoded.
+func roundTrip(t *testing.T, want *Msg) *Msg {
+	t.Helper()
+	env := sim.NewRealEnv()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan *Msg, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		nc := NewNetConn(c)
+		defer nc.Close()
+		m, err := nc.Recv(env)
+		if err != nil {
+			return
+		}
+		done <- m
+	}()
+	sock, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := NewNetConn(sock)
+	defer nc.Close()
+	if err := nc.Send(env, want); err != nil {
+		t.Fatal(err)
+	}
+	return <-done
+}
+
+// TestPlacementRespGobRoundTrip pins the placement discovery reply's
+// wire shape: the table epoch and every member entry survive gob.
+func TestPlacementRespGobRoundTrip(t *testing.T) {
+	want := &Msg{
+		Type:  TPlacementResp,
+		Epoch: 7,
+		Placement: []PlacementEntry{
+			{Node: "storage0", CtrlAddr: "10.0.0.1:7470", FabricAddr: "10.0.0.1:7471", Weight: 256 << 30},
+			{Node: "storage1", CtrlAddr: "10.0.0.2:7470", FabricAddr: "10.0.0.2:7471", Weight: 512 << 30},
+		},
+	}
+	got := roundTrip(t, want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("PLACEMENT_RESP gob round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestListRespShardFieldsGobRoundTrip pins the sharded-tier additions
+// to LIST_RESP: per-slot iterations plus the answering node and the
+// placement owner.
+func TestListRespShardFieldsGobRoundTrip(t *testing.T) {
+	want := &Msg{
+		Type: TListResp,
+		Models: []ModelInfo{{
+			Name: "gpt/mp_rank_00_pp_01", Tensors: 12, Bytes: 1 << 20,
+			Slot0: "DONE", Slot1: "ACTIVE", HasDone: true, LatestIter: 9,
+			Slot0Iter: 9, Slot1Iter: 8,
+			Node: "storage1", Owner: "storage1",
+		}},
+	}
+	got := roundTrip(t, want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("LIST_RESP gob round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestPlacementTypeNames(t *testing.T) {
+	for ty, want := range map[Type]string{
+		TPlacement:     "PLACEMENT",
+		TPlacementResp: "PLACEMENT_RESP",
+	} {
+		if ty.String() != want {
+			t.Errorf("%d.String() = %q, want %q", ty, ty.String(), want)
+		}
+	}
+}

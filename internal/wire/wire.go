@@ -48,6 +48,12 @@ const (
 	// daemon never replies, and old daemons that predate the type just
 	// log an unknown-message error without disturbing the session.
 	TTraceReport
+	// TPlacement asks a daemon for the storage tier's placement table;
+	// TPlacementResp answers with the membership and its epoch, so a
+	// client configured with any one member discovers the whole group's
+	// routing instead of being configured with it.
+	TPlacement
+	TPlacementResp
 )
 
 // typeNames is the Type.String lookup table, hoisted to package level:
@@ -62,6 +68,7 @@ var typeNames = [...]string{
 	TDump: "DUMP", TDumpResp: "DUMP_RESP",
 	TError: "ERROR", TBusy: "BUSY",
 	TTraceReport: "TRACE_REPORT",
+	TPlacement:   "PLACEMENT", TPlacementResp: "PLACEMENT_RESP",
 }
 
 // String names a message type.
@@ -91,6 +98,25 @@ type ModelInfo struct {
 	Slot1      string
 	LatestIter uint64
 	HasDone    bool
+	// Slot0Iter/Slot1Iter are the iterations held in each version slot
+	// (meaningful when the matching state is DONE) — the raw material a
+	// router needs to rebuild a group manifest from LIST responses.
+	Slot0Iter uint64
+	Slot1Iter uint64
+	// Node is the storage node answering the LIST; Owner is the node
+	// the placement table assigns the model to. They differ only when a
+	// model predates a membership change. Empty on pre-tier daemons.
+	Node  string
+	Owner string
+}
+
+// PlacementEntry is one storage-tier member in a PLACEMENT_RESP.
+type PlacementEntry struct {
+	Node       string
+	CtrlAddr   string
+	FabricAddr string
+	// Weight is the member's placement weight (PMem capacity in bytes).
+	Weight int64
 }
 
 // Msg is one control-plane message.
@@ -117,6 +143,11 @@ type Msg struct {
 	SpanID  uint64
 	Tensors []TensorRef
 	Models  []ModelInfo
+	// Epoch and Placement carry the placement table on PLACEMENT_RESP.
+	// Gob-compatible additions: absent on old encoders, ignored by old
+	// decoders.
+	Epoch     uint64
+	Placement []PlacementEntry
 	// Payload carries a serialized checkpoint container (DUMP_RESP) or
 	// a JSON span tree (TRACE_REPORT).
 	Payload []byte
@@ -129,6 +160,9 @@ func (m *Msg) approxSize() int64 {
 		size += int64(len(t.Name)) + 48
 	}
 	size += int64(len(m.Models)) * 96
+	for _, p := range m.Placement {
+		size += int64(len(p.Node)+len(p.CtrlAddr)+len(p.FabricAddr)) + 16
+	}
 	size += int64(len(m.Payload))
 	return size
 }

@@ -38,6 +38,7 @@ import (
 	"github.com/portus-sys/portus/internal/index"
 	"github.com/portus-sys/portus/internal/model"
 	"github.com/portus-sys/portus/internal/parallel"
+	"github.com/portus-sys/portus/internal/placement"
 	"github.com/portus-sys/portus/internal/pmem"
 	"github.com/portus-sys/portus/internal/rdma"
 	"github.com/portus-sys/portus/internal/sim"
@@ -76,6 +77,12 @@ func TableII() []Spec { return model.TableII() }
 // GPTFamily returns GPT at 1.5B, 5B, 10B, and 22.4B parameters.
 func GPTFamily() []Spec { return model.GPTFamily() }
 
+// GPT synthesizes a Megatron-style GPT with the given transformer
+// geometry — the knob for right-sizing a model to a test or testbed.
+func GPT(name string, layers int, hidden, vocab int64, iterTime time.Duration) Spec {
+	return model.GPT(name, layers, hidden, vocab, iterTime)
+}
+
 // ModelByName resolves a zoo or GPT model by name.
 func ModelByName(name string) (Spec, error) { return model.ByName(name) }
 
@@ -104,8 +111,19 @@ func NewFleet(label string, members []Checkpointer) Checkpointer {
 	return train.NewFleet(label, members)
 }
 
+// PlacementNode re-exports one storage-tier member record for group
+// configuration (name, control/fabric addresses, placement weight).
+type PlacementNode = placement.Node
+
 // ServerConfig sizes a TCP-mode Portus server.
 type ServerConfig struct {
+	// NodeName is this server's storage-node identity within a group
+	// (default "storage" — the classic single-node deployment).
+	NodeName string
+	// Peers lists the other members of the storage group (this server
+	// is added automatically). Leave empty for a single-node tier. All
+	// members must agree on the full list for routing to be consistent.
+	Peers []PlacementNode
 	// PMemBytes is the devdax data-zone capacity (default 4 GiB).
 	PMemBytes int64
 	// MetaBytes is the metadata-zone capacity (default 64 MiB).
@@ -217,23 +235,18 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			Mode:         pmem.Devdax,
 		})
 	}
+	nodeName := cfg.NodeName
+	if nodeName == "" {
+		nodeName = "storage"
+	}
 	fabric := rdma.NewTCPFabric(env)
-	node := rdma.NewNode(env, "storage")
+	node := rdma.NewNode(env, nodeName)
 	fabricAddr, err := fabric.Serve(node, cfg.FabricAddr)
 	if err != nil {
 		return nil, fmt.Errorf("portus: starting fabric agent: %w", err)
 	}
-	d, err := daemon.New(env, daemon.Config{
-		PMem: pm, RNode: node, Fabric: fabric, Workers: cfg.Workers,
-		QueueCap: cfg.QueueCap, ModelQueueCap: cfg.ModelQueueCap, SchedPolicy: cfg.SchedPolicy,
-		PipelineDepth: cfg.PipelineDepth, Lanes: cfg.Lanes, ChunkSize: cfg.ChunkBytes,
-		RetryMax: cfg.RetryMax, RetryBackoff: cfg.RetryBackoff,
-		LaneFailLimit: cfg.LaneFailLimit, Degrade: cfg.Degrade,
-		SlowBudget: cfg.SlowBudget,
-	})
-	if err != nil {
-		return nil, err
-	}
+	// The control listener binds before the daemon starts so the group's
+	// placement table can carry this member's real address.
 	ctrlAddr := cfg.CtrlAddr
 	if ctrlAddr == "" {
 		ctrlAddr = "127.0.0.1:0"
@@ -242,6 +255,33 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		fabric.Close()
 		return nil, fmt.Errorf("portus: control listener: %w", err)
+	}
+	var group *placement.Map
+	if len(cfg.Peers) > 0 {
+		members := append([]placement.Node{{
+			Name: nodeName, Weight: pm.DataSize(),
+			CtrlAddr: ln.Addr().String(), FabricAddr: fabricAddr,
+		}}, cfg.Peers...)
+		group, err = placement.New(members...)
+		if err != nil {
+			ln.Close()
+			fabric.Close()
+			return nil, fmt.Errorf("portus: placement group: %w", err)
+		}
+	}
+	d, err := daemon.New(env, daemon.Config{
+		PMem: pm, RNode: node, Fabric: fabric, Workers: cfg.Workers,
+		NodeName: nodeName, Group: group,
+		QueueCap: cfg.QueueCap, ModelQueueCap: cfg.ModelQueueCap, SchedPolicy: cfg.SchedPolicy,
+		PipelineDepth: cfg.PipelineDepth, Lanes: cfg.Lanes, ChunkSize: cfg.ChunkBytes,
+		RetryMax: cfg.RetryMax, RetryBackoff: cfg.RetryBackoff,
+		LaneFailLimit: cfg.LaneFailLimit, Degrade: cfg.Degrade,
+		SlowBudget: cfg.SlowBudget,
+	})
+	if err != nil {
+		ln.Close()
+		fabric.Close()
+		return nil, err
 	}
 	s := &Server{
 		env: env, fabric: fabric, node: node, pm: pm, d: d, ln: ln,
@@ -428,41 +468,60 @@ func (m *Model) AsyncPolicy() Checkpointer { return &client.Async{C: m.c} }
 func (m *Model) Close() error { return m.c.Close() }
 
 // Testbed wires the paper's evaluation cluster under the simulation
-// engine: compute nodes with GPUs, the PMem storage node, a running
-// daemon, and the control network. Create one inside a simulation
-// process (Engine.Go).
+// engine: compute nodes with GPUs, the PMem storage tier (one daemon
+// per storage node, sharing one placement table), and the control
+// network. Create one inside a simulation process (Engine.Go).
 type Testbed struct {
 	Cluster *cluster.Cluster
-	Daemon  *daemon.Daemon
-	net     *wire.SimNet
+	// Daemons holds one running daemon per storage node, index-aligned
+	// with Cluster.Storage.
+	Daemons []*daemon.Daemon
+	// Placement is the tier's shared routing table.
+	Placement *placement.Map
+	net       *wire.SimNet
 }
 
 // TestbedConfig re-exports the cluster configuration.
 type TestbedConfig = cluster.Config
 
-// NewTestbed builds the simulated cluster plus a served daemon.
+// NewTestbed builds the simulated cluster plus a served daemon per
+// storage node. Each daemon listens on its node's name ("storage0",
+// ...) and all share one placement map keyed by PMem capacity.
 func NewTestbed(env Env, cfg TestbedConfig) (*Testbed, error) {
 	cl, err := cluster.New(env, cfg)
 	if err != nil {
 		return nil, err
 	}
-	d, err := daemon.New(env, daemon.Config{
-		PMem: cl.Storage.PMem, RNode: cl.Storage.RNode, Fabric: cl.Fabric,
-	})
+	members := make([]placement.Node, len(cl.Storage))
+	for i, st := range cl.Storage {
+		members[i] = placement.Node{Name: st.Name, Weight: st.PMem.DataSize()}
+	}
+	pmap, err := placement.New(members...)
 	if err != nil {
 		return nil, err
 	}
 	net := wire.NewSimNet()
-	l, err := net.Listen(env, "storage")
-	if err != nil {
-		return nil, err
+	tb := &Testbed{Cluster: cl, Placement: pmap, net: net}
+	for _, st := range cl.Storage {
+		d, err := daemon.New(env, daemon.Config{
+			PMem: st.PMem, RNode: st.RNode, Fabric: cl.Fabric,
+			NodeName: st.Name, Group: pmap,
+		})
+		if err != nil {
+			return nil, err
+		}
+		l, err := net.Listen(env, st.Name)
+		if err != nil {
+			return nil, err
+		}
+		env.Go("portusd-"+st.Name, func(env Env) { d.Serve(env, l) })
+		tb.Daemons = append(tb.Daemons, d)
 	}
-	env.Go("portusd", func(env Env) { d.Serve(env, l) })
-	return &Testbed{Cluster: cl, Daemon: d, net: net}, nil
+	return tb, nil
 }
 
-// PlaceModel puts spec on (node, gpu), registers it with the daemon, and
-// returns the model handle.
+// PlaceModel puts spec on (node, gpu), registers it with its owning
+// daemon (per the placement table), and returns the model handle.
 func (tb *Testbed) PlaceModel(env Env, node, gpuIdx int, spec Spec) (*Model, error) {
 	return tb.PlaceModelOpts(env, node, gpuIdx, spec, ClientOptions{})
 }
@@ -476,15 +535,22 @@ type Conn = wire.Conn
 // Dialer, backoff caps, request deadlines, and a telemetry registry.
 type ClientOptions = client.Options
 
-// Dial opens a control connection to the testbed's daemon — the
-// building block for ClientOptions.Dialer.
+// Dial opens a control connection to the testbed's first daemon — the
+// building block for ClientOptions.Dialer on single-node tiers.
 func (tb *Testbed) Dial(env Env) (Conn, error) {
-	return tb.net.Dial(env, "storage")
+	return tb.net.Dial(env, tb.Cluster.Storage[0].Name)
+}
+
+// DialNode opens a control connection to a named storage daemon.
+func (tb *Testbed) DialNode(env Env, node string) (Conn, error) {
+	return tb.net.Dial(env, node)
 }
 
 // PlaceModelOpts is PlaceModel with explicit client options. When a
 // Dialer is set it is used for the initial connection too, so every
-// connection in the client's lifetime comes from the same source.
+// connection in the client's lifetime comes from the same source; by
+// default the model's owning daemon (per the placement table) is
+// dialed.
 func (tb *Testbed) PlaceModelOpts(env Env, node, gpuIdx int, spec Spec, opts ClientOptions) (*Model, error) {
 	placed, err := gpu.Place(tb.Cluster.GPU(node, gpuIdx), spec)
 	if err != nil {
@@ -492,7 +558,8 @@ func (tb *Testbed) PlaceModelOpts(env Env, node, gpuIdx int, spec Spec, opts Cli
 	}
 	dial := opts.Dialer
 	if dial == nil {
-		dial = func(env Env) (Conn, error) { return tb.net.Dial(env, "storage") }
+		owner := tb.Placement.Owner(spec.Name)
+		dial = func(env Env) (Conn, error) { return tb.net.Dial(env, owner) }
 	}
 	conn, err := dial(env)
 	if err != nil {
@@ -504,3 +571,102 @@ func (tb *Testbed) PlaceModelOpts(env Env, node, gpuIdx int, spec Spec, opts Cli
 	}
 	return &Model{placed: placed, c: c}, nil
 }
+
+// Router creates a client-side shard router over the testbed's
+// placement table, ready to register shards with their owning daemons.
+func (tb *Testbed) Router(opts client.RouterOptions) *client.Router {
+	return client.NewRouter(tb.Placement,
+		func(env Env, node string) (Conn, error) { return tb.net.Dial(env, node) }, opts)
+}
+
+// ShardedModel is a Megatron-partitioned model checkpointed across the
+// storage tier: each TP×PP shard lives on its own GPU and is owned by
+// the storage daemon the placement table assigns it. Checkpoints fan
+// out to all owning daemons concurrently and commit all-or-nothing via
+// the group manifest; restores stripe back from every daemon at the
+// manifest's group-committed iteration.
+type ShardedModel struct {
+	r      *client.Router
+	placed []*gpu.PlacedModel
+	shards []Shard
+}
+
+// RouterOptions re-exports the shard router's tuning knobs.
+type RouterOptions = client.RouterOptions
+
+// GroupCompletion re-exports the in-flight group checkpoint handle.
+type GroupCompletion = client.GroupCompletion
+
+// ShardError re-exports the typed partial-failure error naming the
+// lagging shard of a group operation.
+type ShardError = client.ShardError
+
+// PlaceSharded partitions spec over tpSize×ppSize ranks, places the
+// shards round-robin across the testbed's compute GPUs, and registers
+// each with its owning storage daemon.
+func (tb *Testbed) PlaceSharded(env Env, spec Spec, tpSize, ppSize int, opts RouterOptions) (*ShardedModel, error) {
+	shards, err := parallel.Partition(spec, tpSize, ppSize)
+	if err != nil {
+		return nil, err
+	}
+	gpusPerNode := len(tb.Cluster.Compute[0].GPUs)
+	placements, err := parallel.Place(shards, len(tb.Cluster.Compute), gpusPerNode)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Group == "" {
+		opts.Group = spec.Name
+	}
+	r := tb.Router(opts)
+	sm := &ShardedModel{r: r, shards: shards}
+	for i, pl := range placements {
+		placed, err := gpu.Place(tb.Cluster.GPU(pl.Node, pl.GPU), shards[i].Spec)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := r.Register(env, tb.Cluster.Compute[pl.Node].RNode, placed); err != nil {
+			return nil, err
+		}
+		sm.placed = append(sm.placed, placed)
+	}
+	return sm, nil
+}
+
+// Shards exposes the Megatron partition.
+func (sm *ShardedModel) Shards() []Shard { return sm.shards }
+
+// Placed exposes shard i's GPU placement (weight updates, verification).
+func (sm *ShardedModel) Placed(i int) *gpu.PlacedModel { return sm.placed[i] }
+
+// Router exposes the underlying shard router (manifest, members,
+// telemetry).
+func (sm *ShardedModel) Router() *client.Router { return sm.r }
+
+// ApplyUpdate steps every shard's weights to iteration's content.
+func (sm *ShardedModel) ApplyUpdate(iteration uint64) {
+	for _, p := range sm.placed {
+		p.ApplyUpdate(iteration)
+	}
+}
+
+// Checkpoint persists all shards and blocks until every owning daemon
+// commits — only then is the iteration group-committed.
+func (sm *ShardedModel) Checkpoint(env Env, iteration uint64) error {
+	return sm.r.CheckpointSync(env, iteration)
+}
+
+// CheckpointAsync fans the checkpoint out without waiting.
+func (sm *ShardedModel) CheckpointAsync(env Env, iteration uint64) (*GroupCompletion, error) {
+	return sm.r.CheckpointAsync(env, iteration)
+}
+
+// Restore stripes the group-committed iteration back into every
+// shard's GPU memory and returns it.
+func (sm *ShardedModel) Restore(env Env) (uint64, error) { return sm.r.Restore(env) }
+
+// Committed returns the manifest's group-committed iteration (0 if
+// none).
+func (sm *ShardedModel) Committed() uint64 { return sm.r.Manifest().Committed() }
+
+// Close tears down every shard's control connection.
+func (sm *ShardedModel) Close() error { return sm.r.Close() }

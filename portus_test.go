@@ -227,8 +227,8 @@ func TestFleetPublicAPI(t *testing.T) {
 		if res.Checkpoints != 2 {
 			t.Fatalf("fleet checkpoints = %d", res.Checkpoints)
 		}
-		if tb.Daemon.Stats().Checkpoints != 4 { // 2 checkpoints x 2 shards
-			t.Fatalf("daemon saw %d shard checkpoints", tb.Daemon.Stats().Checkpoints)
+		if tb.Daemons[0].Stats().Checkpoints != 4 { // 2 checkpoints x 2 shards
+			t.Fatalf("daemon saw %d shard checkpoints", tb.Daemons[0].Stats().Checkpoints)
 		}
 	})
 	eng.Run()
@@ -248,4 +248,66 @@ func TestZooAccessors(t *testing.T) {
 	if portus.TableII()[6].IterTime <= 0 {
 		t.Fatal("calibrated iteration time missing")
 	}
+}
+
+// TestShardedTierPublicAPI drives the sharded storage tier through the
+// public surface: a 2-storage-node testbed, a model partitioned 2x2,
+// group checkpoints, and a striped restore of the group-committed
+// iteration.
+func TestShardedTierPublicAPI(t *testing.T) {
+	eng := portus.NewSimulation()
+	eng.Go("experiment", func(env portus.Env) {
+		tb, err := portus.NewTestbed(env, portus.TestbedConfig{
+			ComputeNodes: 2, GPUsPerNode: 2,
+			GPUMemBytes: 16 << 20, PMemBytes: 32 << 20,
+			StorageNodes: 2, Materialized: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tb.Daemons) != 2 || tb.Placement.Len() != 2 {
+			t.Fatalf("testbed has %d daemons over a %d-entry table, want 2/2", len(tb.Daemons), tb.Placement.Len())
+		}
+		spec := portus.GPT("sharded-api", 4, 64, 512, 0)
+		sm, err := tb.PlaceSharded(env, spec, 2, 2, portus.RouterOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sm.Close()
+		if len(sm.Shards()) != 4 {
+			t.Fatalf("got %d shards, want 4", len(sm.Shards()))
+		}
+
+		for iter := uint64(1); iter <= 2; iter++ {
+			sm.ApplyUpdate(iter)
+			if err := sm.Checkpoint(env, iter); err != nil {
+				t.Fatal(err)
+			}
+			if sm.Committed() != iter {
+				t.Fatalf("committed %d after checkpointing %d", sm.Committed(), iter)
+			}
+		}
+
+		sm.ApplyUpdate(99)
+		iter, err := sm.Restore(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iter != 2 {
+			t.Fatalf("restored iteration %d, want 2", iter)
+		}
+		for i := range sm.Shards() {
+			if bad := sm.Placed(i).VerifyIteration(2); bad != -1 {
+				t.Fatalf("shard %d tensor %d wrong after striped restore", i, bad)
+			}
+		}
+
+		// Every daemon served at least one shard's traffic.
+		for i, d := range tb.Daemons {
+			if d.Stats().Checkpoints == 0 {
+				t.Fatalf("daemon %d (%s) served no checkpoints — placement routed nothing there", i, d.NodeName())
+			}
+		}
+	})
+	eng.Run()
 }
