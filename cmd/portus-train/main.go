@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -77,11 +78,14 @@ func main() {
 
 	if *restore {
 		iter, err := m.Restore(job.Env())
-		if err != nil {
-			fmt.Printf("portus-train: no checkpoint to restore (%v); starting fresh\n", err)
-		} else {
+		switch {
+		case err == nil:
 			fmt.Printf("portus-train: restored iteration %d\n", iter)
 			cfg.StartIteration = iter
+		case errors.Is(err, portus.ErrNoCheckpoint):
+			fmt.Println("portus-train: no checkpoint to restore; starting fresh")
+		default:
+			log.Fatalf("portus-train: restore: %v", err)
 		}
 	}
 

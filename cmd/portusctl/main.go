@@ -14,6 +14,7 @@
 //	portusctl -addr 127.0.0.1:7470 list
 //	portusctl -addr 127.0.0.1:7470 dump MODEL out.ckpt
 //	portusctl -addr 127.0.0.1:7470 delete MODEL
+//	portusctl -addr 127.0.0.1:7470 placement   # epoch, members, shard owners + replicas
 //
 // Observability (against portusd -admin):
 //
@@ -40,6 +41,7 @@ import (
 
 	"github.com/portus-sys/portus/internal/index"
 	"github.com/portus-sys/portus/internal/metrics"
+	"github.com/portus-sys/portus/internal/placement"
 	"github.com/portus-sys/portus/internal/pmem"
 	"github.com/portus-sys/portus/internal/repack"
 	"github.com/portus-sys/portus/internal/serialize"
@@ -63,7 +65,7 @@ func main() {
 
 func run(image, addr, admin string, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: portusctl [-image FILE | -addr HOST:PORT | -admin HOST:PORT] view|inspect|dump|repack|list|delete|stats|trace|events ...")
+		return fmt.Errorf("usage: portusctl [-image FILE | -addr HOST:PORT | -admin HOST:PORT] view|inspect|dump|repack|list|delete|placement|stats|trace|events ...")
 	}
 	switch {
 	case image != "":
@@ -455,6 +457,11 @@ func runOnline(addr string, args []string) error {
 			return err
 		}
 		if resp.Type == wire.TError {
+			// The typed code distinguishes "nothing committed yet" from
+			// real failures without matching the error string.
+			if resp.Code == wire.ErrCodeNoCheckpoint {
+				return fmt.Errorf("model %q has no committed checkpoint to archive", args[1])
+			}
 			return fmt.Errorf("daemon: %s", resp.Error)
 		}
 		if err := os.WriteFile(args[2], resp.Payload, 0o644); err != nil {
@@ -479,7 +486,75 @@ func runOnline(addr string, args []string) error {
 		}
 		fmt.Printf("deleted %s\n", args[1])
 		return nil
+	case "placement":
+		return placementCmd(env, conn)
 	default:
 		return fmt.Errorf("unknown online command %q", args[0])
 	}
+}
+
+// placementCmd renders the storage group's routing state: epoch,
+// members with capacities and addresses, the replication factor, and —
+// per shard the answering daemon knows — the primary owner and replica
+// assignments the rendezvous hash produces at this epoch.
+func placementCmd(env *sim.RealEnv, conn wire.Conn) error {
+	if err := conn.Send(env, &wire.Msg{Type: wire.TPlacement}); err != nil {
+		return err
+	}
+	resp, err := conn.Recv(env)
+	if err != nil {
+		return err
+	}
+	if resp.Type != wire.TPlacementResp {
+		return fmt.Errorf("daemon: %s", resp.Error)
+	}
+	rf := resp.Replicas
+	if rf < 1 {
+		rf = 1
+	}
+	fmt.Printf("placement epoch %d, %d member(s), replication factor %d\n\n", resp.Epoch, len(resp.Placement), rf)
+	fmt.Printf("%-12s %10s %-22s %-22s\n", "NODE", "CAPACITY", "CTRL", "FABRIC")
+	nodes := make([]placement.Node, len(resp.Placement))
+	for i, p := range resp.Placement {
+		nodes[i] = placement.Node{Name: p.Node, Weight: p.Weight, CtrlAddr: p.CtrlAddr, FabricAddr: p.FabricAddr}
+		dash := func(s string) string {
+			if s == "" {
+				return "-"
+			}
+			return s
+		}
+		fmt.Printf("%-12s %10s %-22s %-22s\n",
+			p.Node, metrics.FormatBytes(p.Weight), dash(p.CtrlAddr), dash(p.FabricAddr))
+	}
+	pmap, err := placement.NewAtEpoch(resp.Epoch, nodes...)
+	if err != nil {
+		return fmt.Errorf("rebuilding placement table: %w", err)
+	}
+	if err := conn.Send(env, &wire.Msg{Type: wire.TList}); err != nil {
+		return err
+	}
+	list, err := conn.Recv(env)
+	if err != nil {
+		return err
+	}
+	if list.Type == wire.TError {
+		return fmt.Errorf("daemon: %s", list.Error)
+	}
+	if len(list.Models) == 0 {
+		fmt.Println("\nno shards registered on this daemon")
+		return nil
+	}
+	fmt.Printf("\n%-40s %-12s %s\n", "SHARD", "PRIMARY", "REPLICAS")
+	for _, mi := range list.Models {
+		owners := pmap.Owners(mi.Name, rf)
+		primary, reps := "-", "-"
+		if len(owners) > 0 {
+			primary = owners[0]
+		}
+		if len(owners) > 1 {
+			reps = strings.Join(owners[1:], ", ")
+		}
+		fmt.Printf("%-40s %-12s %s\n", mi.Name, primary, reps)
+	}
+	return nil
 }

@@ -39,6 +39,7 @@ func main() {
 		ctrl         = flag.String("ctrl", "127.0.0.1:7470", "control-plane listen address")
 		fabric       = flag.String("fabric", "127.0.0.1:7471", "soft-RDMA agent listen address")
 		nodeName     = flag.String("node-name", "storage", "this daemon's storage-node name within its group")
+		replicas     = flag.Int("replicas", 1, "storage-group replication factor: shards are accepted on their top-N rendezvous owners and checkpoints fan out to all of them")
 		pmemGiB      = flag.Int64("pmem-gib", 4, "devdax data-zone capacity in GiB")
 		metaMiB      = flag.Int64("meta-mib", 64, "metadata-zone capacity in MiB")
 		workers      = flag.Int("workers", 8, "daemon thread-pool width")
@@ -71,6 +72,7 @@ func main() {
 	cfg := portus.ServerConfig{
 		NodeName:      *nodeName,
 		Peers:         peers,
+		Replicas:      *replicas,
 		PMemBytes:     *pmemGiB << 30,
 		MetaBytes:     *metaMiB << 20,
 		Workers:       *workers,
@@ -106,8 +108,8 @@ func main() {
 		for i, p := range peers {
 			names[i] = p.Name
 		}
-		fmt.Printf("portusd: storage group of %d (peers: %s), placement epoch %d\n",
-			len(peers)+1, strings.Join(names, ", "), srv.Daemon().Group().Epoch())
+		fmt.Printf("portusd: storage group of %d (peers: %s), rf=%d, placement epoch %d\n",
+			len(peers)+1, strings.Join(names, ", "), srv.Daemon().Replicas(), srv.Daemon().Group().Epoch())
 	}
 	if srv.AdminAddr != "" {
 		fmt.Printf("portusd: admin http://%s (/metrics, /debug/traces, /debug/events, /debug/pprof, /healthz)\n", srv.AdminAddr)

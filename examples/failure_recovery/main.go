@@ -6,6 +6,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -31,6 +32,15 @@ func run(env portus.Env) {
 	spec := portus.TableII()[6] // bert_large
 	m, err := tb.PlaceModel(env, 0, 0, spec)
 	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Nothing has committed yet, so a restore fails with the typed
+	// sentinel — errors.Is tells "nothing to restore" apart from real
+	// failures without matching error strings.
+	if _, err := m.Restore(env); errors.Is(err, portus.ErrNoCheckpoint) {
+		fmt.Println("fresh model: restore reports ErrNoCheckpoint, starting from iteration 0")
+	} else if err != nil {
 		log.Fatal(err)
 	}
 

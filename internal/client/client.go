@@ -28,6 +28,7 @@ package client
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -103,9 +104,35 @@ type reply struct {
 	restoreIter uint64
 }
 
+// ErrNoCheckpoint reports a restore (or pinned dump) that found no
+// committed checkpoint version to serve. Match with errors.Is.
+var ErrNoCheckpoint = errors.New("client: no committed checkpoint to restore")
+
+// ErrCorruptReplica reports a stored copy that failed its CRC
+// integrity check; a replicated router fails over to another replica.
+// Match with errors.Is.
+var ErrCorruptReplica = errors.New("client: checkpoint copy failed integrity check")
+
+// ErrUnreachable reports transport loss — the connection died or a
+// request deadline expired with the daemon silent. Routers treat it as
+// a suspect-node signal rather than an application error. Match with
+// errors.Is.
+var ErrUnreachable = errors.New("client: daemon unreachable")
+
 func (r *reply) wait(env sim.Env) (*wire.Msg, error) {
 	r.sig.Wait(env)
 	if r.msg.Type == wire.TError {
+		// Map the daemon's machine-readable classification (or the code
+		// this client stamped on a locally-fabricated error) to a typed
+		// sentinel; unclassified errors stay generic.
+		switch r.msg.Code {
+		case wire.ErrCodeNoCheckpoint:
+			return nil, fmt.Errorf("%w: %s", ErrNoCheckpoint, r.msg.Error)
+		case wire.ErrCodeCorrupt:
+			return nil, fmt.Errorf("%w: %s", ErrCorruptReplica, r.msg.Error)
+		case wire.ErrCodeUnreachable:
+			return nil, fmt.Errorf("%w: %s", ErrUnreachable, r.msg.Error)
+		}
 		return nil, fmt.Errorf("daemon error: %s", r.msg.Error)
 	}
 	return r.msg, nil
@@ -224,7 +251,7 @@ func (c *Client) recvLoop(env sim.Env) {
 			c.mu.Lock()
 			for _, k := range c.order {
 				r := c.pending[k]
-				r.msg = &wire.Msg{Type: wire.TError, Error: err.Error()}
+				r.msg = &wire.Msg{Type: wire.TError, Code: wire.ErrCodeUnreachable, Error: err.Error()}
 				r.sig.Fire(env)
 				delete(c.pending, k)
 			}
@@ -467,7 +494,7 @@ func (c *Client) expect(env sim.Env, t wire.Type, iter uint64) *reply {
 			}
 			c.removeLocked(key)
 			c.mu.Unlock()
-			r.msg = &wire.Msg{Type: wire.TError, Error: fmt.Sprintf("request deadline %v exceeded waiting for %s", d, t)}
+			r.msg = &wire.Msg{Type: wire.TError, Code: wire.ErrCodeUnreachable, Error: fmt.Sprintf("request deadline %v exceeded waiting for %s", d, t)}
 			r.sig.Fire(env)
 		})
 	}
@@ -655,6 +682,17 @@ func (cp *Completion) Wait(env sim.Env) error {
 // Done reports completion without blocking.
 func (cp *Completion) Done(env sim.Env) bool {
 	return cp.ok || cp.r.sig.Fired(env)
+}
+
+// CRC returns the content fingerprint the daemon stamped on the
+// CHECKPOINT_DONE reply — meaningful only after Wait returned nil.
+// Replicated routers compare it across copies and record it in the
+// group manifest.
+func (cp *Completion) CRC() uint64 {
+	if cp.ok && cp.err == nil && cp.r.msg != nil {
+		return cp.r.msg.CRC
+	}
+	return 0
 }
 
 // Restore asks the daemon to write the newest complete version into GPU

@@ -1,0 +1,178 @@
+package client_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/portus-sys/portus/internal/client"
+	"github.com/portus-sys/portus/internal/daemon"
+	"github.com/portus-sys/portus/internal/sim"
+)
+
+// killNode is the test-sized whole-node failure: fabric routes cut, the
+// control listener and every accepted connection severed, worker pool
+// halted. Identical teardown order to the failover experiment.
+func (h *tierHarness) killNode(env sim.Env, node string) {
+	h.cl.Fabric.CutNode(node)
+	h.net.Shutdown(env, node)
+	h.daemons[node].Halt(env)
+}
+
+// startReplicatedTier is startTier at replication factor 2.
+func startReplicatedTier(t *testing.T, env sim.Env, storageNodes int) (*tierHarness, *client.Router) {
+	t.Helper()
+	h := startTier(t, env, storageNodes, func(node string, dcfg *daemon.Config) {
+		dcfg.Replicas = 2
+	})
+	r := client.NewRouter(h.pmap, h.dial, client.RouterOptions{Replicas: 2})
+	return h, r
+}
+
+// TestRouterReplicatedCheckpointRestore pins steady-state RF=2: every
+// shard lands on two nodes, the manifest requires both copies before a
+// group commit, and restore verifies byte-for-byte.
+func TestRouterReplicatedCheckpointRestore(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		h, r := startReplicatedTier(t, env, 4)
+		defer r.Close()
+		placed := h.placeTiny(t, env, r, "replicated")
+
+		for _, m := range r.Members() {
+			if got := len(m.Replicas()); got != 2 {
+				t.Fatalf("shard %s has %d replicas (%v), want 2", m.Shard, got, m.Replicas())
+			}
+		}
+
+		for iter := uint64(1); iter <= 3; iter++ {
+			applyAll(placed, iter)
+			if err := r.CheckpointSync(env, iter); err != nil {
+				t.Fatal(err)
+			}
+			if got := r.Manifest().Committed(); got != iter {
+				t.Fatalf("after iteration %d, manifest commits %d", iter, got)
+			}
+		}
+		applyAll(placed, 99)
+		iter, err := r.Restore(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iter != 3 {
+			t.Fatalf("restored iteration %d, want 3", iter)
+		}
+		verifyAll(t, placed, 3)
+
+		// Every storage node holds real checkpoint bytes: with four
+		// shards at RF=2 over four nodes, nobody should sit idle.
+		for node, d := range h.daemons {
+			if d.Stats().Checkpoints == 0 {
+				t.Fatalf("node %s wrote no checkpoints at RF=2", node)
+			}
+		}
+	})
+	eng.Run()
+}
+
+// TestRouterNodeLossMidCheckpointAsync kills a whole storage node while
+// a group checkpoint is in flight (run under -race in CI): the
+// checkpoint stream must keep committing on the survivors, the
+// committed iteration must never regress, and the group must restore
+// byte-identically with the victim still dead.
+func TestRouterNodeLossMidCheckpointAsync(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		h, r := startReplicatedTier(t, env, 4)
+		defer r.Close()
+		placed := h.placeTiny(t, env, r, "node-loss")
+
+		for iter := uint64(1); iter <= 2; iter++ {
+			applyAll(placed, iter)
+			if err := r.CheckpointSync(env, iter); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		victim := r.Members()[0].Node
+		applyAll(placed, 3)
+		gc, err := r.CheckpointAsync(env, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.killNode(env, victim)
+		switch err := gc.Wait(env); {
+		case err == nil:
+			// All surviving copies landed before the fan-out noticed:
+			// iteration 3 committed through the replicas.
+		default:
+			var se *client.ShardError
+			if !errors.As(err, &se) {
+				t.Fatalf("mid-flight kill returned %T (%v), want *client.ShardError or nil", err, err)
+			}
+		}
+		if got := r.Manifest().Committed(); got < 2 {
+			t.Fatalf("committed iteration regressed to %d after node loss", got)
+		}
+
+		// Degraded progress: later checkpoints re-place the victim's
+		// shards on survivors and keep committing.
+		for iter := uint64(4); iter <= 5; iter++ {
+			applyAll(placed, iter)
+			if err := r.CheckpointSync(env, iter); err != nil {
+				t.Fatalf("degraded checkpoint %d: %v", iter, err)
+			}
+		}
+		if got := r.Manifest().Committed(); got != 5 {
+			t.Fatalf("degraded stream committed %d, want 5", got)
+		}
+		for _, m := range r.Members() {
+			for _, n := range m.Replicas() {
+				if n == victim {
+					t.Fatalf("shard %s still lists dead node %s as a replica", m.Shard, victim)
+				}
+			}
+		}
+
+		applyAll(placed, 99)
+		iter, err := r.Restore(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iter != 5 {
+			t.Fatalf("restored iteration %d with %s dead, want 5", iter, victim)
+		}
+		verifyAll(t, placed, 5)
+	})
+	eng.Run()
+}
+
+// TestRouterRestoreFailsOverDeadPrimary kills a node while no
+// checkpoint is in flight and goes straight to restore: the router must
+// discover the loss from the dead dial, fail over to the surviving
+// replica, and still restore the last committed iteration.
+func TestRouterRestoreFailsOverDeadPrimary(t *testing.T) {
+	eng := sim.NewEngine()
+	eng.Go("test", func(env sim.Env) {
+		h, r := startReplicatedTier(t, env, 4)
+		defer r.Close()
+		placed := h.placeTiny(t, env, r, "dead-primary")
+		for iter := uint64(1); iter <= 2; iter++ {
+			applyAll(placed, iter)
+			if err := r.CheckpointSync(env, iter); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		h.killNode(env, r.Members()[0].Node)
+		applyAll(placed, 99)
+		iter, err := r.Restore(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iter != 2 {
+			t.Fatalf("restored iteration %d, want 2", iter)
+		}
+		verifyAll(t, placed, 2)
+	})
+	eng.Run()
+}

@@ -29,6 +29,10 @@ type Config struct {
 	// RNIC, PMem namespace, and BeeGFS resources (default 1, the
 	// paper's single-AEP-node testbed).
 	StorageNodes int
+	// Replicas is the storage tier's replication factor: every shard is
+	// checkpointed to its top-Replicas rendezvous owners so the group
+	// survives the loss of Replicas-1 nodes. 0 or 1 means unreplicated.
+	Replicas int
 	// PMemBytes is the devdax namespace capacity on each storage node.
 	PMemBytes int64
 	// PMemMetaBytes overrides the metadata zone size (optional).

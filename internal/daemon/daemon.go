@@ -19,9 +19,11 @@ package daemon
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc64"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,6 +57,11 @@ type Config struct {
 	// assigns elsewhere are refused, steering stale clients to re-fetch
 	// routing via PLACEMENT.
 	Group *placement.Map
+	// Replicas is the group's replication factor: a registration is
+	// accepted when this node is any of the model's top-Replicas
+	// rendezvous owners, not just the primary. 0 or 1 means unreplicated
+	// (the classic topology).
+	Replicas int
 	// Workers sizes the thread pool; defaults to 8.
 	Workers int
 	// TableCap bounds the ModelTable; defaults to 512.
@@ -166,6 +173,12 @@ type Daemon struct {
 	// tier; group is never nil after New.
 	nodeName string
 	group    *placement.Map
+	replicas int
+
+	// flush is the resolved data-zone flush (cfg.Flush or the PMem
+	// default), shared by the datapath engine and the anti-entropy LOAD
+	// path.
+	flush func(off, n int64) error
 
 	// sched owns admission, dedup, coalescing, ordering, and
 	// backpressure for every checkpoint/restore request; the daemon's
@@ -178,6 +191,12 @@ type Daemon struct {
 	mu       sync.Mutex
 	modelMap *rbtree.Tree[string, int64] // ModelMap: name -> info_offset
 	sessions map[string]*session
+
+	// connMu guards the set of live control connections; Halt closes
+	// them all so a killed node's clients see the peer reset instead of
+	// waiting on a silent daemon.
+	connMu sync.Mutex
+	conns  map[wire.Conn]struct{}
 
 	stats struct {
 		registered  atomic.Int64
@@ -214,6 +233,7 @@ type telem struct {
 	retries, degradations, dedups             *telemetry.Counter
 	slowTransfers                             *telemetry.Counter
 	adminList, adminDump, adminDelete         *telemetry.Counter
+	adminLoad, crcFailures                    *telemetry.Counter
 	quarantined                               *telemetry.Gauge
 
 	ckptLatency    *telemetry.Histogram // enqueue → commit, end to end
@@ -252,6 +272,9 @@ func newTelem(reg *telemetry.Registry, traceDepth, eventDepth int, slowBudget ti
 		adminList:   reg.Counter("portus_admin_ops_total", "admin operations served", telemetry.L("op", "list")),
 		adminDump:   reg.Counter("portus_admin_ops_total", "admin operations served", telemetry.L("op", "dump")),
 		adminDelete: reg.Counter("portus_admin_ops_total", "admin operations served", telemetry.L("op", "delete")),
+		adminLoad:   reg.Counter("portus_admin_ops_total", "admin operations served", telemetry.L("op", "load")),
+
+		crcFailures: reg.Counter("portus_daemon_crc_mismatch_total", "restore or load attempts that failed the stored-version CRC check"),
 
 		ckptLatency:    reg.Histogram("portus_checkpoint_seconds", "end-to-end checkpoint latency (enqueue to commit)", nil),
 		enqueueWait:    reg.Histogram("portus_checkpoint_enqueue_wait_seconds", "time a checkpoint job waits for a worker", nil),
@@ -331,11 +354,16 @@ func New(env sim.Env, cfg Config) (*Daemon, error) {
 	} else if _, ok := group.Lookup(nodeName); !ok {
 		return nil, fmt.Errorf("daemon: node %q is not a member of the placement map", nodeName)
 	}
+	replicas := cfg.Replicas
+	if replicas < 1 {
+		replicas = 1
+	}
 	d := &Daemon{
 		cfg:      cfg,
 		store:    store,
 		nodeName: nodeName,
 		group:    group,
+		replicas: replicas,
 		modelMap: rbtree.New[string, int64](),
 		sessions: make(map[string]*session),
 		tel:      newTelem(cfg.Telemetry, cfg.TraceDepth, cfg.EventDepth, cfg.SlowBudget, cfg.PMem),
@@ -410,6 +438,7 @@ func New(env sim.Env, cfg Config) (*Daemon, error) {
 		pm := cfg.PMem
 		flush = func(off, n int64) error { pm.FlushData(off, n); return nil }
 	}
+	d.flush = flush
 	engineLanes := rdma.ConnectLanes(env, cfg.RNode, cfg.Lanes)
 	d.lanePool = sched.NewLanePool(engineLanes, d.tel.reg)
 	d.engine = datapath.New(datapath.Config{
@@ -458,6 +487,31 @@ func (d *Daemon) NodeName() string { return d.nodeName }
 
 // Group exposes the placement table this daemon serves PLACEMENT from.
 func (d *Daemon) Group() *placement.Map { return d.group }
+
+// Replicas is the group's replication factor as this daemon enforces
+// it (>= 1).
+func (d *Daemon) Replicas() int { return d.replicas }
+
+// Halt stops the worker pool and severs every live control
+// connection: workers blocked in Next return, queued tasks are
+// dropped, later submissions are rejected with BUSY, and connected
+// clients see the peer reset instead of waiting on a silent daemon.
+// Whole-node fault injection uses it (together with closing the
+// listener and cutting fabric routes) to make a storage node dead;
+// a replacement daemon is a fresh New on a fresh namespace.
+func (d *Daemon) Halt(env sim.Env) {
+	d.sched.Close(env)
+	d.connMu.Lock()
+	conns := make([]wire.Conn, 0, len(d.conns))
+	for c := range d.conns {
+		conns = append(conns, c)
+	}
+	d.conns = nil
+	d.connMu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
 
 // Telemetry exposes the daemon's metrics registry (served by the admin
 // endpoint's /metrics).
@@ -511,6 +565,17 @@ func (d *Daemon) Serve(env sim.Env, l wire.Listener) {
 }
 
 func (d *Daemon) handleConn(env sim.Env, conn wire.Conn) {
+	d.connMu.Lock()
+	if d.conns == nil {
+		d.conns = make(map[wire.Conn]struct{})
+	}
+	d.conns[conn] = struct{}{}
+	d.connMu.Unlock()
+	defer func() {
+		d.connMu.Lock()
+		delete(d.conns, conn)
+		d.connMu.Unlock()
+	}()
 	for {
 		m, err := conn.Recv(env)
 		if err != nil {
@@ -529,6 +594,8 @@ func (d *Daemon) handleConn(env sim.Env, conn wire.Conn) {
 			d.handleDelete(env, conn, m)
 		case wire.TDump:
 			d.handleDump(env, conn, m)
+		case wire.TLoad:
+			d.handleLoad(env, conn, m)
 		case wire.TPlacement:
 			d.handlePlacement(env, conn)
 		case wire.TTraceReport:
@@ -561,10 +628,17 @@ func (d *Daemon) handleTraceReport(m *wire.Msg) {
 // mean the client is gone; the connection loop observes it on the next
 // Recv.
 func (d *Daemon) sendErrFor(env sim.Env, conn wire.Conn, inReplyTo wire.Type, iter uint64, model, msg string) {
+	d.sendErrCode(env, conn, inReplyTo, wire.ErrCodeNone, iter, model, msg)
+}
+
+// sendErrCode is sendErrFor with a machine-readable classification, so
+// clients can map the failure to a typed sentinel instead of
+// string-matching.
+func (d *Daemon) sendErrCode(env sim.Env, conn wire.Conn, inReplyTo wire.Type, code wire.ErrCode, iter uint64, model, msg string) {
 	d.stats.errors.Add(1)
 	d.tel.errors.Inc()
 	_ = conn.Send(env, &wire.Msg{
-		Type: wire.TError, InReplyTo: inReplyTo, Iteration: iter, Model: model, Error: msg,
+		Type: wire.TError, InReplyTo: inReplyTo, Code: code, Iteration: iter, Model: model, Error: msg,
 	})
 }
 
@@ -581,12 +655,13 @@ func (d *Daemon) handleRegister(env sim.Env, conn wire.Conn, m *wire.Msg) {
 		d.sendErrFor(env, conn, wire.TRegister, 0, m.Model, "registration packet has no tensors")
 		return
 	}
-	if owner := d.group.Owner(m.Model); owner != d.nodeName {
+	owners := d.group.Owners(m.Model, d.replicas)
+	if !memberOf(owners, d.nodeName) {
 		// A misrouted registration means the client holds a stale table;
-		// refusing it here (naming the owner and epoch) keeps each model's
-		// data on exactly one daemon.
-		d.sendErrFor(env, conn, wire.TRegister, 0, m.Model,
-			fmt.Sprintf("model %q is placed on %q (placement epoch %d), not %q", m.Model, owner, d.group.Epoch(), d.nodeName))
+		// refusing it here (naming the replica set and epoch) keeps each
+		// model's data on exactly its owner daemons.
+		d.sendErrCode(env, conn, wire.TRegister, wire.ErrCodeMisplaced, 0, m.Model,
+			fmt.Sprintf("model %q is placed on %v (placement epoch %d), not %q", m.Model, owners, d.group.Epoch(), d.nodeName))
 		return
 	}
 	if m.FabricAddr != "" {
@@ -653,6 +728,15 @@ func (d *Daemon) reallocateMissingSlots(m *index.Model) error {
 	return nil
 }
 
+func memberOf(names []string, name string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
 func metasMatch(a, b []index.TensorMeta) bool {
 	if len(a) != len(b) {
 		return false
@@ -674,7 +758,7 @@ func (d *Daemon) enqueue(env sim.Env, conn wire.Conn, m *wire.Msg, class sched.C
 	sess, ok := d.sessions[m.Model]
 	d.mu.Unlock()
 	if !ok {
-		d.sendErrFor(env, conn, m.Type, m.Iteration, m.Model, "model not registered on this daemon")
+		d.sendErrCode(env, conn, m.Type, wire.ErrCodeNotRegistered, m.Iteration, m.Model, "model not registered on this daemon")
 		return
 	}
 	// A DO_CHECKPOINT retried after a reconnect (the original DONE was
@@ -683,7 +767,13 @@ func (d *Daemon) enqueue(env sim.Env, conn wire.Conn, m *wire.Msg, class sched.C
 	// double-executing.
 	if class == sched.ClassCheckpoint && d.committed(sess, m.Iteration) {
 		d.tel.dedups.Inc()
-		_ = conn.Send(env, &wire.Msg{Type: wire.TCheckpointDone, Model: m.Model, Iteration: m.Iteration})
+		var crc uint64
+		for v := 0; v < 2; v++ {
+			if h := sess.model.VersionHeader(v); h.State == index.StateDone && h.Iteration == m.Iteration {
+				crc = h.CRC
+			}
+		}
+		_ = conn.Send(env, &wire.Msg{Type: wire.TCheckpointDone, Model: m.Model, Iteration: m.Iteration, CRC: crc})
 		return
 	}
 	res := d.sched.Submit(env, &sched.Task{
@@ -803,7 +893,11 @@ func (d *Daemon) doCheckpoint(env sim.Env, t *sched.Task, rc *reqCtx) {
 		return
 	}
 	commit := tr.Root.Child("commit", env.Now())
-	m.SetDone(slot, t.Iteration, time.Unix(0, int64(env.Now())))
+	// Fingerprint the slot's freshly-flushed content and persist the
+	// stamp with the DONE flag: every replica of this pull computes the
+	// same CRC, so a torn or corrupted copy is detectable at restore.
+	crc := d.contentCRC(m, slot)
+	m.SetDoneCRC(slot, t.Iteration, time.Unix(0, int64(env.Now())), crc)
 	commit.EndAt(env.Now())
 
 	d.stats.pullNanos.Add(int64(res.Transfer))
@@ -825,7 +919,7 @@ func (d *Daemon) doCheckpoint(env sim.Env, t *sched.Task, rc *reqCtx) {
 	// version is always acknowledged on whichever connection survives.
 	// Coalesced waiters asked for an older iteration that this newer
 	// commit supersedes; each is acknowledged with its own iteration.
-	done := &wire.Msg{Type: wire.TCheckpointDone, Model: m.Name, Iteration: t.Iteration, Slot: slot}
+	done := &wire.Msg{Type: wire.TCheckpointDone, Model: m.Name, Iteration: t.Iteration, Slot: slot, CRC: crc}
 	_ = rc.conn.Send(env, done)
 	for _, dp := range t.Dups {
 		_ = dp.(*reqCtx).conn.Send(env, done)
@@ -837,6 +931,28 @@ func (d *Daemon) doCheckpoint(env sim.Env, t *sched.Task, rc *reqCtx) {
 	}
 }
 
+// contentCRC fingerprints one version slot's tensor extents: the hash
+// of the actual PMem bytes in materialized mode, or of the extents'
+// content stamps in virtual mode. Replicas that pulled the same GPU
+// content compute the same value, so the stamp identifies the copy's
+// content, not its location.
+func (d *Daemon) contentCRC(m *index.Model, slot int) uint64 {
+	h := crc64.New(crcTable)
+	var b [8]byte
+	for i := range m.Tensors {
+		ext := m.TensorData(i, slot)
+		if d.cfg.PMem.Materialized() {
+			h.Write(d.cfg.PMem.Data().Bytes(ext.Off, ext.Size))
+		} else {
+			binary.LittleEndian.PutUint64(b[:], d.cfg.PMem.Data().StampOf(ext.Off, ext.Size))
+			h.Write(b[:])
+		}
+	}
+	return h.Sum64()
+}
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
 func flushCost(bytes int64) time.Duration {
 	return time.Duration(float64(bytes) / float64(perfmodel.MiB) * float64(perfmodel.FlushPerMiB))
 }
@@ -847,11 +963,11 @@ func flushCost(bytes int64) time.Duration {
 // every shard to the manifest's group-committed iteration.
 func (d *Daemon) doRestore(env sim.Env, t *sched.Task, rc *reqCtx) {
 	m := rc.sess.model
-	fail := func(iter uint64, msg string) {
+	fail := func(code wire.ErrCode, iter uint64, msg string) {
 		d.sched.Done(env, t)
-		d.sendErrFor(env, rc.conn, wire.TRestore, iter, m.Name, msg)
+		d.sendErrCode(env, rc.conn, wire.TRestore, code, iter, m.Name, msg)
 		for _, dp := range t.Dups {
-			d.sendErrFor(env, dp.(*reqCtx).conn, wire.TRestore, iter, m.Name, msg)
+			d.sendErrCode(env, dp.(*reqCtx).conn, wire.TRestore, code, iter, m.Name, msg)
 		}
 	}
 	var (
@@ -867,12 +983,24 @@ func (d *Daemon) doRestore(env sim.Env, t *sched.Task, rc *reqCtx) {
 			}
 		}
 		if !ok {
-			fail(t.Iteration, fmt.Sprintf("iteration %d has no complete version on PMem", t.Iteration))
+			fail(wire.ErrCodeNoCheckpoint, t.Iteration, fmt.Sprintf("iteration %d has no complete version on PMem", t.Iteration))
 			return
 		}
 	} else if slot, v, ok = m.LatestDone(); !ok {
-		fail(0, "no complete checkpoint version on PMem")
+		fail(wire.ErrCodeNoCheckpoint, 0, "no complete checkpoint version on PMem")
 		return
+	}
+	// Integrity gate: re-fingerprint the stored copy against the stamp
+	// persisted with its DONE flag before any byte reaches GPU memory. A
+	// mismatch means this copy is torn or corrupted — the client fails
+	// over to another replica.
+	if v.CRC != 0 {
+		if got := d.contentCRC(m, slot); got != v.CRC {
+			d.tel.crcFailures.Inc()
+			fail(wire.ErrCodeCorrupt, v.Iteration,
+				fmt.Sprintf("iteration %d failed integrity check (stored CRC %016x, computed %016x)", v.Iteration, v.CRC, got))
+			return
+		}
 	}
 	tr := telemetry.NewTrace("restore", m.Name, v.Iteration, t.EnqueuedAt)
 	tr.ID = t.TraceID
@@ -890,7 +1018,7 @@ func (d *Daemon) doRestore(env sim.Env, t *sched.Task, rc *reqCtx) {
 		tr.Err = err.Error()
 		tr.Finish(env.Now())
 		d.tel.traces.Add(tr)
-		fail(v.Iteration, tr.Err)
+		fail(wire.ErrCodeNone, v.Iteration, tr.Err)
 		return
 	}
 	d.stats.pushNanos.Add(int64(res.Transfer))
@@ -940,6 +1068,11 @@ func (d *Daemon) handleList(env sim.Env, conn wire.Conn) {
 		for s, dst := range []*uint64{&info.Slot0Iter, &info.Slot1Iter} {
 			if h := m.VersionHeader(s); h.State == index.StateDone {
 				*dst = h.Iteration
+				if s == 0 {
+					info.Slot0CRC = h.CRC
+				} else {
+					info.Slot1CRC = h.CRC
+				}
 			}
 		}
 		if _, v, ok := m.LatestDone(); ok {
@@ -956,7 +1089,7 @@ func (d *Daemon) handleList(env sim.Env, conn wire.Conn) {
 // handlePlacement answers with the group's placement table, letting a
 // client configured with any single member discover the whole tier.
 func (d *Daemon) handlePlacement(env sim.Env, conn wire.Conn) {
-	resp := &wire.Msg{Type: wire.TPlacementResp, Epoch: d.group.Epoch()}
+	resp := &wire.Msg{Type: wire.TPlacementResp, Epoch: d.group.Epoch(), Replicas: d.replicas}
 	for _, n := range d.group.Nodes() {
 		resp.Placement = append(resp.Placement, wire.PlacementEntry{
 			Node: n.Name, CtrlAddr: n.CtrlAddr, FabricAddr: n.FabricAddr, Weight: n.Weight,
@@ -976,9 +1109,27 @@ func (d *Daemon) handleDump(env sim.Env, conn wire.Conn, m *wire.Msg) {
 		d.sendErrFor(env, conn, wire.TDump, 0, m.Model, err.Error())
 		return
 	}
-	slot, v, ok := model.LatestDone()
-	if !ok {
-		d.sendErrFor(env, conn, wire.TDump, 0, m.Model, "no complete checkpoint version to archive")
+	var (
+		slot int
+		v    index.Version
+		ok   bool
+	)
+	if m.Iteration != 0 {
+		// Pinned dump: anti-entropy re-replication archives the exact
+		// group-committed iteration, not whatever is newest here.
+		for s := 0; s < 2; s++ {
+			if h := model.VersionHeader(s); h.State == index.StateDone && h.Iteration == m.Iteration {
+				slot, v, ok = s, h, true
+				break
+			}
+		}
+		if !ok {
+			d.sendErrCode(env, conn, wire.TDump, wire.ErrCodeNoCheckpoint, m.Iteration, m.Model,
+				fmt.Sprintf("iteration %d has no complete version to archive", m.Iteration))
+			return
+		}
+	} else if slot, v, ok = model.LatestDone(); !ok {
+		d.sendErrCode(env, conn, wire.TDump, wire.ErrCodeNoCheckpoint, 0, m.Model, "no complete checkpoint version to archive")
 		return
 	}
 	d.tel.adminDump.Inc()
@@ -1008,10 +1159,109 @@ func (d *Daemon) handleDump(env sim.Env, conn wire.Conn, m *wire.Msg) {
 		return
 	}
 	if err := conn.Send(env, &wire.Msg{
-		Type: wire.TDumpResp, Model: m.Model, Iteration: v.Iteration, Payload: buf.Bytes(),
+		Type: wire.TDumpResp, Model: m.Model, Iteration: v.Iteration, Payload: buf.Bytes(), CRC: v.CRC,
 	}); err != nil {
 		return
 	}
+}
+
+// handleLoad installs a serialized checkpoint container (the DUMP_RESP
+// payload format) into PMem as a DONE version — the anti-entropy path
+// that rebuilds a replacement replica from a healthy peer's archived
+// copy, without the source GPU in the loop. The install is verified
+// against the shipped CRC before its DONE flag commits, and is
+// idempotent for an already-present iteration.
+func (d *Daemon) handleLoad(env sim.Env, conn wire.Conn, m *wire.Msg) {
+	ckpt, err := serialize.Decode(bytes.NewReader(m.Payload))
+	if err != nil {
+		d.sendErrFor(env, conn, wire.TLoad, m.Iteration, m.Model, fmt.Sprintf("decoding container: %v", err))
+		return
+	}
+	if m.Model != "" && ckpt.Model != m.Model {
+		d.sendErrFor(env, conn, wire.TLoad, m.Iteration, m.Model,
+			fmt.Sprintf("container holds model %q, not %q", ckpt.Model, m.Model))
+		return
+	}
+	if ckpt.Iteration == 0 || len(ckpt.Tensors) == 0 {
+		d.sendErrFor(env, conn, wire.TLoad, m.Iteration, ckpt.Model, "container has no committed iteration or tensors")
+		return
+	}
+	owners := d.group.Owners(ckpt.Model, d.replicas)
+	if !memberOf(owners, d.nodeName) {
+		d.sendErrCode(env, conn, wire.TLoad, wire.ErrCodeMisplaced, ckpt.Iteration, ckpt.Model,
+			fmt.Sprintf("model %q is placed on %v (placement epoch %d), not %q", ckpt.Model, owners, d.group.Epoch(), d.nodeName))
+		return
+	}
+	metas := make([]index.TensorMeta, len(ckpt.Tensors))
+	for i, b := range ckpt.Tensors {
+		metas[i] = b.Meta
+	}
+	d.mu.Lock()
+	model, err := d.store.Lookup(ckpt.Model)
+	if err != nil {
+		model, err = d.store.CreateModel(ckpt.Model, metas)
+		if err != nil {
+			d.mu.Unlock()
+			d.sendErrFor(env, conn, wire.TLoad, ckpt.Iteration, ckpt.Model, err.Error())
+			return
+		}
+		d.modelMap.Put(ckpt.Model, model.InfoOff())
+	} else if !metasMatch(model.Tensors, metas) {
+		d.mu.Unlock()
+		d.sendErrFor(env, conn, wire.TLoad, ckpt.Iteration, ckpt.Model, "container does not match stored model structure")
+		return
+	} else if err := d.reallocateMissingSlots(model); err != nil {
+		d.mu.Unlock()
+		d.sendErrFor(env, conn, wire.TLoad, ckpt.Iteration, ckpt.Model, err.Error())
+		return
+	}
+	d.mu.Unlock()
+	for s := 0; s < 2; s++ {
+		if h := model.VersionHeader(s); h.State == index.StateDone && h.Iteration == ckpt.Iteration {
+			_ = conn.Send(env, &wire.Msg{Type: wire.TLoadOK, Model: ckpt.Model, Iteration: ckpt.Iteration, CRC: h.CRC})
+			return
+		}
+	}
+	slot := model.TargetSlot()
+	model.SetActive(slot, ckpt.Iteration)
+	var wrote int64
+	for i, blob := range ckpt.Tensors {
+		ext := model.TensorData(i, slot)
+		if blob.Virtual {
+			d.cfg.PMem.Data().WriteStamp(ext.Off, ext.Size, blob.Stamp)
+		} else {
+			if int64(len(blob.Data)) != ext.Size {
+				d.sendErrFor(env, conn, wire.TLoad, ckpt.Iteration, ckpt.Model,
+					fmt.Sprintf("tensor %q payload is %d bytes, slot holds %d", blob.Meta.Name, len(blob.Data), ext.Size))
+				return
+			}
+			d.cfg.PMem.Data().Write(ext.Off, blob.Data)
+		}
+		if err := d.flush(ext.Off, ext.Size); err != nil {
+			d.sendErrFor(env, conn, wire.TLoad, ckpt.Iteration, ckpt.Model, fmt.Sprintf("flushing tensor %q: %v", blob.Meta.Name, err))
+			return
+		}
+		wrote += ext.Size
+	}
+	// Pay the deserialization cost (the inverse of the archive pass) and
+	// the PMem write bandwidth for the installed bytes.
+	env.Sleep(time.Duration(len(ckpt.Tensors)) * perfmodel.SerializePerTensor)
+	env.Sleep(sim.TransferTime(wrote, perfmodel.SerializeBW, 0, 0))
+	crc := d.contentCRC(model, slot)
+	if m.CRC != 0 && crc != m.CRC {
+		// The copy does not match the source's fingerprint: leave the
+		// slot ACTIVE (never restorable) rather than commit a bad DONE.
+		d.tel.crcFailures.Inc()
+		d.sendErrCode(env, conn, wire.TLoad, wire.ErrCodeCorrupt, ckpt.Iteration, ckpt.Model,
+			fmt.Sprintf("installed copy failed integrity check (source CRC %016x, computed %016x)", m.CRC, crc))
+		return
+	}
+	model.SetDoneCRC(slot, ckpt.Iteration, time.Unix(0, int64(env.Now())), crc)
+	d.tel.adminLoad.Inc()
+	d.tel.events.Emit(telemetry.Event{
+		Time: env.Now(), Kind: telemetry.EvAdminLoad, Model: ckpt.Model, Iteration: ckpt.Iteration,
+	})
+	_ = conn.Send(env, &wire.Msg{Type: wire.TLoadOK, Model: ckpt.Model, Iteration: ckpt.Iteration, CRC: crc})
 }
 
 // handleDelete removes a finished model and frees its PMem. The store

@@ -105,6 +105,7 @@ func Registry() []Experiment {
 		{"scale", "Sharded storage tier: aggregate checkpoint throughput vs node count", Scale},
 		{"multitenant", "Multi-tenant scheduling: fairness, coalescing, backpressure", Multitenant},
 		{"chaos", "Chaos: checkpoint goodput and recoverability under injected faults", Chaos},
+		{"failover", "Failover: surviving storage-node loss with replicated shards", Failover},
 		{"appendix", "Full 76-model zoo checkpoint times (Appendix)", Appendix},
 	}
 }

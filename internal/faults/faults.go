@@ -45,6 +45,7 @@ const (
 	SiteDelay = "verb-delay"
 	SiteConn  = "conn"
 	SiteFlush = "flush"
+	SiteKill  = "node-kill"
 )
 
 // Rule schedules one fault site. A rule fires when the operation's
@@ -101,6 +102,7 @@ type Injector struct {
 	ops      map[string]int
 	injected map[string]int64
 	counters map[string]*telemetry.Counter
+	nodes    map[string][]func(env sim.Env)
 }
 
 // NewInjector builds an injector for the schedule.
@@ -111,9 +113,10 @@ func NewInjector(cfg Config) *Injector {
 		ops:      make(map[string]int),
 		injected: make(map[string]int64),
 		counters: make(map[string]*telemetry.Counter),
+		nodes:    make(map[string][]func(env sim.Env)),
 	}
 	if reg := cfg.Telemetry; reg != nil {
-		for _, site := range []string{SiteRead, SiteWrite, SiteRoute, SiteDelay, SiteConn, SiteFlush} {
+		for _, site := range []string{SiteRead, SiteWrite, SiteRoute, SiteDelay, SiteConn, SiteFlush, SiteKill} {
 			in.counters[site] = reg.Counter("portus_faults_injected_total",
 				"faults injected by the test harness", telemetry.L("site", site))
 		}
@@ -173,6 +176,50 @@ func (in *Injector) Total() int64 {
 		n += v
 	}
 	return n
+}
+
+// RegisterNode associates a storage node name with the teardown hooks
+// that make it disappear: typically a fabric route cut
+// (rdma.SimFabric.CutNode), a control-plane shutdown
+// (wire.SimNet.Shutdown plus closing established conns), and a daemon
+// halt (daemon.Daemon.Halt). KillNode runs them in registration order.
+func (in *Injector) RegisterNode(name string, teardown ...func(env sim.Env)) {
+	in.mu.Lock()
+	in.nodes[name] = append(in.nodes[name], teardown...)
+	in.mu.Unlock()
+}
+
+// KillNode fails a whole storage node at once — fabric routes, control
+// connections, worker pool — by running the teardowns registered for
+// it. Idempotent: a second kill finds no registered teardowns. The kill
+// is counted at SiteKill and recorded in the flight recorder.
+func (in *Injector) KillNode(env sim.Env, name string) {
+	in.mu.Lock()
+	fns := in.nodes[name]
+	delete(in.nodes, name)
+	if len(fns) > 0 {
+		in.injected[SiteKill]++
+	}
+	c := in.counters[SiteKill]
+	in.mu.Unlock()
+	if len(fns) == 0 {
+		return
+	}
+	if c != nil {
+		c.Inc()
+	}
+	var now time.Duration
+	if env != nil {
+		now = env.Now()
+	}
+	in.cfg.Events.Emit(telemetry.Event{
+		Time:   now,
+		Kind:   telemetry.EvNodeKill,
+		Detail: name,
+	})
+	for _, fn := range fns {
+		fn(env)
+	}
 }
 
 // Fabric wraps f with the injector's verb schedule. Wrap a single lane's

@@ -51,7 +51,7 @@ const (
 	entrySize  = 8 + 2 + nameMax // infoOff | nameLen | name
 	tensorName = 96
 	tensorRec  = tensorName + 2 + 2 + 4*8 + 8 + 16 // name|dtype|ndims|dims|size|paddr[2]
-	verHdrSize = 24                                // state | iteration | savedAt
+	verHdrSize = 32                                // state | iteration | savedAt | crc
 	mindexHdr  = 8 + 2 + nameMax + 2 + 2*verHdrSize
 
 	// AllocTableLen is the metadata-zone space reserved for the
@@ -598,6 +598,9 @@ type Version struct {
 	State     uint64
 	Iteration uint64
 	SavedAt   time.Time
+	// CRC is the content fingerprint stamped when the version was
+	// marked DONE (zero when written by the CRC-less SetDone path).
+	CRC uint64
 }
 
 func (m *Model) verOff(slot int) int64 {
@@ -611,6 +614,7 @@ func (m *Model) VersionHeader(slot int) Version {
 		State:     binary.LittleEndian.Uint64(raw[0:]),
 		Iteration: binary.LittleEndian.Uint64(raw[8:]),
 		SavedAt:   time.Unix(0, int64(binary.LittleEndian.Uint64(raw[16:]))),
+		CRC:       binary.LittleEndian.Uint64(raw[24:]),
 	}
 }
 
@@ -628,10 +632,18 @@ func (m *Model) SetActive(slot int, iteration uint64) {
 	m.s.pm.Persist8(off + 8)
 }
 
-// SetDone marks slot as a complete, restorable checkpoint. Callers must
-// have flushed the slot's TensorData first; the state word is the commit
-// point (8-byte failure-atomic persist).
+// SetDone marks slot as a complete, restorable checkpoint without an
+// integrity stamp. Callers must have flushed the slot's TensorData
+// first; the state word is the commit point (8-byte failure-atomic
+// persist).
 func (m *Model) SetDone(slot int, iteration uint64, savedAt time.Time) {
+	m.SetDoneCRC(slot, iteration, savedAt, 0)
+}
+
+// SetDoneCRC is SetDone carrying the version's content fingerprint.
+// The CRC is persisted before the state word so a DONE header always
+// pairs with its stamp.
+func (m *Model) SetDoneCRC(slot int, iteration uint64, savedAt time.Time, crc uint64) {
 	off := m.verOff(slot)
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], iteration)
@@ -640,6 +652,9 @@ func (m *Model) SetDone(slot int, iteration uint64, savedAt time.Time) {
 	binary.LittleEndian.PutUint64(b[:], uint64(savedAt.UnixNano()))
 	m.s.pm.WriteMeta(off+16, b[:])
 	m.s.pm.Persist8(off + 16)
+	binary.LittleEndian.PutUint64(b[:], crc)
+	m.s.pm.WriteMeta(off+24, b[:])
+	m.s.pm.Persist8(off + 24)
 	binary.LittleEndian.PutUint64(b[:], StateDone)
 	m.s.pm.WriteMeta(off, b[:])
 	m.s.pm.Persist8(off)

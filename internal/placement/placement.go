@@ -137,6 +137,49 @@ func (m *Map) Owner(key string) string {
 	return m.OwnerNode(key).Name
 }
 
+// Owners returns the names of the top-rf rendezvous nodes for key, best
+// first — the replica set at replication factor rf. Owners(key, 1)[0]
+// is always Owner(key). Fewer than rf members yields the whole
+// membership. Because every node's score is independent of the others,
+// removing one member deletes only its own entry from each key's
+// ranking: the surviving owners keep their relative order and exactly
+// one next-best node is appended, which is the minimal-disruption
+// property failover relies on.
+func (m *Map) Owners(key string, rf int) []string {
+	nodes := m.OwnerNodes(key, rf)
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Name
+	}
+	return out
+}
+
+// OwnerNodes is Owners returning the full member records.
+func (m *Map) OwnerNodes(key string, rf int) []Node {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if rf < 1 {
+		rf = 1
+	}
+	ranked := make([]Node, len(m.nodes))
+	copy(ranked, m.nodes)
+	scores := make(map[string]float64, len(ranked))
+	for _, n := range ranked {
+		scores[n.Name] = score(key, n)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		si, sj := scores[ranked[i].Name], scores[ranked[j].Name]
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i].Name < ranked[j].Name
+	})
+	if rf > len(ranked) {
+		rf = len(ranked)
+	}
+	return ranked[:rf]
+}
+
 // OwnerNode returns the full record of the storage node owning key,
 // chosen by weighted rendezvous hashing: each node scores
 // -weight/ln(u) where u is a uniform hash of (key, node), and the

@@ -109,6 +109,103 @@ func TestMembershipChangeMovesMinority(t *testing.T) {
 	}
 }
 
+// TestOwnersFailoverMovesOnlyVictimShards is the property behind
+// epoch-based failover: when one node dies and the map is rebuilt from
+// the survivors, a key's replica set changes ONLY if the dead node was
+// in it — and even then the surviving owners keep their positions, with
+// exactly one replacement appended from the remaining members.
+// Rendezvous hashing gives this for free because each node's score for
+// a key is independent of the other members.
+func TestOwnersFailoverMovesOnlyVictimShards(t *testing.T) {
+	members := []Node{
+		{Name: "storage0", Weight: 100 << 30},
+		{Name: "storage1", Weight: 100 << 30},
+		{Name: "storage2", Weight: 100 << 30},
+		{Name: "storage3", Weight: 100 << 30},
+	}
+	const rf = 2
+	const keys = 2000
+	for _, victim := range members {
+		m, err := New(members...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := map[string][]string{}
+		for i := 0; i < keys; i++ {
+			k := fmt.Sprintf("model-%d/mp_rank_%02d", i, i%8)
+			before[k] = m.Owners(k, rf)
+		}
+		var survivors []Node
+		for _, n := range members {
+			if n.Name != victim.Name {
+				survivors = append(survivors, n)
+			}
+		}
+		if err := m.Update(survivors); err != nil {
+			t.Fatal(err)
+		}
+		if m.Epoch() != 2 {
+			t.Fatalf("epoch after failover = %d, want 2", m.Epoch())
+		}
+		touched := 0
+		for k, old := range before {
+			now := m.Owners(k, rf)
+			if len(now) != rf {
+				t.Fatalf("key %q: %d owners after failover, want %d", k, len(now), rf)
+			}
+			hadVictim := false
+			for _, n := range old {
+				if n == victim.Name {
+					hadVictim = true
+				}
+			}
+			if !hadVictim {
+				// Untouched shards must keep the identical replica set,
+				// in the identical order.
+				for i := range old {
+					if now[i] != old[i] {
+						t.Fatalf("key %q (victim %s not an owner): replica set moved %v -> %v",
+							k, victim.Name, old, now)
+					}
+				}
+				continue
+			}
+			touched++
+			// Surviving owners keep their relative order; the one new
+			// name is a survivor, not the victim.
+			rest := now
+			for _, n := range old {
+				if n == victim.Name {
+					continue
+				}
+				found := false
+				for len(rest) > 0 {
+					head := rest[0]
+					rest = rest[1:]
+					if head == n {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("key %q: surviving owner %q lost or reordered: %v -> %v", k, n, old, now)
+				}
+			}
+			for _, n := range now {
+				if n == victim.Name {
+					t.Fatalf("key %q: dead node %q still an owner: %v", k, victim.Name, now)
+				}
+			}
+		}
+		// rf/N of the key-replica slots reference the victim, so roughly
+		// rf/N of the keys should be touched — and no more.
+		want := keys * rf / len(members)
+		if touched < want/2 || touched > want*2 {
+			t.Fatalf("victim %s: %d of %d keys re-placed; want ~%d", victim.Name, touched, keys, want)
+		}
+	}
+}
+
 func TestMapValidation(t *testing.T) {
 	if _, err := New(); err == nil {
 		t.Fatal("empty node list accepted")

@@ -13,6 +13,7 @@ import (
 type SimFabric struct {
 	nodes map[string]*Node
 	boxes map[string]*sim.Mailbox[simMsg]
+	cut   map[string]bool
 }
 
 type simMsg struct {
@@ -25,6 +26,7 @@ func NewSimFabric() *SimFabric {
 	return &SimFabric{
 		nodes: make(map[string]*Node),
 		boxes: make(map[string]*sim.Mailbox[simMsg]),
+		cut:   make(map[string]bool),
 	}
 }
 
@@ -33,14 +35,25 @@ func (f *SimFabric) AddNode(n *Node) { f.nodes[n.name] = n }
 
 func (f *SimFabric) node(name string) (*Node, error) {
 	n, ok := f.nodes[name]
-	if !ok {
+	if !ok || f.cut[name] {
 		return nil, fmt.Errorf("%w: %s", ErrNoRoute, name)
 	}
 	return n, nil
 }
 
+// CutNode severs every fabric route to and from name: subsequent verbs
+// touching the node fail with ErrNoRoute, as if its RNIC lost link.
+// The node stays attached so RestoreNode can bring it back.
+func (f *SimFabric) CutNode(name string) { f.cut[name] = true }
+
+// RestoreNode re-establishes routes to a previously cut node.
+func (f *SimFabric) RestoreNode(name string) { delete(f.cut, name) }
+
 // Read pulls r into l with a one-sided RDMA READ issued from local.
 func (f *SimFabric) Read(env sim.Env, local *Node, l Slice, r RemoteSlice) error {
+	if f.cut[local.name] {
+		return fmt.Errorf("%w: %s", ErrNoRoute, local.name)
+	}
 	remote, err := f.node(r.MR.Node)
 	if err != nil {
 		return err
@@ -65,6 +78,9 @@ func (f *SimFabric) Read(env sim.Env, local *Node, l Slice, r RemoteSlice) error
 
 // Write pushes l into r with a one-sided RDMA WRITE issued from local.
 func (f *SimFabric) Write(env sim.Env, local *Node, l Slice, r RemoteSlice) error {
+	if f.cut[local.name] {
+		return fmt.Errorf("%w: %s", ErrNoRoute, local.name)
+	}
 	remote, err := f.node(r.MR.Node)
 	if err != nil {
 		return err
@@ -90,6 +106,9 @@ func (f *SimFabric) Write(env sim.Env, local *Node, l Slice, r RemoteSlice) erro
 // Send delivers payload to the peer's (node, qp) receive queue, charging
 // size bytes at the two-sided protocol rate.
 func (f *SimFabric) Send(env sim.Env, local *Node, remote, qp string, payload []byte, size int64) error {
+	if f.cut[local.name] {
+		return fmt.Errorf("%w: %s", ErrNoRoute, local.name)
+	}
 	rn, err := f.node(remote)
 	if err != nil {
 		return err

@@ -28,6 +28,12 @@ const (
 	EvAdminList   EventKind = "admin.list"
 	EvAdminDump   EventKind = "admin.dump"
 	EvAdminDelete EventKind = "admin.delete"
+	// EvAdminLoad records an anti-entropy install of a checkpoint
+	// container into PMem (replica rebuild).
+	EvAdminLoad EventKind = "admin.load"
+	// EvNodeKill records a whole-node fault injection severing a
+	// storage node's listener, fabric routes, and worker pool.
+	EvNodeKill EventKind = "fault.node-kill"
 )
 
 // Event is one flight-recorder entry: a typed, timestamped record of a

@@ -1,0 +1,145 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/portus-sys/portus/internal/sim"
+)
+
+// byteConn adapts a byte slice into a net.Conn so NetConn.Recv can be
+// driven from arbitrary (possibly corrupt) input without a socket.
+type byteConn struct{ r *bytes.Reader }
+
+func (c *byteConn) Read(p []byte) (int, error)         { return c.r.Read(p) }
+func (c *byteConn) Write(p []byte) (int, error)        { return len(p), nil }
+func (c *byteConn) Close() error                       { return nil }
+func (c *byteConn) LocalAddr() net.Addr                { return nil }
+func (c *byteConn) RemoteAddr() net.Addr               { return nil }
+func (c *byteConn) SetDeadline(t time.Time) error      { return nil }
+func (c *byteConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *byteConn) SetWriteDeadline(t time.Time) error { return nil }
+
+func encodeMsg(t testing.TB, m *Msg) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzMsgDecode hammers the control-plane decode path with corrupted
+// byte streams: whatever a misbehaving peer sends, Recv must return an
+// error — never panic, never spin.
+func FuzzMsgDecode(f *testing.F) {
+	enc := func(m *Msg) []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(enc(sampleMsg()))
+	f.Add(enc(&Msg{Type: TLoad, Model: "gpt", Iteration: 9, CRC: 0xdeadbeef, Payload: []byte("container-bytes")}))
+	f.Add(enc(&Msg{Type: TError, Code: ErrCodeCorrupt, Error: "crc mismatch", InReplyTo: TRestore}))
+	f.Add(enc(&Msg{Type: TPlacementResp, Epoch: 3, Replicas: 2,
+		Placement: []PlacementEntry{{Node: "storage0", CtrlAddr: "s0:7000", FabricAddr: "s0:7001", Weight: 1 << 30}}}))
+	f.Add(enc(&Msg{Type: TListResp, Models: []ModelInfo{
+		{Name: "m", Slot0: "DONE", Slot0Iter: 4, Slot0CRC: 0xfeed, Slot1Iter: 3, Slot1CRC: 0xbeef, Node: "s1", Owner: "s1"},
+	}}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x01, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env := sim.NewRealEnv()
+		nc := NewNetConn(&byteConn{r: bytes.NewReader(data)})
+		// A stream may legitimately hold several messages; drain a
+		// bounded number so valid prefixes followed by garbage are
+		// exercised too.
+		for i := 0; i < 8; i++ {
+			if _, err := nc.Recv(env); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// TestReplicationFieldsGobRoundTrip pins the wire shape of the fields
+// the replication protocol added: ERROR classification codes, the
+// PLACEMENT_RESP replication factor, per-slot CRCs on LIST_RESP, and
+// the LOAD anti-entropy install with payload + integrity mark.
+func TestReplicationFieldsGobRoundTrip(t *testing.T) {
+	env := sim.NewRealEnv()
+	for _, want := range []*Msg{
+		{Type: TError, Model: "gpt", Code: ErrCodeNoCheckpoint, Error: "no committed version", InReplyTo: TRestore},
+		{Type: TError, Model: "gpt", Code: ErrCodeCorrupt, Error: "crc mismatch", InReplyTo: TRestore},
+		{Type: TError, Model: "gpt", Code: ErrCodeMisplaced, Error: "placed elsewhere", InReplyTo: TLoad},
+		{Type: TPlacementResp, Epoch: 7, Replicas: 2, Placement: []PlacementEntry{
+			{Node: "storage0", CtrlAddr: "s0:7000", FabricAddr: "s0:7001", Weight: 256 << 20},
+			{Node: "storage1", CtrlAddr: "s1:7000", FabricAddr: "s1:7001", Weight: 256 << 20},
+		}},
+		{Type: TListResp, Models: []ModelInfo{{
+			Name: "gpt/mp_rank_00", Tensors: 12, Bytes: 1 << 20,
+			Slot0: "DONE", Slot1: "DONE", HasDone: true, LatestIter: 9,
+			Slot0Iter: 9, Slot1Iter: 8, Slot0CRC: 0xabad1dea, Slot1CRC: 0x5eed,
+			Node: "storage1", Owner: "storage1",
+		}}},
+		{Type: TLoad, Model: "gpt/mp_rank_00", Iteration: 9, CRC: 0xabad1dea, Payload: []byte("serialized container")},
+		{Type: TCheckpointDone, Model: "gpt", Iteration: 4, CRC: 0x1234},
+	} {
+		nc := NewNetConn(&byteConn{r: bytes.NewReader(encodeMsg(t, want))})
+		got, err := nc.Recv(env)
+		if err != nil {
+			t.Fatalf("%s: recv: %v", want.Type, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s gob round trip mismatch:\n got %+v\nwant %+v", want.Type, got, want)
+		}
+	}
+}
+
+// TestReplicationFieldsGobCompat pins backward compatibility: a message
+// encoded by a pre-replication peer (none of the new fields set) must
+// decode with Code/Replicas/CRC/Slot CRCs at their zero values rather
+// than failing, so mixed-version tiers keep talking.
+func TestReplicationFieldsGobCompat(t *testing.T) {
+	env := sim.NewRealEnv()
+	old := &Msg{Type: TError, Model: "m", Error: "busy flag stuck", InReplyTo: TDoCheckpoint}
+	nc := NewNetConn(&byteConn{r: bytes.NewReader(encodeMsg(t, old))})
+	got, err := nc.Recv(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Code != ErrCodeNone || got.CRC != 0 || got.Replicas != 0 {
+		t.Fatalf("legacy ERROR decoded non-zero replication fields: %+v", got)
+	}
+	oldList := &Msg{Type: TListResp, Models: []ModelInfo{{Name: "m", Slot0: "DONE", Slot0Iter: 3}}}
+	nc = NewNetConn(&byteConn{r: bytes.NewReader(encodeMsg(t, oldList))})
+	got, err = nc.Recv(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi := got.Models[0]; mi.Slot0CRC != 0 || mi.Slot1CRC != 0 {
+		t.Fatalf("legacy LIST_RESP decoded non-zero CRCs: %+v", mi)
+	}
+}
+
+// TestErrCodeNames pins the diagnostic names of the error taxonomy.
+func TestErrCodeNames(t *testing.T) {
+	for code, want := range map[ErrCode]string{
+		ErrCodeNone:          "NONE",
+		ErrCodeNoCheckpoint:  "NO_CHECKPOINT",
+		ErrCodeCorrupt:       "CORRUPT",
+		ErrCodeNotRegistered: "NOT_REGISTERED",
+		ErrCodeMisplaced:     "MISPLACED",
+		ErrCodeUnreachable:   "UNREACHABLE",
+	} {
+		if got := code.String(); got != want {
+			t.Errorf("ErrCode(%d).String() = %q, want %q", code, got, want)
+		}
+	}
+}

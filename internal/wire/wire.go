@@ -54,6 +54,12 @@ const (
 	// routing instead of being configured with it.
 	TPlacement
 	TPlacementResp
+	// TLoad installs a serialized checkpoint container (the DUMP_RESP
+	// payload format) directly into a daemon's PMem as a DONE version —
+	// the anti-entropy path that rebuilds a replacement replica from a
+	// healthy peer's copy. TLoadOK acknowledges the install.
+	TLoad
+	TLoadOK
 )
 
 // typeNames is the Type.String lookup table, hoisted to package level:
@@ -69,6 +75,48 @@ var typeNames = [...]string{
 	TError: "ERROR", TBusy: "BUSY",
 	TTraceReport: "TRACE_REPORT",
 	TPlacement:   "PLACEMENT", TPlacementResp: "PLACEMENT_RESP",
+	TLoad: "LOAD", TLoadOK: "LOAD_OK",
+}
+
+// ErrCode classifies an ERROR reply so clients can map daemon failures
+// to typed sentinels instead of string-matching. Gob-compatible
+// addition: zero (ErrCodeNone) means "unclassified", which is all a
+// pre-replication daemon ever sends.
+type ErrCode uint16
+
+// Error codes.
+const (
+	ErrCodeNone ErrCode = iota
+	// ErrCodeNoCheckpoint: no committed checkpoint version exists for
+	// the requested model/iteration.
+	ErrCodeNoCheckpoint
+	// ErrCodeCorrupt: the stored copy failed its CRC integrity check; a
+	// replicated client should fail over to another replica.
+	ErrCodeCorrupt
+	// ErrCodeNotRegistered: the model has no session on this daemon.
+	ErrCodeNotRegistered
+	// ErrCodeMisplaced: the placement table assigns the model elsewhere.
+	ErrCodeMisplaced
+	// ErrCodeUnreachable is never sent by a daemon: clients stamp it on
+	// locally-fabricated ERROR replies (connection gone, request
+	// deadline exceeded) so routers can tell transport loss — a suspect
+	// node — from an application error.
+	ErrCodeUnreachable
+)
+
+// errCodeNames is the ErrCode.String lookup table.
+var errCodeNames = [...]string{
+	ErrCodeNone: "NONE", ErrCodeNoCheckpoint: "NO_CHECKPOINT",
+	ErrCodeCorrupt: "CORRUPT", ErrCodeNotRegistered: "NOT_REGISTERED",
+	ErrCodeMisplaced: "MISPLACED", ErrCodeUnreachable: "UNREACHABLE",
+}
+
+// String names an error code.
+func (c ErrCode) String() string {
+	if int(c) < len(errCodeNames) && errCodeNames[c] != "" {
+		return errCodeNames[c]
+	}
+	return fmt.Sprintf("ERRCODE(%d)", uint16(c))
 }
 
 // String names a message type.
@@ -103,6 +151,10 @@ type ModelInfo struct {
 	// router needs to rebuild a group manifest from LIST responses.
 	Slot0Iter uint64
 	Slot1Iter uint64
+	// Slot0CRC/Slot1CRC are the content fingerprints stamped into each
+	// DONE record (zero for versions written before integrity stamping).
+	Slot0CRC uint64
+	Slot1CRC uint64
 	// Node is the storage node answering the LIST; Owner is the node
 	// the placement table assigns the model to. They differ only when a
 	// model predates a membership change. Empty on pre-tier daemons.
@@ -131,6 +183,9 @@ type Msg struct {
 	// InReplyTo carries the request type an ERROR or BUSY responds to,
 	// so clients can release (or re-arm) the right waiter.
 	InReplyTo Type
+	// Code classifies an ERROR reply (gob-compatible addition; zero
+	// from old daemons means unclassified).
+	Code ErrCode
 	// RetryAfter is the daemon's backpressure hint on a BUSY reply: how
 	// long the client should wait before re-sending the request.
 	RetryAfter time.Duration
@@ -148,6 +203,13 @@ type Msg struct {
 	// decoders.
 	Epoch     uint64
 	Placement []PlacementEntry
+	// Replicas is the daemon's replication factor on PLACEMENT_RESP, so
+	// tooling can render replica sets without separate configuration.
+	Replicas int
+	// CRC carries a checkpoint content fingerprint: stamped on
+	// CHECKPOINT_DONE and DUMP_RESP, required on LOAD so the receiving
+	// daemon records the same integrity mark as the source copy.
+	CRC uint64
 	// Payload carries a serialized checkpoint container (DUMP_RESP) or
 	// a JSON span tree (TRACE_REPORT).
 	Payload []byte
@@ -221,6 +283,22 @@ func (l *SimListener) Accept(env sim.Env) (Conn, error) {
 // Close unbinds the listener.
 func (l *SimListener) Close() error {
 	return nil
+}
+
+// Shutdown force-unbinds a listening name: pending and future Accepts
+// fail with ErrClosed, and future Dials fail with "no listener" until
+// the name is re-bound — how a whole-node kill makes a storage node
+// unreachable (and how a replacement daemon can later reclaim the
+// name). No-op if the name is not bound.
+func (n *SimNet) Shutdown(env sim.Env, name string) {
+	l, ok := n.listeners[name]
+	if !ok {
+		return
+	}
+	delete(n.listeners, name)
+	if !l.accept.Closed(env) {
+		l.accept.Close(env)
+	}
 }
 
 // Dial connects to a bound name, charging one control-message latency.

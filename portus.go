@@ -124,6 +124,11 @@ type ServerConfig struct {
 	// is added automatically). Leave empty for a single-node tier. All
 	// members must agree on the full list for routing to be consistent.
 	Peers []PlacementNode
+	// Replicas is the group's replication factor: this daemon accepts a
+	// shard whenever it is one of the shard's top-Replicas rendezvous
+	// owners, and clients fan each checkpoint out to all of them. All
+	// members must agree. 0 or 1 means unreplicated.
+	Replicas int
 	// PMemBytes is the devdax data-zone capacity (default 4 GiB).
 	PMemBytes int64
 	// MetaBytes is the metadata-zone capacity (default 64 MiB).
@@ -271,7 +276,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	d, err := daemon.New(env, daemon.Config{
 		PMem: pm, RNode: node, Fabric: fabric, Workers: cfg.Workers,
-		NodeName: nodeName, Group: group,
+		NodeName: nodeName, Group: group, Replicas: cfg.Replicas,
 		QueueCap: cfg.QueueCap, ModelQueueCap: cfg.ModelQueueCap, SchedPolicy: cfg.SchedPolicy,
 		PipelineDepth: cfg.PipelineDepth, Lanes: cfg.Lanes, ChunkSize: cfg.ChunkBytes,
 		RetryMax: cfg.RetryMax, RetryBackoff: cfg.RetryBackoff,
@@ -505,7 +510,7 @@ func NewTestbed(env Env, cfg TestbedConfig) (*Testbed, error) {
 	for _, st := range cl.Storage {
 		d, err := daemon.New(env, daemon.Config{
 			PMem: st.PMem, RNode: st.RNode, Fabric: cl.Fabric,
-			NodeName: st.Name, Group: pmap,
+			NodeName: st.Name, Group: pmap, Replicas: cfg.Replicas,
 		})
 		if err != nil {
 			return nil, err
@@ -545,6 +550,11 @@ func (tb *Testbed) Dial(env Env) (Conn, error) {
 func (tb *Testbed) DialNode(env Env, node string) (Conn, error) {
 	return tb.net.Dial(env, node)
 }
+
+// Net exposes the testbed's control network — fault harnesses use it
+// to shut a node's listener down (wire.SimNet.Shutdown) and to bind a
+// replacement daemon on the same name.
+func (tb *Testbed) Net() *wire.SimNet { return tb.net }
 
 // PlaceModelOpts is PlaceModel with explicit client options. When a
 // Dialer is set it is used for the initial connection too, so every
@@ -600,6 +610,20 @@ type GroupCompletion = client.GroupCompletion
 // ShardError re-exports the typed partial-failure error naming the
 // lagging shard of a group operation.
 type ShardError = client.ShardError
+
+// Typed client sentinels, matchable with errors.Is through every
+// wrapping layer (Model.Restore, ShardedModel.Restore, ShardError).
+var (
+	// ErrNoCheckpoint: a restore found no committed checkpoint (fresh
+	// model, or no group-committed iteration).
+	ErrNoCheckpoint = client.ErrNoCheckpoint
+	// ErrCorruptReplica: a checkpoint copy failed its CRC integrity
+	// check at restore.
+	ErrCorruptReplica = client.ErrCorruptReplica
+	// ErrUnreachable: the daemon's control plane is gone (dial failure,
+	// dead connection, request timeout).
+	ErrUnreachable = client.ErrUnreachable
+)
 
 // PlaceSharded partitions spec over tpSize×ppSize ranks, places the
 // shards round-robin across the testbed's compute GPUs, and registers
