@@ -1,7 +1,7 @@
 # Pre-PR gate: run `make check` before sending changes for review.
 GO ?= go
 
-.PHONY: check build test race vet fmt chaos multitenant scale failover
+.PHONY: check build test race vet fmt chaos multitenant scale failover churn
 
 check: fmt vet race
 
@@ -37,6 +37,14 @@ scale:
 # of a replacement node, and CRC detection of a corrupted replica.
 failover:
 	$(GO) run ./cmd/portus-bench failover
+
+# Churn drill at a fixed seed: waves of tenants register, checkpoint,
+# and delete against a namespace their cumulative demand overflows >=3x;
+# asserts admission never permanently fails (only transient NO_SPACE
+# retry-afters), zero committed checkpoints lost, and at least one
+# online repack pass ran concurrent with live traffic.
+churn:
+	$(GO) run ./cmd/portus-bench churn
 
 vet:
 	$(GO) vet ./...

@@ -46,6 +46,7 @@ import (
 	"github.com/portus-sys/portus/internal/repack"
 	"github.com/portus-sys/portus/internal/serialize"
 	"github.com/portus-sys/portus/internal/sim"
+	"github.com/portus-sys/portus/internal/store"
 	"github.com/portus-sys/portus/internal/telemetry"
 	"github.com/portus-sys/portus/internal/wire"
 )
@@ -248,6 +249,25 @@ func renderStats(samples []telemetry.Sample) {
 	fmt.Println("\nPMEM")
 	fmt.Printf("  %-22s %12.0f\n", "flush ops", value("portus_pmem_flush_ops_total"))
 	fmt.Printf("  %-22s %12s\n", "flush bytes", metrics.FormatBytes(int64(value("portus_pmem_flush_bytes_total"))))
+
+	fmt.Println("\nSTORE")
+	capacity := value("portus_store_capacity_bytes")
+	for _, r := range []struct{ label, name string }{
+		{"capacity", "portus_store_capacity_bytes"},
+		{"live bytes", "portus_store_live_bytes"},
+		{"fragmented bytes", "portus_store_frag_bytes"},
+		{"garbage bytes", "portus_store_garbage_bytes"},
+	} {
+		v := value(r.name)
+		pct := ""
+		if capacity > 0 && r.name != "portus_store_capacity_bytes" {
+			pct = fmt.Sprintf(" (%4.1f%%)", 100*v/capacity)
+		}
+		fmt.Printf("  %-22s %12s%s\n", r.label, metrics.FormatBytes(int64(v)), pct)
+	}
+	fmt.Printf("  %-22s %12.0f\n", "repack runs", value("portus_store_repack_runs_total"))
+	fmt.Printf("  %-22s %12s\n", "repack bytes moved", metrics.FormatBytes(int64(value("portus_store_repack_moved_bytes_total"))))
+	fmt.Printf("  %-22s %12.0f\n", "no-space replies", value("portus_store_nospace_replies_total"))
 }
 
 // histogramNames finds the unlabeled histogram families in a scrape.
@@ -485,6 +505,26 @@ func runOnline(addr string, args []string) error {
 			return fmt.Errorf("daemon: %s", resp.Error)
 		}
 		fmt.Printf("deleted %s\n", args[1])
+		return nil
+	case "repack":
+		// Online repack: the daemon runs one pass through its storage
+		// engine, quiescing each model via the scheduler's maintenance
+		// class while tenants keep checkpointing.
+		if err := conn.Send(env, &wire.Msg{Type: wire.TRepack}); err != nil {
+			return err
+		}
+		resp, err := conn.Recv(env)
+		if err != nil {
+			return err
+		}
+		if resp.Type == wire.TError {
+			return fmt.Errorf("daemon: %s", resp.Error)
+		}
+		var rep store.PassReport
+		if err := json.Unmarshal(resp.Payload, &rep); err != nil {
+			return fmt.Errorf("parsing repack report: %w", err)
+		}
+		fmt.Println(rep)
 		return nil
 	case "placement":
 		return placementCmd(env, conn)

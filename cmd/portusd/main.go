@@ -58,6 +58,8 @@ func main() {
 		laneFail     = flag.Int("lane-fail-limit", 0, "consecutive failures before a lane is quarantined and its work re-striped (0 = default 3, negative = never)")
 		degrade      = flag.Bool("degrade", false, "fall back to slower transfer strategies (one-sided -> two-sided -> host-staged) on route-class fabric errors")
 		slowBudget   = flag.Duration("slow-budget", 0, "slow-transfer watchdog budget: transfers slower than this are counted and their trace + event window captured at /debug/events (0 = disabled)")
+		repackMark   = flag.Float64("repack-watermark", 0, "free-list fragmentation fraction of the data zone above which the engine wants an online repack pass (0 = default 0.5, negative = watermark disabled; out-of-space reclamation always runs)")
+		repackAuto   = flag.Bool("repack-auto", false, "start a background online repack pass when a delete trips the watermark, instead of only reclaiming on out-of-space admissions")
 	)
 	flag.Parse()
 	// Peers with no explicit weight are assumed symmetric with this
@@ -70,27 +72,29 @@ func main() {
 	}
 
 	cfg := portus.ServerConfig{
-		NodeName:      *nodeName,
-		Peers:         peers,
-		Replicas:      *replicas,
-		PMemBytes:     *pmemGiB << 30,
-		MetaBytes:     *metaMiB << 20,
-		Workers:       *workers,
-		QueueCap:      *queueCap,
-		ModelQueueCap: *modelQueue,
-		SchedPolicy:   *sched,
-		Materialized:  *materialized,
-		CtrlAddr:      *ctrl,
-		FabricAddr:    *fabric,
-		AdminAddr:     *admin,
-		PipelineDepth: *depth,
-		Lanes:         *lanes,
-		ChunkBytes:    *chunkMiB << 20,
-		RetryMax:      *retryMax,
-		RetryBackoff:  *retryBackoff,
-		LaneFailLimit: *laneFail,
-		Degrade:       *degrade,
-		SlowBudget:    *slowBudget,
+		NodeName:        *nodeName,
+		Peers:           peers,
+		Replicas:        *replicas,
+		PMemBytes:       *pmemGiB << 30,
+		MetaBytes:       *metaMiB << 20,
+		Workers:         *workers,
+		QueueCap:        *queueCap,
+		ModelQueueCap:   *modelQueue,
+		SchedPolicy:     *sched,
+		Materialized:    *materialized,
+		CtrlAddr:        *ctrl,
+		FabricAddr:      *fabric,
+		AdminAddr:       *admin,
+		PipelineDepth:   *depth,
+		Lanes:           *lanes,
+		ChunkBytes:      *chunkMiB << 20,
+		RetryMax:        *retryMax,
+		RetryBackoff:    *retryBackoff,
+		LaneFailLimit:   *laneFail,
+		Degrade:         *degrade,
+		SlowBudget:      *slowBudget,
+		RepackWatermark: *repackMark,
+		RepackAuto:      *repackAuto,
 	}
 	if *image != "" {
 		if _, err := os.Stat(*image); err == nil {

@@ -339,3 +339,88 @@ func (a *Allocator) FreeBytes() int64 {
 	a.mu.Unlock()
 	return gaps + (a.dataSize - a.brk.Load())
 }
+
+// FragmentedBytes reports the bytes trapped in recycled gaps below the
+// bump pointer — space only a first-fit hit or a repack pass can serve.
+// The storage engine compares this against its watermark.
+func (a *Allocator) FragmentedBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var gaps int64
+	for _, e := range a.free {
+		gaps += e.Size
+	}
+	return gaps
+}
+
+// DataSize reports the data-zone capacity.
+func (a *Allocator) DataSize() int64 { return a.dataSize }
+
+// AllocateBelow claims size bytes from the recycled free list, but only
+// from an extent that fits entirely below limit. It never bumps the
+// pointer: the online repacker uses it to guarantee every move is
+// strictly downward (dst+size <= src), so a crash mid-copy can never
+// have scribbled over live source bytes. Returns ok=false when no gap
+// qualifies.
+func (a *Allocator) AllocateBelow(size, limit int64) (int64, bool, error) {
+	if size <= 0 {
+		return 0, false, fmt.Errorf("alloc: invalid size %d", size)
+	}
+	size = (size + Align - 1) / Align * Align
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, e := range a.free {
+		if e.Size < size || e.Off+size > limit {
+			continue
+		}
+		off := e.Off
+		if e.Size == size {
+			a.free = append(a.free[:i], a.free[i+1:]...)
+		} else {
+			a.free[i] = Extent{Off: e.Off + size, Size: e.Size - size}
+		}
+		if err := a.recordLocked(off, size); err != nil {
+			return 0, false, err
+		}
+		return off, true, nil
+	}
+	return 0, false, nil
+}
+
+// TrimBrk lowers the bump pointer to just past the highest live extent,
+// returning freed tail bytes to the lock-free fast path, and drops free
+// extents at or beyond the new pointer. Only safe when the caller
+// serializes every allocator mutation (the storage engine holds its own
+// mutex across all Allocate/Free/TrimBrk calls); a concurrent lock-free
+// bump racing this would double-allocate the reclaimed tail.
+func (a *Allocator) TrimBrk() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	newBrk := int64(Align)
+	for off, slot := range a.slotOf {
+		at := a.tableOff + headerSize + slot*slotSize
+		size := int64(binary.LittleEndian.Uint64(a.pm.MetaBytes(at+8, 8)))
+		if end := off + size; end > newBrk {
+			newBrk = end
+		}
+	}
+	if newBrk >= a.brk.Load() {
+		return a.brk.Load()
+	}
+	// Free extents wholly or partly above the new pointer dissolve into
+	// the untouched tail.
+	out := a.free[:0]
+	for _, e := range a.free {
+		if e.Off >= newBrk {
+			continue
+		}
+		if e.Off+e.Size > newBrk {
+			e.Size = newBrk - e.Off
+		}
+		out = append(out, e)
+	}
+	a.free = out
+	a.brk.Store(newBrk)
+	a.persistBrk(newBrk)
+	return newBrk
+}

@@ -119,6 +119,11 @@ var ErrCorruptReplica = errors.New("client: checkpoint copy failed integrity che
 // errors.Is.
 var ErrUnreachable = errors.New("client: daemon unreachable")
 
+// ErrNoSpace reports that the daemon's persistent namespace stayed out
+// of space even after online reclamation, and the client exhausted its
+// retry budget waiting for room. Match with errors.Is.
+var ErrNoSpace = errors.New("client: daemon out of PMem space")
+
 func (r *reply) wait(env sim.Env) (*wire.Msg, error) {
 	r.sig.Wait(env)
 	if r.msg.Type == wire.TError {
@@ -132,6 +137,8 @@ func (r *reply) wait(env sim.Env) (*wire.Msg, error) {
 			return nil, fmt.Errorf("%w: %s", ErrCorruptReplica, r.msg.Error)
 		case wire.ErrCodeUnreachable:
 			return nil, fmt.Errorf("%w: %s", ErrUnreachable, r.msg.Error)
+		case wire.ErrCodeNoSpace:
+			return nil, fmt.Errorf("%w: %s", ErrNoSpace, r.msg.Error)
 		}
 		return nil, fmt.Errorf("daemon error: %s", r.msg.Error)
 	}
@@ -263,6 +270,9 @@ func (c *Client) recvLoop(env sim.Env) {
 			c.handleBusy(env, m)
 			continue
 		}
+		if m.Type == wire.TError && m.Code == wire.ErrCodeNoSpace && c.handleNoSpace(env, m) {
+			continue
+		}
 		key := pendingKey{t: m.Type, iter: m.Iteration}
 		if m.Type == wire.TRestoreDone {
 			key.iter = restoreKey
@@ -373,6 +383,74 @@ func (c *Client) handleBusy(env sim.Env, m *wire.Msg) {
 			c.mu.Unlock()
 		}
 	})
+}
+
+// handleNoSpace reacts to a NO_SPACE registration reply: the daemon's
+// namespace stayed exhausted even after an online reclamation pass, so
+// admission was refused *transiently* — another tenant's delete or
+// repack may free room. The registration waiter stays armed and the
+// packet is re-sent after the daemon's RetryAfter hint (or the client's
+// capped exponential backoff, whichever is longer), sharing the BUSY
+// retry budget. It reports false when the reply should fall through to
+// normal error delivery (no hint, no waiter, or budget exhausted).
+func (c *Client) handleNoSpace(env sim.Env, m *wire.Msg) bool {
+	if m.InReplyTo != wire.TRegister || m.RetryAfter <= 0 {
+		return false
+	}
+	key := pendingKey{t: wire.TRegisterOK}
+	c.mu.Lock()
+	r, ok := c.pending[key]
+	if !ok {
+		c.mu.Unlock()
+		return false
+	}
+	r.busy++
+	max := c.opts.BusyRetryMax
+	if max <= 0 {
+		max = 16
+	}
+	if r.busy > max {
+		c.removeLocked(key)
+		c.mu.Unlock()
+		r.msg = &wire.Msg{Type: wire.TError, Code: wire.ErrCodeNoSpace,
+			Error: fmt.Sprintf("gave up after %d retries: %s", max, m.Error)}
+		r.sig.Fire(env)
+		c.errs.Inc()
+		return true
+	}
+	base := c.opts.BusyBackoff
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	cap := c.opts.BusyBackoffMax
+	if cap <= 0 {
+		cap = 100 * time.Millisecond
+	}
+	delay := base
+	for i := 1; i < r.busy && delay < cap; i++ {
+		delay *= 2
+	}
+	if delay > cap {
+		delay = cap
+	}
+	if m.RetryAfter > delay {
+		delay = m.RetryAfter // the daemon knows its reclaim cadence better
+	}
+	c.mu.Unlock()
+	c.busyRetries.Inc()
+	env.Go("portus-client-nospace-retry", func(env sim.Env) {
+		env.Sleep(delay)
+		c.mu.Lock()
+		cur, ok := c.pending[key]
+		conn := c.conn
+		closed := c.closed
+		c.mu.Unlock()
+		if !ok || cur != r || closed {
+			return // answered (or deadline-failed) while we backed off
+		}
+		_ = conn.Send(env, c.regMsg)
+	})
+	return true
 }
 
 // reconnect redials with capped exponential backoff, replays the

@@ -38,6 +38,7 @@ import (
 	"github.com/portus-sys/portus/internal/sched"
 	"github.com/portus-sys/portus/internal/serialize"
 	"github.com/portus-sys/portus/internal/sim"
+	"github.com/portus-sys/portus/internal/store"
 	"github.com/portus-sys/portus/internal/telemetry"
 	"github.com/portus-sys/portus/internal/wire"
 )
@@ -132,6 +133,16 @@ type Config struct {
 	// its trace plus the surrounding flight-recorder window. 0 disables
 	// the watchdog.
 	SlowBudget time.Duration
+	// RepackWatermark is the fragmented-bytes fraction of the data zone
+	// at which the storage engine reports NeedsRepack; 0 defaults to
+	// 0.5, negative disables the watermark (reclaim still runs when a
+	// registration hits ErrNoSpace).
+	RepackWatermark float64
+	// RepackAuto starts an online repack pass in the background whenever
+	// the watermark trips after a delete. Off by default; the
+	// ErrNoSpace-triggered reclaim-then-retry on the registration path
+	// is always on.
+	RepackAuto bool
 }
 
 // Stats is a consistent snapshot of the daemon's cumulative counters:
@@ -165,9 +176,19 @@ type Stats struct {
 
 // Daemon is a running Portus server.
 type Daemon struct {
-	cfg    Config
+	cfg Config
+	// eng is the storage engine owning the PMem namespace: transactional
+	// admission, capacity accounting, and online reclamation all route
+	// through it. store is the engine's index handle (read paths).
+	eng    *store.Engine
 	store  *index.Store
 	dataMR rdma.MR
+
+	// repackMu guards pass: the single in-flight online repack pass
+	// (nil when none). Passes never overlap; a trigger arriving during
+	// one joins it instead.
+	repackMu sync.Mutex
+	pass     *repackPass
 
 	// nodeName and group identify this daemon's place in the storage
 	// tier; group is never nil after New.
@@ -234,6 +255,7 @@ type telem struct {
 	slowTransfers                             *telemetry.Counter
 	adminList, adminDump, adminDelete         *telemetry.Counter
 	adminLoad, crcFailures                    *telemetry.Counter
+	nospaceReplies                            *telemetry.Counter
 	quarantined                               *telemetry.Gauge
 
 	ckptLatency    *telemetry.Histogram // enqueue → commit, end to end
@@ -275,6 +297,8 @@ func newTelem(reg *telemetry.Registry, traceDepth, eventDepth int, slowBudget ti
 		adminLoad:   reg.Counter("portus_admin_ops_total", "admin operations served", telemetry.L("op", "load")),
 
 		crcFailures: reg.Counter("portus_daemon_crc_mismatch_total", "restore or load attempts that failed the stored-version CRC check"),
+
+		nospaceReplies: reg.Counter("portus_store_nospace_replies_total", "registrations answered with a transient NO_SPACE retry-after (backpressure, not failures)"),
 
 		ckptLatency:    reg.Histogram("portus_checkpoint_seconds", "end-to-end checkpoint latency (enqueue to commit)", nil),
 		enqueueWait:    reg.Histogram("portus_checkpoint_enqueue_wait_seconds", "time a checkpoint job waits for a worker", nil),
@@ -323,10 +347,16 @@ func New(env sim.Env, cfg Config) (*Daemon, error) {
 	if cfg.TableCap == 0 {
 		cfg.TableCap = 512
 	}
-	store, err := index.Open(cfg.PMem)
-	if errors.Is(err, index.ErrNotFormatted) {
-		store, err = index.Format(cfg.PMem, cfg.TableCap)
-	}
+	// The telemetry bundle comes first so the storage engine's gauges
+	// land in the same registry.
+	tel := newTelem(cfg.Telemetry, cfg.TraceDepth, cfg.EventDepth, cfg.SlowBudget, cfg.PMem)
+	eng, err := store.Open(store.Config{
+		PMem:      cfg.PMem,
+		TableCap:  cfg.TableCap,
+		Watermark: cfg.RepackWatermark,
+		Telemetry: tel.reg,
+		Events:    tel.events,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("daemon: opening namespace: %w", err)
 	}
@@ -360,13 +390,14 @@ func New(env sim.Env, cfg Config) (*Daemon, error) {
 	}
 	d := &Daemon{
 		cfg:      cfg,
-		store:    store,
+		eng:      eng,
+		store:    eng.Index(),
 		nodeName: nodeName,
 		group:    group,
 		replicas: replicas,
 		modelMap: rbtree.New[string, int64](),
 		sessions: make(map[string]*session),
-		tel:      newTelem(cfg.Telemetry, cfg.TraceDepth, cfg.EventDepth, cfg.SlowBudget, cfg.PMem),
+		tel:      tel,
 	}
 	d.sched = sched.New(env, sched.Config{
 		ModelQueueCap: cfg.ModelQueueCap,
@@ -458,7 +489,7 @@ func New(env sim.Env, cfg Config) (*Daemon, error) {
 		},
 	})
 	// Rebuild ModelMap from the persistent ModelTable (daemon restart).
-	models, err := store.Models()
+	models, err := d.store.Models()
 	if err != nil {
 		return nil, fmt.Errorf("daemon: rebuilding ModelMap: %w", err)
 	}
@@ -481,6 +512,9 @@ func New(env sim.Env, cfg Config) (*Daemon, error) {
 
 // Store exposes the persistent index (for portusctl and the repacker).
 func (d *Daemon) Store() *index.Store { return d.store }
+
+// Engine exposes the storage engine (capacity stats, online repack).
+func (d *Daemon) Engine() *store.Engine { return d.eng }
 
 // NodeName is this daemon's storage-node identity within its group.
 func (d *Daemon) NodeName() string { return d.nodeName }
@@ -596,6 +630,8 @@ func (d *Daemon) handleConn(env sim.Env, conn wire.Conn) {
 			d.handleDump(env, conn, m)
 		case wire.TLoad:
 			d.handleLoad(env, conn, m)
+		case wire.TRepack:
+			d.handleRepack(env, conn, m)
 		case wire.TPlacement:
 			d.handlePlacement(env, conn)
 		case wire.TTraceReport:
@@ -678,29 +714,40 @@ func (d *Daemon) handleRegister(env sim.Env, conn wire.Conn, m *wire.Msg) {
 	env.Sleep(time.Duration(len(m.Tensors)) * perfmodel.IndexInsertCost)
 
 	d.mu.Lock()
-	model, err := d.store.Lookup(m.Model)
+	model, err := d.admitLocked(m.Model, metas)
+	d.mu.Unlock()
+	if err != nil && store.IsSpaceError(err) {
+		// Reclaim-then-retry: run (or join) an online repack pass, then
+		// try the admission once more before surfacing anything.
+		d.tel.events.Emit(telemetry.Event{
+			Time: env.Now(), Kind: telemetry.EvStoreReclaim, Model: m.Model,
+			Detail: fmt.Sprintf("registration hit %v; reclaiming", err),
+		})
+		d.runRepack(env, true)
+		d.mu.Lock()
+		model, err = d.admitLocked(m.Model, metas)
+		d.mu.Unlock()
+	}
 	if err != nil {
-		// Fresh model: create ModelTable entry, MIndex, TensorData x2.
-		model, err = d.store.CreateModel(m.Model, metas)
-		if err != nil {
-			d.mu.Unlock()
-			d.sendErrFor(env, conn, wire.TRegister, 0, m.Model, err.Error())
+		if store.IsSpaceError(err) {
+			// Still exhausted after reclaiming: transient backpressure,
+			// not a hard failure. Space comes back as tenants delete, so
+			// the client backs off and re-registers, mirroring BUSY.
+			d.tel.nospaceReplies.Inc()
+			d.tel.events.Emit(telemetry.Event{
+				Time: env.Now(), Kind: telemetry.EvStoreReclaim, Model: m.Model,
+				Detail: "still exhausted after reclaim; NO_SPACE retry-after",
+			})
+			_ = conn.Send(env, &wire.Msg{
+				Type: wire.TError, InReplyTo: wire.TRegister, Code: wire.ErrCodeNoSpace,
+				Model: m.Model, Error: err.Error(), RetryAfter: 2 * time.Millisecond,
+			})
 			return
 		}
-		d.modelMap.Put(m.Model, model.InfoOff())
-	} else if !metasMatch(model.Tensors, metas) {
-		// Re-registration after a client restart must describe the same
-		// structure, or the persistent index cannot serve it.
-		d.mu.Unlock()
-		d.sendErrFor(env, conn, wire.TRegister, 0, m.Model, "registration does not match stored model structure")
-		return
-	} else if err := d.reallocateMissingSlots(model); err != nil {
-		// A repacked model keeps only its newest version; restore the
-		// double mapping before training resumes.
-		d.mu.Unlock()
 		d.sendErrFor(env, conn, wire.TRegister, 0, m.Model, err.Error())
 		return
 	}
+	d.mu.Lock()
 	d.sessions[m.Model] = &session{clientNode: m.ClientNode, mrs: mrs, model: model}
 	d.mu.Unlock()
 
@@ -711,21 +758,36 @@ func (d *Daemon) handleRegister(env sim.Env, conn wire.Conn, m *wire.Msg) {
 	}
 }
 
-// reallocateMissingSlots restores version slots the repacker reclaimed.
-func (d *Daemon) reallocateMissingSlots(m *index.Model) error {
-	for v := 0; v < 2; v++ {
-		if m.HasSlot(v) {
-			continue
+// errStructMismatch distinguishes a re-registration whose tensors don't
+// match the stored model from space errors on the admission path.
+var errStructMismatch = errors.New("registration does not match stored model structure")
+
+// admitLocked is the transactional admission step shared by REGISTER
+// and LOAD: create the model (all-or-nothing through the engine) or
+// re-attach to the stored structure, restoring any version slot the
+// offline repacker reclaimed. Caller holds d.mu.
+func (d *Daemon) admitLocked(name string, metas []index.TensorMeta) (*index.Model, error) {
+	model, err := d.store.Lookup(name)
+	if err != nil {
+		// Fresh model: create ModelTable entry, MIndex, TensorData x2.
+		model, err = d.eng.CreateModel(name, metas)
+		if err != nil {
+			return nil, err
 		}
-		for i, tm := range m.Tensors {
-			off, err := d.store.Allocator().Allocate(tm.Size)
-			if err != nil {
-				return fmt.Errorf("re-allocating slot %d: %w", v, err)
-			}
-			m.SetPAddr(i, v, off)
-		}
+		d.modelMap.Put(name, model.InfoOff())
+		return model, nil
 	}
-	return nil
+	if !metasMatch(model.Tensors, metas) {
+		// Re-registration after a client restart must describe the same
+		// structure, or the persistent index cannot serve it.
+		return nil, errStructMismatch
+	}
+	// A repacked model keeps only its newest version; restore the
+	// double mapping before training resumes.
+	if err := d.eng.EnsureSlots(model); err != nil {
+		return nil, err
+	}
+	return model, nil
 }
 
 func memberOf(names []string, name string) bool {
@@ -822,15 +884,195 @@ func (d *Daemon) worker(env sim.Env) {
 		if !ok {
 			return
 		}
-		rc := t.Payload.(*reqCtx)
 		switch t.Class {
 		case sched.ClassCheckpoint:
-			d.doCheckpoint(env, t, rc)
+			d.doCheckpoint(env, t, t.Payload.(*reqCtx))
 		case sched.ClassRestore:
-			d.doRestore(env, t, rc)
+			d.doRestore(env, t, t.Payload.(*reqCtx))
+		case sched.ClassMaintenance:
+			d.doMaintenance(env, t)
 		}
 		d.sched.Done(env, t)
 	}
+}
+
+// maintCtx is the payload of a maintenance task: the pass it belongs
+// to, so the last finishing model completes the pass.
+type maintCtx struct {
+	pass *repackPass
+}
+
+// repackPass tracks one online repack pass across its per-model
+// maintenance tasks. done fires when every model's step finished and
+// the engine's FinishPass ran.
+type repackPass struct {
+	mu        sync.Mutex
+	remaining int
+	models    int
+	moved     int64
+	err       error
+	report    store.PassReport
+
+	started time.Duration
+	trace   telemetry.TraceID
+	done    *sim.Signal
+}
+
+// runRepack starts an online repack pass — or joins the active one —
+// and, when wait is true, blocks until it completes. One maintenance
+// task per stored model is submitted to the scheduler's maintenance
+// class: each task leases its model's lane (quiescing that model's
+// traffic while queued checkpoints/restores keep strict priority), and
+// the last one to finish trims the bump pointer and compacts the
+// ModelTable.
+func (d *Daemon) runRepack(env sim.Env, wait bool) *repackPass {
+	d.repackMu.Lock()
+	if p := d.pass; p != nil {
+		d.repackMu.Unlock()
+		if wait {
+			p.done.Wait(env)
+		}
+		return p
+	}
+	names := d.ModelNames()
+	p := &repackPass{
+		remaining: len(names),
+		models:    len(names),
+		started:   env.Now(),
+		trace:     telemetry.NewTraceID(),
+		done:      sim.NewSignal(env),
+	}
+	d.pass = p
+	d.repackMu.Unlock()
+	if len(names) == 0 {
+		d.finishPass(env, p)
+	}
+	for _, name := range names {
+		res := d.sched.Submit(env, &sched.Task{
+			Model:      name,
+			Class:      sched.ClassMaintenance,
+			EnqueuedAt: env.Now(),
+			TraceID:    p.trace,
+			Payload:    &maintCtx{pass: p},
+		})
+		if res.Verdict == sched.Rejected {
+			// Only a closed scheduler rejects maintenance; count the
+			// model as done so the pass still completes.
+			d.passStep(env, p, 0, nil)
+		}
+		// Deduped cannot happen (one task per model per pass, and passes
+		// never overlap), but if it ever did, doMaintenance fans pass
+		// completion out to Dups as well.
+	}
+	if wait {
+		p.done.Wait(env)
+	}
+	return p
+}
+
+// passStep records one model's maintenance step; the last step closes
+// the pass.
+func (d *Daemon) passStep(env sim.Env, p *repackPass, moved int64, err error) {
+	p.mu.Lock()
+	p.moved += moved
+	if err != nil && p.err == nil {
+		p.err = err
+	}
+	p.remaining--
+	last := p.remaining == 0
+	p.mu.Unlock()
+	if last {
+		d.finishPass(env, p)
+	}
+}
+
+// finishPass runs the engine's end-of-pass step (bump-pointer trim +
+// live ModelTable compaction), records the report, and releases
+// everyone waiting on the pass.
+func (d *Daemon) finishPass(env sim.Env, p *repackPass) {
+	rep, err := d.eng.FinishPass(p.models, p.moved, env.Now()-p.started, p.trace)
+	p.mu.Lock()
+	if err != nil && p.err == nil {
+		p.err = err
+	}
+	p.report = rep
+	perr := p.err
+	p.mu.Unlock()
+	detail := rep.String()
+	if perr != nil {
+		detail = "pass error: " + perr.Error()
+	}
+	d.tel.events.Emit(telemetry.Event{
+		Time: env.Now(), Kind: telemetry.EvStoreRepack, Trace: p.trace, Detail: detail,
+	})
+	d.repackMu.Lock()
+	d.pass = nil
+	d.repackMu.Unlock()
+	p.done.Fire(env)
+}
+
+// doMaintenance executes one model's slice of an online repack pass.
+// Holding the lane's running slot IS the quiesce lease: no checkpoint
+// or restore for this model can dispatch until sched.Done.
+func (d *Daemon) doMaintenance(env sim.Env, t *sched.Task) {
+	mc := t.Payload.(*maintCtx)
+	// Compact through the session's live handle (when one exists) so the
+	// repoint lands in the same in-memory PAddr cache the checkpoint and
+	// restore paths read; a fresh Lookup would leave the session stale.
+	var cached *index.Model
+	d.mu.Lock()
+	if sess := d.sessions[t.Model]; sess != nil {
+		cached = sess.model
+	}
+	d.mu.Unlock()
+	moved, err := d.eng.CompactModel(t.Model, cached)
+	if moved > 0 {
+		// Model the copy + flush time of the relocated bytes while the
+		// lease is still held.
+		env.Sleep(flushCost(moved))
+	}
+	d.sched.Done(env, t)
+	// If the model was deleted while this task waited, drop its lane.
+	d.mu.Lock()
+	_, alive := d.modelMap.Get(t.Model)
+	d.mu.Unlock()
+	if !alive {
+		d.sched.Forget(t.Model)
+	}
+	d.passStep(env, mc.pass, moved, err)
+	for _, dp := range t.Dups {
+		if m2, ok := dp.(*maintCtx); ok {
+			d.passStep(env, m2.pass, 0, nil)
+		}
+	}
+}
+
+// maybeAutoRepack kicks a background pass when the watermark trips and
+// auto mode is on.
+func (d *Daemon) maybeAutoRepack(env sim.Env) {
+	if !d.cfg.RepackAuto || !d.eng.NeedsRepack() {
+		return
+	}
+	d.runRepack(env, false)
+}
+
+// handleRepack runs one online repack pass to completion and answers
+// with its JSON report — portusctl repack -addr.
+func (d *Daemon) handleRepack(env sim.Env, conn wire.Conn, m *wire.Msg) {
+	p := d.runRepack(env, true)
+	p.mu.Lock()
+	rep, perr := p.report, p.err
+	p.mu.Unlock()
+	if perr != nil {
+		d.sendErrFor(env, conn, wire.TRepack, 0, "", perr.Error())
+		return
+	}
+	payload, err := json.Marshal(rep)
+	if err != nil {
+		d.sendErrFor(env, conn, wire.TRepack, 0, "", err.Error())
+		return
+	}
+	_ = conn.Send(env, &wire.Msg{Type: wire.TRepackResp, InReplyTo: wire.TRepack, Payload: payload})
 }
 
 // plan builds the chunk schedule for one version slot of a model, and
@@ -1197,25 +1439,16 @@ func (d *Daemon) handleLoad(env sim.Env, conn wire.Conn, m *wire.Msg) {
 		metas[i] = b.Meta
 	}
 	d.mu.Lock()
-	model, err := d.store.Lookup(ckpt.Model)
+	model, err := d.admitLocked(ckpt.Model, metas)
+	d.mu.Unlock()
 	if err != nil {
-		model, err = d.store.CreateModel(ckpt.Model, metas)
-		if err != nil {
-			d.mu.Unlock()
-			d.sendErrFor(env, conn, wire.TLoad, ckpt.Iteration, ckpt.Model, err.Error())
-			return
+		msg := err.Error()
+		if errors.Is(err, errStructMismatch) {
+			msg = "container does not match stored model structure"
 		}
-		d.modelMap.Put(ckpt.Model, model.InfoOff())
-	} else if !metasMatch(model.Tensors, metas) {
-		d.mu.Unlock()
-		d.sendErrFor(env, conn, wire.TLoad, ckpt.Iteration, ckpt.Model, "container does not match stored model structure")
-		return
-	} else if err := d.reallocateMissingSlots(model); err != nil {
-		d.mu.Unlock()
-		d.sendErrFor(env, conn, wire.TLoad, ckpt.Iteration, ckpt.Model, err.Error())
+		d.sendErrFor(env, conn, wire.TLoad, ckpt.Iteration, ckpt.Model, msg)
 		return
 	}
-	d.mu.Unlock()
 	for s := 0; s < 2; s++ {
 		if h := model.VersionHeader(s); h.State == index.StateDone && h.Iteration == ckpt.Iteration {
 			_ = conn.Send(env, &wire.Msg{Type: wire.TLoadOK, Model: ckpt.Model, Iteration: ckpt.Iteration, CRC: h.CRC})
@@ -1269,12 +1502,15 @@ func (d *Daemon) handleLoad(env sim.Env, conn wire.Conn, m *wire.Msg) {
 // the model stays visible and servable instead of lingering on PMem as
 // an orphan the daemon no longer knows about.
 func (d *Daemon) handleDelete(env sim.Env, conn wire.Conn, m *wire.Msg) {
-	if !d.sched.Idle(m.Model) {
+	// A maintenance lease alone doesn't block deletion: doMaintenance
+	// forgets the lane afterward, and the engine's CompactModel treats a
+	// vanished model as a no-op.
+	if !d.sched.IdleTenant(m.Model) {
 		d.sendErrFor(env, conn, wire.TDelete, 0, m.Model, "model has an operation in flight")
 		return
 	}
 	d.mu.Lock()
-	err := d.store.DeleteModel(m.Model)
+	err := d.eng.DeleteModel(m.Model)
 	if err == nil {
 		delete(d.sessions, m.Model)
 		d.modelMap.Delete(m.Model)
@@ -1292,4 +1528,7 @@ func (d *Daemon) handleDelete(env sim.Env, conn wire.Conn, m *wire.Msg) {
 	if err := conn.Send(env, &wire.Msg{Type: wire.TDeleteOK, Model: m.Model}); err != nil {
 		return
 	}
+	// Deletion turns live bytes into garbage; reclaim in the background
+	// once the watermark trips.
+	d.maybeAutoRepack(env)
 }

@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+// TestChurn replays the full churn drill at the pinned seed. RunChurn
+// panics on any violated invariant (permanent admission failure, lost
+// committed checkpoint, zero online repack runs), so a clean return
+// plus the overflow check below is the acceptance gate; run under
+// -race it also exercises the maintenance lease against live traffic.
+func TestChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn drill is a full overflow run; skipped in -short")
+	}
+	o := RunChurn(ChurnSeed)
+	if o.OverflowFactor < 3 {
+		t.Fatalf("overflow factor %.2f, want >= 3", o.OverflowFactor)
+	}
+	if o.RepackRuns == 0 {
+		t.Fatal("no online repack pass ran")
+	}
+	if o.Verified != int64(o.Tenants) || o.Deleted != int64(o.Tenants) {
+		t.Fatalf("verified %d deleted %d of %d tenants", o.Verified, o.Deleted, o.Tenants)
+	}
+	t.Logf("%d tenants, %.2fx overflow, %d no-space replies, %d repack runs, %d bytes moved",
+		o.Tenants, o.OverflowFactor, o.NoSpaceReplies, o.RepackRuns, o.BytesMoved)
+}

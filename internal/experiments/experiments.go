@@ -106,6 +106,7 @@ func Registry() []Experiment {
 		{"multitenant", "Multi-tenant scheduling: fairness, coalescing, backpressure", Multitenant},
 		{"chaos", "Chaos: checkpoint goodput and recoverability under injected faults", Chaos},
 		{"failover", "Failover: surviving storage-node loss with replicated shards", Failover},
+		{"churn", "Churn: tenant turnover against a full namespace with online reclamation", Churn},
 		{"appendix", "Full 76-model zoo checkpoint times (Appendix)", Appendix},
 	}
 }

@@ -178,6 +178,14 @@ type Store struct {
 	allocOff   int64
 	modelCount int64
 	mindexBrk  int64
+
+	// mindexFree tracks dead MIndex byte ranges (deleted models) below
+	// the break, sorted by offset and coalesced. In-memory only: the
+	// on-media layout is unchanged (a dead record is simply one no table
+	// entry references), so images stay byte-compatible with pre-engine
+	// tools. Rebuilt at Open from the gaps between live records;
+	// CreateModel first-fits from it before bumping the break.
+	mindexFree []alloc.Extent
 }
 
 // tableOff returns the active table region's base offset.
@@ -257,7 +265,75 @@ func Open(pm *pmem.Device) (*Store, error) {
 		return nil, err
 	}
 	s.alloc = a
+	s.rebuildMIndexFree()
 	return s, nil
+}
+
+// rebuildMIndexFree reconstructs the dead-record free list from the gaps
+// between live MIndex records in [mindexStart, mindexBrk). Best-effort:
+// if any live record fails to decode the list stays empty, which only
+// disables reuse (Open still succeeds exactly as before).
+func (s *Store) rebuildMIndexFree() {
+	s.mindexFree = nil
+	type span struct{ off, end int64 }
+	var live []span
+	for i := int64(0); i < s.modelCount; i++ {
+		name, infoOff := s.entryAt(i)
+		if name == "" {
+			continue
+		}
+		m, err := s.loadMIndex(infoOff)
+		if err != nil {
+			return
+		}
+		live = append(live, span{m.off, m.off + int64(mindexHdr) + int64(len(m.Tensors))*tensorRec})
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].off < live[j].off })
+	prev := s.mindexStart()
+	for _, sp := range live {
+		if sp.off > prev {
+			s.mindexFree = append(s.mindexFree, alloc.Extent{Off: prev, Size: sp.off - prev})
+		}
+		if sp.end > prev {
+			prev = sp.end
+		}
+	}
+	if s.mindexBrk > prev {
+		s.mindexFree = append(s.mindexFree, alloc.Extent{Off: prev, Size: s.mindexBrk - prev})
+	}
+}
+
+// mindexStart is the first byte of the MIndex region (past both table
+// generations).
+func (s *Store) mindexStart() int64 {
+	return s.tableBase + 2*s.tableCap*entrySize
+}
+
+// freeMIndexRange returns a dead record's bytes to the in-memory free
+// list, keeping it sorted and coalesced.
+func (s *Store) freeMIndexRange(off, size int64) {
+	s.mindexFree = append(s.mindexFree, alloc.Extent{Off: off, Size: size})
+	sort.Slice(s.mindexFree, func(i, j int) bool { return s.mindexFree[i].Off < s.mindexFree[j].Off })
+	out := s.mindexFree[:1]
+	for _, e := range s.mindexFree[1:] {
+		last := &out[len(out)-1]
+		if last.Off+last.Size == e.Off {
+			last.Size += e.Size
+		} else {
+			out = append(out, e)
+		}
+	}
+	s.mindexFree = out
+}
+
+// MIndexDead reports the bytes held in dead MIndex records — garbage the
+// engine's capacity accounting charges against the metadata zone.
+func (s *Store) MIndexDead() int64 {
+	var sum int64
+	for _, e := range s.mindexFree {
+		sum += e.Size
+	}
+	return sum
 }
 
 // Allocator exposes the data-zone allocator (for space accounting and
@@ -310,6 +386,11 @@ func (s *Store) Names() []string {
 // MIndex record plus two TensorData extents per tensor, and publishes
 // it in the ModelTable. The entry is persisted before the table count,
 // so a crash can never expose a half-written record.
+//
+// Admission is transactional: if any allocation fails part-way (data
+// zone exhausted at the Nth slot, MIndex region full), every extent
+// already claimed is freed before the error returns — no leaks for the
+// caller's retry to trip over.
 func (s *Store) CreateModel(name string, tensors []TensorMeta) (*Model, error) {
 	if name == "" || len(name) > nameMax {
 		return nil, fmt.Errorf("index: invalid model name %q", name)
@@ -323,28 +404,67 @@ func (s *Store) CreateModel(name string, tensors []TensorMeta) (*Model, error) {
 	if s.modelCount >= s.tableCap {
 		return nil, ErrTableFull
 	}
-
-	m := &Model{s: s, Name: name, Tensors: tensors, PAddr: make([][2]int64, len(tensors))}
-
-	// Allocate both version slots for every tensor.
-	for i, tm := range tensors {
+	// Validate everything before touching the allocator so most bad
+	// registrations never need the rollback path.
+	for _, tm := range tensors {
 		if tm.Size <= 0 {
 			return nil, fmt.Errorf("index: tensor %q has invalid size %d", tm.Name, tm.Size)
 		}
+		if len(tm.Dims) > 4 {
+			return nil, fmt.Errorf("index: tensor %q has %d dims (max 4)", tm.Name, len(tm.Dims))
+		}
+	}
+
+	m := &Model{s: s, Name: name, Tensors: tensors, PAddr: make([][2]int64, len(tensors))}
+
+	// Allocate both version slots for every tensor, rolling back all
+	// prior slots on failure.
+	rollback := func() {
+		for i := range m.PAddr {
+			for v := 0; v < 2; v++ {
+				if m.PAddr[i][v] != 0 {
+					s.alloc.Free(m.PAddr[i][v])
+					m.PAddr[i][v] = 0
+				}
+			}
+		}
+	}
+	for i, tm := range tensors {
 		for v := 0; v < 2; v++ {
 			off, err := s.alloc.Allocate(tm.Size)
 			if err != nil {
+				rollback()
 				return nil, fmt.Errorf("index: allocating TensorData for %q: %w", tm.Name, err)
 			}
 			m.PAddr[i][v] = off
 		}
 	}
 
-	// Write the MIndex record.
+	// Claim MIndex record space: first-fit a dead record's bytes, else
+	// bump the break. Reuse is crash-safe for the same reason the append
+	// is — nothing references the region until the table entry (written
+	// last) publishes it.
 	recLen := int64(mindexHdr) + int64(len(tensors))*tensorRec
-	m.off = s.mindexBrk
-	if m.off+recLen > s.allocOff {
-		return nil, fmt.Errorf("index: MIndex region exhausted")
+	reused := false
+	for i, e := range s.mindexFree {
+		if e.Size < recLen {
+			continue
+		}
+		m.off = e.Off
+		if e.Size == recLen {
+			s.mindexFree = append(s.mindexFree[:i], s.mindexFree[i+1:]...)
+		} else {
+			s.mindexFree[i] = alloc.Extent{Off: e.Off + recLen, Size: e.Size - recLen}
+		}
+		reused = true
+		break
+	}
+	if !reused {
+		m.off = s.mindexBrk
+		if m.off+recLen > s.allocOff {
+			rollback()
+			return nil, fmt.Errorf("index: MIndex region exhausted: %w", alloc.ErrNoSpace)
+		}
 	}
 	rec := make([]byte, recLen)
 	binary.LittleEndian.PutUint32(rec[0:], mindexMagic)
@@ -354,9 +474,6 @@ func (s *Store) CreateModel(name string, tensors []TensorMeta) (*Model, error) {
 	// Version headers start zeroed (StateEmpty).
 	p := int64(mindexHdr)
 	for i, tm := range tensors {
-		if len(tm.Dims) > 4 {
-			return nil, fmt.Errorf("index: tensor %q has %d dims (max 4)", tm.Name, len(tm.Dims))
-		}
 		tn := tm.Name
 		if len(tn) > tensorName {
 			tn = tn[:tensorName]
@@ -376,12 +493,14 @@ func (s *Store) CreateModel(name string, tensors []TensorMeta) (*Model, error) {
 	s.pm.WriteMeta(m.off, rec)
 	s.pm.FlushMeta(m.off, recLen)
 
-	// Bump and persist the MIndex break.
-	s.mindexBrk += recLen
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], uint64(s.mindexBrk))
-	s.pm.WriteMeta(sbMindexBrk, b[:])
-	s.pm.Persist8(sbMindexBrk)
+	if !reused {
+		// Bump and persist the MIndex break.
+		s.mindexBrk += recLen
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(s.mindexBrk))
+		s.pm.WriteMeta(sbMindexBrk, b[:])
+		s.pm.Persist8(sbMindexBrk)
+	}
 
 	// Publish: entry first, count last.
 	entry := make([]byte, entrySize)
@@ -425,7 +544,9 @@ func (s *Store) Models() ([]*Model, error) {
 }
 
 // DeleteModel tombstones a model's table entry and frees its TensorData
-// extents. The MIndex record itself is reclaimed by the repacker.
+// extents. The MIndex record's bytes go on the in-memory dead list for
+// the next CreateModel to reuse; its on-media content is untouched (no
+// layout change versus pre-engine images).
 func (s *Store) DeleteModel(name string) error {
 	for i := int64(0); i < s.modelCount; i++ {
 		n, infoOff := s.entryAt(i)
@@ -438,6 +559,9 @@ func (s *Store) DeleteModel(name string) error {
 		}
 		for _, pa := range m.PAddr {
 			for v := 0; v < 2; v++ {
+				if pa[v] == 0 {
+					continue // slot already reclaimed by a repack pass
+				}
 				if err := s.alloc.Free(pa[v]); err != nil {
 					return fmt.Errorf("index: freeing TensorData: %w", err)
 				}
@@ -447,6 +571,7 @@ func (s *Store) DeleteModel(name string) error {
 		at := s.tableOff() + i*entrySize
 		s.pm.WriteMeta(at, z[:]) // infoOff = 0 tombstone
 		s.pm.Persist8(at)
+		s.freeMIndexRange(m.off, int64(mindexHdr)+int64(len(m.Tensors))*tensorRec)
 		return nil
 	}
 	return fmt.Errorf("%w: %s", ErrNoModel, name)

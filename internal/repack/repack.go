@@ -1,25 +1,25 @@
-// Package repack implements the PMem repacking tool (§III-D2, Figure 7):
-// it aggregates valid checkpoint versions into a contiguous prefix of
-// the data zone and reclaims the space held by outdated versions
-// (finished jobs need only their newest checkpoint) and collapsed
-// versions (jobs that crashed mid-transfer left an active, incomplete
-// slot). Models that never completed a checkpoint are removed entirely.
+// Package repack is the PMem repacking tool (§III-D2, Figure 7): it
+// aggregates valid checkpoint versions into a contiguous prefix of the
+// data zone and reclaims the space held by outdated versions (finished
+// jobs need only their newest checkpoint) and collapsed versions (jobs
+// that crashed mid-transfer left an active, incomplete slot). Models
+// that never completed a checkpoint are removed entirely.
 //
-// The paper runs this tool offline and infrequently — PMem capacity is
-// terabytes — so the repacker optimizes for simplicity and safety: data
-// moves happen in ascending offset order (destination never overtakes
+// The algorithm now lives in the storage engine (internal/store), which
+// also runs an incremental online variant inside the daemon; this
+// package remains as the stable offline entry point with its original
+// report shape. The persistent write sequence is unchanged: data moves
+// happen in ascending offset order (destination never overtakes
 // source), every moved region is flushed before its pointer is
 // repersisted, and the allocation table is rebuilt last.
 package repack
 
 import (
 	"fmt"
-	"sort"
 
-	"github.com/portus-sys/portus/internal/alloc"
 	"github.com/portus-sys/portus/internal/index"
-	"github.com/portus-sys/portus/internal/memdev"
 	"github.com/portus-sys/portus/internal/pmem"
+	"github.com/portus-sys/portus/internal/store"
 )
 
 // Report summarizes one repacking pass.
@@ -40,79 +40,17 @@ func (r Report) String() string {
 		r.ModelsKept, r.ModelsRemoved, r.SlotsReclaimed, r.BytesMoved, r.BytesInUse, r.BytesReclaimed)
 }
 
-// keepEntry is one TensorData extent that survives repacking.
-type keepEntry struct {
-	m    *index.Model
-	ti   int
-	slot int
-	off  int64
-	size int64
-}
-
 // Run compacts the namespace in place. The daemon must not be serving
 // checkpoints concurrently (the paper runs repacking on idle or archived
-// namespaces).
-func Run(pm *pmem.Device, store *index.Store) (Report, error) {
-	var rep Report
-	before := store.Allocator().InUse()
-
-	models, err := store.Models()
-	if err != nil {
-		return rep, fmt.Errorf("repack: listing models: %w", err)
-	}
-
-	var keep []keepEntry
-	for _, m := range models {
-		slot, _, ok := m.LatestDone()
-		if !ok {
-			// Scenario 2 of §III-D2: the job crashed before any version
-			// completed; nothing here can ever be restored.
-			if err := store.DeleteModel(m.Name); err != nil {
-				return rep, fmt.Errorf("repack: removing %s: %w", m.Name, err)
-			}
-			rep.ModelsRemoved++
-			continue
-		}
-		rep.ModelsKept++
-		// Scenario 1: only the newest done version stays; the other slot
-		// (outdated or collapsed mid-write) is reclaimed.
-		other := 1 - slot
-		if m.HasSlot(other) {
-			m.ClearVersion(other)
-			rep.SlotsReclaimed++
-		}
-		for i := range m.Tensors {
-			ext := m.TensorData(i, slot)
-			keep = append(keep, keepEntry{m: m, ti: i, slot: slot, off: ext.Off, size: ext.Size})
-		}
-	}
-
-	// Compact surviving extents to a contiguous prefix, ascending source
-	// order so destinations never overtake sources.
-	sort.Slice(keep, func(i, j int) bool { return keep[i].off < keep[j].off })
-	cursor := int64(alloc.Align)
-	var live []alloc.Extent
-	for _, k := range keep {
-		alignedSize := (k.size + alloc.Align - 1) / alloc.Align * alloc.Align
-		if k.off != cursor {
-			memdev.Copy(pm.Data(), cursor, pm.Data(), k.off, k.size)
-			pm.FlushData(cursor, k.size)
-			k.m.SetPAddr(k.ti, k.slot, cursor)
-			rep.BytesMoved += k.size
-		}
-		live = append(live, alloc.Extent{Off: cursor, Size: alignedSize})
-		cursor += alignedSize
-	}
-	if err := store.Allocator().Rebuild(live); err != nil {
-		return rep, fmt.Errorf("repack: rebuilding allocation table: %w", err)
-	}
-	// Restore the sorted-array invariant of the ModelTable (§III-D1),
-	// dropping tombstones; the rewrite flips atomically between the two
-	// table generations.
-	if err := store.CompactTable(); err != nil {
-		return rep, fmt.Errorf("repack: compacting ModelTable: %w", err)
-	}
-	rep.BytesInUse = store.Allocator().InUse()
-	rep.BytesReclaimed = before - rep.BytesInUse
-	return rep, nil
+// namespaces). Thin wrapper over store.Offline.
+func Run(pm *pmem.Device, idx *index.Store) (Report, error) {
+	rep, err := store.Offline(pm, idx)
+	return Report{
+		ModelsKept:     rep.ModelsKept,
+		ModelsRemoved:  rep.ModelsRemoved,
+		SlotsReclaimed: rep.SlotsReclaimed,
+		BytesMoved:     rep.BytesMoved,
+		BytesInUse:     rep.BytesInUse,
+		BytesReclaimed: rep.BytesReclaimed,
+	}, err
 }

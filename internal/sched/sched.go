@@ -47,9 +47,15 @@ import (
 type Class int
 
 // Classes in ascending priority: the picker serves the highest class
-// with runnable work first.
+// with runnable work first. Maintenance (the storage engine's online
+// repack pass) sits below everything — compaction only runs against a
+// model whose lane has no live traffic ready, which is exactly the
+// per-model quiesce lease the engine needs: while a maintenance task
+// occupies the lane's running slot, no checkpoint or restore for that
+// model can dispatch.
 const (
-	ClassCheckpoint Class = iota
+	ClassMaintenance Class = iota
+	ClassCheckpoint
 	ClassRestore
 	numClasses
 )
@@ -57,6 +63,8 @@ const (
 // String names the class (used as the telemetry label).
 func (c Class) String() string {
 	switch c {
+	case ClassMaintenance:
+		return "maintenance"
 	case ClassCheckpoint:
 		return "checkpoint"
 	case ClassRestore:
@@ -365,8 +373,12 @@ func (s *Scheduler) Submit(env sim.Env, t *Task) Result {
 	}
 
 	// Bounds apply only to fresh admissions — retries and stale
-	// requests merged above never bounce.
-	if s.queued >= s.cfg.GlobalCap || l.queued() >= s.cfg.ModelQueueCap {
+	// requests merged above never bounce. Maintenance tasks are exempt:
+	// they originate inside the daemon (one per model per pass, already
+	// deduped above) and bouncing them under load would starve exactly
+	// the reclamation that relieves the load.
+	if t.Class != ClassMaintenance &&
+		(s.queued >= s.cfg.GlobalCap || l.queued() >= s.cfg.ModelQueueCap) {
 		s.busyReplies.Inc()
 		ra := s.retryAfter()
 		s.event(env, telemetry.EvSchedBusy, t, "retry after "+ra.String())
@@ -510,6 +522,29 @@ func (s *Scheduler) Idle(model string) bool {
 	defer s.mu.Unlock()
 	l, ok := s.lanes[model]
 	return !ok || (l.running == nil && l.queued() == 0)
+}
+
+// IdleTenant reports whether model has no tenant-originated work — no
+// queued or running checkpoint/restore. Maintenance tasks don't count:
+// a DELETE arriving while the engine compacts the model is safe (both
+// serialize on the engine mutex, and the compactor re-checks liveness),
+// so a pending repack must not make the tenant's delete bounce.
+func (s *Scheduler) IdleTenant(model string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.lanes[model]
+	if !ok {
+		return true
+	}
+	if l.running != nil && l.running.Class != ClassMaintenance {
+		return false
+	}
+	for c := ClassCheckpoint; c < numClasses; c++ {
+		if len(l.q[c]) > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Forget drops an idle model's lane (after a DELETE). It is a no-op if

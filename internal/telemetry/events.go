@@ -34,6 +34,13 @@ const (
 	// EvNodeKill records a whole-node fault injection severing a
 	// storage node's listener, fabric routes, and worker pool.
 	EvNodeKill EventKind = "fault.node-kill"
+	// EvStoreReclaim records a reclaim verdict on the admission path: a
+	// registration hit a space error and the engine either freed enough
+	// to retry or stayed exhausted (Detail says which).
+	EvStoreReclaim EventKind = "store.reclaim"
+	// EvStoreRepack records a completed online repack pass with its
+	// report summary in Detail.
+	EvStoreRepack EventKind = "store.repack"
 )
 
 // Event is one flight-recorder entry: a typed, timestamped record of a

@@ -60,6 +60,12 @@ const (
 	// healthy peer's copy. TLoadOK acknowledges the install.
 	TLoad
 	TLoadOK
+	// TRepack asks a running daemon to execute one online repack pass
+	// (quiesced per model through the scheduler's maintenance class) and
+	// waits for it to finish. TRepackResp carries the JSON-encoded
+	// store.PassReport in Payload.
+	TRepack
+	TRepackResp
 )
 
 // typeNames is the Type.String lookup table, hoisted to package level:
@@ -76,6 +82,7 @@ var typeNames = [...]string{
 	TTraceReport: "TRACE_REPORT",
 	TPlacement:   "PLACEMENT", TPlacementResp: "PLACEMENT_RESP",
 	TLoad: "LOAD", TLoadOK: "LOAD_OK",
+	TRepack: "REPACK", TRepackResp: "REPACK_RESP",
 }
 
 // ErrCode classifies an ERROR reply so clients can map daemon failures
@@ -102,6 +109,11 @@ const (
 	// deadline exceeded) so routers can tell transport loss — a suspect
 	// node — from an application error.
 	ErrCodeUnreachable
+	// ErrCodeNoSpace: the data zone (or index) is out of space even
+	// after an online reclamation pass. Registration replies carry a
+	// RetryAfter hint — churned space may come back as tenants delete —
+	// so clients back off and retry like they do for BUSY.
+	ErrCodeNoSpace
 )
 
 // errCodeNames is the ErrCode.String lookup table.
@@ -109,6 +121,7 @@ var errCodeNames = [...]string{
 	ErrCodeNone: "NONE", ErrCodeNoCheckpoint: "NO_CHECKPOINT",
 	ErrCodeCorrupt: "CORRUPT", ErrCodeNotRegistered: "NOT_REGISTERED",
 	ErrCodeMisplaced: "MISPLACED", ErrCodeUnreachable: "UNREACHABLE",
+	ErrCodeNoSpace: "NO_SPACE",
 }
 
 // String names an error code.

@@ -194,6 +194,15 @@ type ServerConfig struct {
 	// surrounding flight-recorder event window (served at
 	// /debug/events). 0 disables the watchdog.
 	SlowBudget time.Duration
+	// RepackWatermark sets the free-list fragmentation fraction of the
+	// data zone above which the storage engine wants an online repack
+	// pass. 0 means the default (0.5); negative disables the watermark
+	// (ErrNoSpace-triggered reclamation still runs).
+	RepackWatermark float64
+	// RepackAuto starts a background online repack pass whenever a
+	// delete trips the watermark, without waiting for an admission to
+	// hit ErrNoSpace first.
+	RepackAuto bool
 }
 
 // Server is a running Portus storage server over TCP.
@@ -281,7 +290,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		PipelineDepth: cfg.PipelineDepth, Lanes: cfg.Lanes, ChunkSize: cfg.ChunkBytes,
 		RetryMax: cfg.RetryMax, RetryBackoff: cfg.RetryBackoff,
 		LaneFailLimit: cfg.LaneFailLimit, Degrade: cfg.Degrade,
-		SlowBudget: cfg.SlowBudget,
+		SlowBudget:      cfg.SlowBudget,
+		RepackWatermark: cfg.RepackWatermark, RepackAuto: cfg.RepackAuto,
 	})
 	if err != nil {
 		ln.Close()
