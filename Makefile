@@ -1,7 +1,7 @@
 # Pre-PR gate: run `make check` before sending changes for review.
 GO ?= go
 
-.PHONY: check build test race vet fmt chaos multitenant scale failover churn
+.PHONY: check build test race vet fmt chaos multitenant scale delta failover churn
 
 check: fmt vet race
 
@@ -30,6 +30,14 @@ multitenant:
 # aggregate throughput.
 scale:
 	$(GO) run ./cmd/portus-bench scale
+
+# Incremental-checkpoint sweep: GPT-1.5B at 1/5/25/100% per-iteration
+# mutation rates plus an RF=2 tier drill with a mid-checkpoint node
+# kill. Exits nonzero if the 1%-dirty point moves > 15% of the full
+# checkpoint's fabric bytes, fails to beat the full baseline end to
+# end, or any restore is not byte-identical.
+delta:
+	$(GO) run ./cmd/portus-bench delta
 
 # Failover drill at a fixed seed: RF=2 over 4 storage nodes, one node
 # killed mid-checkpoint; asserts zero lost committed checkpoints,

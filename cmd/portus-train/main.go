@@ -30,6 +30,7 @@ func main() {
 		nodeName     = flag.String("node", "client0", "this job's fabric node name")
 		materialized = flag.Bool("materialized", false, "must match portusd's -materialized")
 		restore      = flag.Bool("restore", false, "restore the newest checkpoint before training")
+		deltaKiB     = flag.Int64("delta-block-kib", 0, "send per-block digests at this block size so a -delta portusd can checkpoint incrementally (0 = full checkpoints)")
 	)
 	flag.Parse()
 
@@ -47,6 +48,7 @@ func main() {
 		NodeName:         *nodeName,
 		Materialized:     *materialized,
 		GPUMemBytes:      2 * spec.TotalSize(),
+		DeltaBlockBytes:  *deltaKiB << 10,
 	})
 	if err != nil {
 		log.Fatalf("portus-train: %v", err)

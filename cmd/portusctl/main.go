@@ -268,6 +268,11 @@ func renderStats(samples []telemetry.Sample) {
 	fmt.Printf("  %-22s %12.0f\n", "repack runs", value("portus_store_repack_runs_total"))
 	fmt.Printf("  %-22s %12s\n", "repack bytes moved", metrics.FormatBytes(int64(value("portus_store_repack_moved_bytes_total"))))
 	fmt.Printf("  %-22s %12.0f\n", "no-space replies", value("portus_store_nospace_replies_total"))
+
+	fmt.Println("\nDELTA")
+	fmt.Printf("  %-22s %11.1f%%\n", "last dirty ratio", 100*value("portus_delta_dirty_ratio"))
+	fmt.Printf("  %-22s %12s\n", "bytes saved", metrics.FormatBytes(int64(value("portus_delta_bytes_saved_total"))))
+	fmt.Printf("  %-22s %12.0f\n", "full fallbacks", value("portus_delta_full_fallbacks_total"))
 }
 
 // histogramNames finds the unlabeled histogram families in a scrape.

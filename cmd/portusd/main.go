@@ -60,6 +60,8 @@ func main() {
 		slowBudget   = flag.Duration("slow-budget", 0, "slow-transfer watchdog budget: transfers slower than this are counted and their trace + event window captured at /debug/events (0 = disabled)")
 		repackMark   = flag.Float64("repack-watermark", 0, "free-list fragmentation fraction of the data zone above which the engine wants an online repack pass (0 = default 0.5, negative = watermark disabled; out-of-space reclamation always runs)")
 		repackAuto   = flag.Bool("repack-auto", false, "start a background online repack pass when a delete trips the watermark, instead of only reclaiming on out-of-space admissions")
+		deltaOn      = flag.Bool("delta", false, "accept incremental checkpoints: pull only dirty blocks and copy-forward the rest from the previous version's slot in PMem")
+		deltaKiB     = flag.Int64("delta-block-kib", 0, "pin the accepted digest block size in KiB; clients computing another size fall back to full checkpoints (0 = accept any)")
 	)
 	flag.Parse()
 	// Peers with no explicit weight are assumed symmetric with this
@@ -95,6 +97,8 @@ func main() {
 		SlowBudget:      *slowBudget,
 		RepackWatermark: *repackMark,
 		RepackAuto:      *repackAuto,
+		DeltaEnabled:    *deltaOn,
+		DeltaBlockBytes: *deltaKiB << 10,
 	}
 	if *image != "" {
 		if _, err := os.Stat(*image); err == nil {

@@ -54,9 +54,12 @@ func main() {
 	fmt.Printf("registered %s: %d tensors, %.1f MiB\n",
 		spec.Name, spec.NumTensors(), float64(spec.TotalSize())/(1<<20))
 
-	// 3. Train a bit, then checkpoint. The daemon pulls every tensor out
+	// 3. Train a bit, then checkpoint. The daemon pulls the tensors out
 	//    of GPU memory with one-sided reads — the training process never
-	//    serializes or copies anything.
+	//    serializes or copies anything. (This job sends no block digests,
+	//    so every checkpoint pulls the full model; set
+	//    JobConfig.DeltaBlockBytes against a delta-enabled server to pull
+	//    only the blocks an iteration changed.)
 	m.ApplyUpdate(100)
 	if err := m.Checkpoint(job.Env(), 100); err != nil {
 		log.Fatal(err)

@@ -102,6 +102,12 @@ type reply struct {
 	// newest); re-sends after BUSY or reconnect must repeat it so a
 	// pinned group restore stays pinned.
 	restoreIter uint64
+	// digests/deltaBlock are the block-digest vector a delta-enabled
+	// DO_CHECKPOINT carried; re-sends after BUSY or reconnect must
+	// repeat them or the daemon would silently fall back to a full
+	// checkpoint on the retry.
+	digests    []uint64
+	deltaBlock int64
 }
 
 // ErrNoCheckpoint reports a restore (or pinned dump) that found no
@@ -181,6 +187,13 @@ type Options struct {
 	// reconnects (useful when the client shares a process with the
 	// daemon, as in sim runs).
 	Events *telemetry.EventRing
+	// DeltaBlockBytes enables incremental checkpointing: every
+	// DO_CHECKPOINT carries a per-block digest vector at this block
+	// size, letting a delta-enabled daemon pull only the blocks that
+	// changed since the previous version and copy the rest forward
+	// inside PMem. 0 disables it (full checkpoints, the pre-delta wire
+	// shape).
+	DeltaBlockBytes int64
 }
 
 // Register collects tensor pointers, registers each as an RDMA MR, and
@@ -305,6 +318,8 @@ func (c *Client) handleBusy(env sim.Env, m *wire.Msg) {
 	case wire.TDoCheckpoint:
 		key = pendingKey{t: wire.TCheckpointDone, iter: m.Iteration}
 		resend = &wire.Msg{Type: wire.TDoCheckpoint, Model: c.model.Spec.Name, Iteration: m.Iteration}
+		// Delta fields are re-attached under the lock below, once the
+		// waiter is known.
 	case wire.TRestore:
 		key = pendingKey{t: wire.TRestoreDone, iter: restoreKey}
 		resend = &wire.Msg{Type: wire.TRestore, Model: c.model.Spec.Name}
@@ -323,6 +338,9 @@ func (c *Client) handleBusy(env sim.Env, m *wire.Msg) {
 	resend.SpanID = r.awaitID
 	if resend.Type == wire.TRestore {
 		resend.Iteration = r.restoreIter
+	}
+	if resend.Type == wire.TDoCheckpoint {
+		resend.Digests, resend.DeltaBlock = r.digests, r.deltaBlock
 	}
 	r.busy++
 	max := c.opts.BusyRetryMax
@@ -522,7 +540,8 @@ func (c *Client) reconnect(env sim.Env) bool {
 			switch k.t {
 			case wire.TCheckpointDone:
 				resend = append(resend, &wire.Msg{Type: wire.TDoCheckpoint, Model: c.model.Spec.Name, Iteration: k.iter,
-					TraceID: uint64(w.traceID), SpanID: w.awaitID})
+					TraceID: uint64(w.traceID), SpanID: w.awaitID,
+					Digests: w.digests, DeltaBlock: w.deltaBlock})
 			case wire.TRestoreDone:
 				resend = append(resend, &wire.Msg{Type: wire.TRestore, Model: c.model.Spec.Name,
 					Iteration: w.restoreIter, TraceID: uint64(w.traceID), SpanID: w.awaitID})
@@ -668,15 +687,29 @@ func (c *Client) CheckpointAsync(env sim.Env, iteration uint64) (*Completion, er
 	t0 := env.Now()
 	tr := telemetry.NewTrace("client:checkpoint", c.model.Spec.Name, iteration, t0)
 	tr.ID = telemetry.NewTraceID()
-	send := tr.Root.Child("send", t0)
+	// With delta enabled, fingerprint the resident weights before the
+	// request goes out: the digest vector rides on DO_CHECKPOINT so the
+	// daemon can pull only the blocks that changed. The hash pass is
+	// charged to the client (it is memory-bandwidth bound, ~40ms for a
+	// 6 GB model — small next to the transfer it saves).
+	var digests []uint64
+	if block := c.opts.DeltaBlockBytes; block > 0 {
+		dg := tr.Root.Child("digest", t0)
+		digests = c.model.BlockDigests(block)
+		env.Sleep(perfmodel.DigestTime(c.model.Spec.TotalSize()))
+		dg.EndAt(env.Now())
+	}
+	send := tr.Root.Child("send", env.Now())
 	awaitID := telemetry.NextSpanID()
 	r := c.expect(env, wire.TCheckpointDone, iteration)
 	key := pendingKey{t: wire.TCheckpointDone, iter: iteration}
 	c.mu.Lock()
 	r.traceID, r.awaitID = tr.ID, awaitID
+	r.digests, r.deltaBlock = digests, c.opts.DeltaBlockBytes
 	c.mu.Unlock()
 	msg := &wire.Msg{Type: wire.TDoCheckpoint, Model: c.model.Spec.Name, Iteration: iteration,
-		TraceID: uint64(tr.ID), SpanID: awaitID}
+		TraceID: uint64(tr.ID), SpanID: awaitID,
+		Digests: digests, DeltaBlock: c.opts.DeltaBlockBytes}
 	if err := c.sendRequest(env, key, msg); err != nil {
 		c.errs.Inc()
 		return nil, fmt.Errorf("client: DO_CHECKPOINT: %w", err)

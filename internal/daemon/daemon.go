@@ -24,12 +24,15 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc64"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/portus-sys/portus/internal/datapath"
+	"github.com/portus-sys/portus/internal/delta"
 	"github.com/portus-sys/portus/internal/index"
+	"github.com/portus-sys/portus/internal/memdev"
 	"github.com/portus-sys/portus/internal/perfmodel"
 	"github.com/portus-sys/portus/internal/placement"
 	"github.com/portus-sys/portus/internal/pmem"
@@ -143,6 +146,18 @@ type Config struct {
 	// ErrNoSpace-triggered reclaim-then-retry on the registration path
 	// is always on.
 	RepackAuto bool
+	// DeltaEnabled accepts incremental checkpoints: a DO_CHECKPOINT
+	// carrying a block-digest vector is diffed against the previous
+	// version's persisted digest table, only the dirty blocks are pulled
+	// over the fabric, and the clean blocks copy forward inside PMem.
+	// Off by default; digest vectors from delta clients are then ignored
+	// (full checkpoint, counted as a fallback).
+	DeltaEnabled bool
+	// DeltaBlockBytes, when nonzero, pins the digest block size this
+	// daemon accepts: a client vector at any other block size falls back
+	// to a full checkpoint. 0 accepts whatever block size the client
+	// used.
+	DeltaBlockBytes int64
 }
 
 // Stats is a consistent snapshot of the daemon's cumulative counters:
@@ -229,7 +244,17 @@ type Daemon struct {
 		pullNanos   atomic.Int64
 		flushNanos  atomic.Int64
 		pushNanos   atomic.Int64
+		// deltaDirty holds the last accepted delta plan's dirty ratio
+		// as float64 bits (gauges are integral, so it is served through
+		// a GaugeFunc).
+		deltaDirty atomic.Uint64
 	}
+
+	// deltaCrash is a test hook fired at the crash boundaries of an
+	// incremental checkpoint ("pre-copy-forward", "post-copy-forward",
+	// "post-table"); returning true makes the request die at that point,
+	// as a power failure would, committing nothing further.
+	deltaCrash func(stage string) bool
 
 	tel telem
 
@@ -256,6 +281,7 @@ type telem struct {
 	adminList, adminDump, adminDelete         *telemetry.Counter
 	adminLoad, crcFailures                    *telemetry.Counter
 	nospaceReplies                            *telemetry.Counter
+	deltaSaved, deltaFallbacks                *telemetry.Counter
 	quarantined                               *telemetry.Gauge
 
 	ckptLatency    *telemetry.Histogram // enqueue → commit, end to end
@@ -300,6 +326,9 @@ func newTelem(reg *telemetry.Registry, traceDepth, eventDepth int, slowBudget ti
 
 		nospaceReplies: reg.Counter("portus_store_nospace_replies_total", "registrations answered with a transient NO_SPACE retry-after (backpressure, not failures)"),
 
+		deltaSaved:     reg.Counter("portus_delta_bytes_saved_total", "bytes an incremental checkpoint kept off the fabric (copy-forward + skipped blocks)"),
+		deltaFallbacks: reg.Counter("portus_delta_full_fallbacks_total", "checkpoints that requested delta but ran full (missing/mismatched digest table, or delta costlier than full)"),
+
 		ckptLatency:    reg.Histogram("portus_checkpoint_seconds", "end-to-end checkpoint latency (enqueue to commit)", nil),
 		enqueueWait:    reg.Histogram("portus_checkpoint_enqueue_wait_seconds", "time a checkpoint job waits for a worker", nil),
 		pullStage:      reg.Histogram("portus_checkpoint_pull_seconds", "one-sided RDMA pull stage duration", nil),
@@ -337,6 +366,10 @@ type session struct {
 type reqCtx struct {
 	sess *session
 	conn wire.Conn
+	// digests/deltaBlock carry a delta client's block-digest vector from
+	// DO_CHECKPOINT to the worker; empty means full checkpoint.
+	digests    []uint64
+	deltaBlock int64
 }
 
 // New opens (or formats) the namespace and starts the worker pool.
@@ -504,6 +537,8 @@ func New(env sim.Env, cfg Config) (*Daemon, error) {
 		func() float64 { return time.Duration(d.stats.flushNanos.Load()).Seconds() })
 	d.tel.reg.CounterFunc("portus_daemon_push_seconds_total", "cumulative restore push stage time",
 		func() float64 { return time.Duration(d.stats.pushNanos.Load()).Seconds() })
+	d.tel.reg.GaugeFunc("portus_delta_dirty_ratio", "fraction of the model the last accepted incremental checkpoint pulled over the fabric",
+		func() float64 { return math.Float64frombits(d.stats.deltaDirty.Load()) })
 	for w := 0; w < cfg.Workers; w++ {
 		env.Go(fmt.Sprintf("portusd-worker-%d", w), d.worker)
 	}
@@ -845,7 +880,7 @@ func (d *Daemon) enqueue(env sim.Env, conn wire.Conn, m *wire.Msg, class sched.C
 		EnqueuedAt: env.Now(),
 		TraceID:    telemetry.TraceID(m.TraceID),
 		ParentSpan: m.SpanID,
-		Payload:    &reqCtx{sess: sess, conn: conn},
+		Payload:    &reqCtx{sess: sess, conn: conn, digests: m.Digests, deltaBlock: m.DeltaBlock},
 	})
 	switch res.Verdict {
 	case sched.Deduped:
@@ -1094,15 +1129,177 @@ func (d *Daemon) plan(sess *session, slot int) (datapath.Plan, *datapath.Context
 	return datapath.NewPlan(tensors, d.cfg.ChunkSize), cx
 }
 
+// deltaPlan is a prepared incremental checkpoint: the dirty extents to
+// pull over the fabric, the clean spans to copy forward locally in
+// PMem, and the byte accounting behind the decision.
+type deltaPlan struct {
+	plan                         datapath.Plan
+	spans                        []datapath.CopySpan
+	pull, copied, skipped, total int64
+}
+
+// modelSizes collects a model's tensor sizes (the delta layout) and
+// their sum.
+func modelSizes(m *index.Model) ([]int64, int64) {
+	sizes := make([]int64, len(m.Tensors))
+	var total int64
+	for i, tm := range m.Tensors {
+		sizes[i] = tm.Size
+		total += tm.Size
+	}
+	return sizes, total
+}
+
+// planDelta decides whether a checkpoint can run incrementally. It must
+// run BEFORE SetActive: the decision reads both slots' version headers
+// and persisted digest tables, and SetActive destroys the target
+// slot's header. A nil return means run a full checkpoint; every nil
+// on a request that asked for delta is counted and flight-recorded as
+// a fallback.
+func (d *Daemon) planDelta(env sim.Env, t *sched.Task, rc *reqCtx, slot int) *deltaPlan {
+	if rc.deltaBlock <= 0 || len(rc.digests) == 0 {
+		return nil // pre-delta client: full checkpoint is the contract, not a fallback
+	}
+	fallback := func(reason string) *deltaPlan {
+		d.tel.deltaFallbacks.Inc()
+		d.tel.events.Emit(telemetry.Event{
+			Time: env.Now(), Kind: telemetry.EvDeltaFallback,
+			Model: t.Model, Iteration: t.Iteration, Trace: t.TraceID, Detail: reason,
+		})
+		return nil
+	}
+	if !d.cfg.DeltaEnabled {
+		return fallback("delta disabled on this daemon")
+	}
+	block := rc.deltaBlock
+	if want := d.cfg.DeltaBlockBytes; want > 0 && block != want {
+		return fallback(fmt.Sprintf("client block %d bytes, daemon pinned to %d", block, want))
+	}
+	m := rc.sess.model
+	sizes, total := modelSizes(m)
+	layout := delta.LayoutHash(sizes, block)
+	count := delta.BlockCount(sizes, block)
+	if len(rc.digests) != count {
+		return fallback(fmt.Sprintf("digest vector has %d blocks, layout needs %d", len(rc.digests), count))
+	}
+	prevSlot, prevHdr, ok := m.LatestDone()
+	if !ok {
+		// First version of this model: nothing could ever delta against
+		// it, so the full pull is the contract rather than a fallback.
+		return nil
+	}
+	if prevSlot == slot {
+		return fallback("previous complete version occupies the target slot")
+	}
+	active, ok := d.store.DeltaGet(m, prevSlot)
+	if !ok || active.Iteration != prevHdr.Iteration || !active.Matches(block, layout, count) {
+		return fallback("previous version has no trusted digest table")
+	}
+	// The target slot's table is only a skip oracle: when it is stale or
+	// missing, every clean block copies forward instead of skipping —
+	// correct either way, just slower.
+	var target []uint64
+	if h := m.VersionHeader(slot); h.State == index.StateDone {
+		if tt, ok := d.store.DeltaGet(m, slot); ok && tt.Iteration == h.Iteration && tt.Matches(block, layout, count) {
+			target = tt.Digests
+		}
+	}
+	diff := delta.ThreeWay(sizes, block, rc.digests, active.Digests, target)
+	if diff.PullBytes+diff.CopyBytes >= total {
+		return fallback(fmt.Sprintf("delta would move %d of %d bytes; full pull is cheaper",
+			diff.PullBytes+diff.CopyBytes, total))
+	}
+	dp := &deltaPlan{pull: diff.PullBytes, copied: diff.CopyBytes, skipped: diff.SkipBytes, total: total}
+	var extents []datapath.Extent
+	for _, x := range diff.Pull {
+		ext := m.TensorData(x.Tensor, slot)
+		extents = append(extents, datapath.Extent{
+			Tensor: x.Tensor, Name: m.Tensors[x.Tensor].Name,
+			TensorOff: x.TensorOff, PMemOff: ext.Off + x.TensorOff, Size: x.Size,
+		})
+	}
+	dp.plan = datapath.NewDeltaPlan(extents, d.cfg.ChunkSize)
+	for _, x := range diff.Copy {
+		dst := m.TensorData(x.Tensor, slot)
+		src := m.TensorData(x.Tensor, prevSlot)
+		dp.spans = append(dp.spans, datapath.CopySpan{
+			Name:   m.Tensors[x.Tensor].Name,
+			DstOff: dst.Off + x.TensorOff, SrcOff: src.Off + x.TensorOff, Size: x.Size,
+		})
+	}
+	return dp
+}
+
+// errInjectedCrash marks a deltaCrash-hook abort: the request dies as a
+// power failure would, with nothing later persisted.
+var errInjectedCrash = errors.New("injected crash")
+
+func (d *Daemon) crashAt(stage string) bool {
+	return d.deltaCrash != nil && d.deltaCrash(stage)
+}
+
+// copyForward runs the local half of an incremental checkpoint and
+// folds its timing into the pull result (the copy is flush-dominated
+// PMem work, so it lands in the flush stage of the Figure 13
+// breakdown).
+func (d *Daemon) copyForward(env sim.Env, cx *datapath.Context, dp *deltaPlan, root *telemetry.Span, res *datapath.Result) error {
+	if d.crashAt("pre-copy-forward") {
+		return errInjectedCrash
+	}
+	data := d.cfg.PMem.Data()
+	cres, err := d.engine.CopyForward(env, cx, dp.spans, func(dst, src, n int64) error {
+		memdev.Copy(data, dst, data, src, n)
+		return nil
+	}, root)
+	if err != nil {
+		return err
+	}
+	res.Flush += cres.Transfer
+	if d.crashAt("post-copy-forward") {
+		return errInjectedCrash
+	}
+	return nil
+}
+
+// putDigests persists the client's digest vector as the slot's table so
+// the NEXT checkpoint can delta against this version. A failed persist
+// only costs that next delta (it falls back to full); the checkpoint
+// itself is already intact on media.
+func (d *Daemon) putDigests(env sim.Env, t *sched.Task, rc *reqCtx, slot int) {
+	m := rc.sess.model
+	sizes, _ := modelSizes(m)
+	if len(rc.digests) != delta.BlockCount(sizes, rc.deltaBlock) {
+		return // malformed vector: never persist a table the differ would mistrust
+	}
+	tbl := &delta.Table{
+		BlockBytes: rc.deltaBlock,
+		Iteration:  t.Iteration,
+		Layout:     delta.LayoutHash(sizes, rc.deltaBlock),
+		Digests:    rc.digests,
+	}
+	if err := d.store.DeltaPut(m, slot, tbl); err != nil {
+		d.tel.events.Emit(telemetry.Event{
+			Time: env.Now(), Kind: telemetry.EvDeltaFallback,
+			Model: m.Name, Iteration: t.Iteration, Trace: t.TraceID,
+			Detail: "digest table persist failed (next delta runs full): " + err.Error(),
+		})
+	}
+}
+
 // doCheckpoint pulls the model from GPU memory into the target version
 // slot, building the span tree of the request lifecycle as it goes:
 // enqueue-wait, the engine's pull/flush stages, and the version-flag
 // commit. The engine returns only once every chunk is flushed, so the
 // done flag never commits over unpersisted data regardless of pipeline
-// depth.
+// depth. A request carrying a trusted digest vector runs incrementally:
+// only the dirty extents cross the fabric, the clean blocks copy
+// forward from the previous version's slot inside PMem (flushed under
+// the same discipline), and blocks the target slot already holds are
+// skipped outright.
 func (d *Daemon) doCheckpoint(env sim.Env, t *sched.Task, rc *reqCtx) {
 	m := rc.sess.model
 	slot := m.TargetSlot()
+	dp := d.planDelta(env, t, rc, slot)
 	m.SetActive(slot, t.Iteration)
 
 	tr := telemetry.NewTrace("checkpoint", m.Name, t.Iteration, t.EnqueuedAt)
@@ -1113,10 +1310,16 @@ func (d *Daemon) doCheckpoint(env sim.Env, t *sched.Task, rc *reqCtx) {
 	wait.EndAt(t0)
 
 	plan, cx := d.plan(rc.sess, slot)
+	if dp != nil {
+		plan = dp.plan
+	}
 	cx.Trace = t.TraceID
 	lease := d.lanePool.Acquire()
 	cx.Lanes = lease.Lanes()
 	res, err := d.engine.Pull(env, cx, plan, tr.Root)
+	if err == nil && dp != nil {
+		err = d.copyForward(env, cx, dp, tr.Root, &res)
+	}
 	lease.Release()
 	if err != nil {
 		tr.Err = err.Error()
@@ -1135,12 +1338,38 @@ func (d *Daemon) doCheckpoint(env sim.Env, t *sched.Task, rc *reqCtx) {
 		return
 	}
 	commit := tr.Root.Child("commit", env.Now())
+	// Persist the client's digest vector for this slot — before the DONE
+	// flag, so a crash in between leaves a table whose iteration cannot
+	// match the slot header (it is distrusted, never wrong). Full
+	// checkpoints persist it too: that is what bootstraps the first
+	// delta.
+	if d.cfg.DeltaEnabled && rc.deltaBlock > 0 && len(rc.digests) > 0 {
+		d.putDigests(env, t, rc, slot)
+	}
+	if d.crashAt("post-table") {
+		commit.EndAt(env.Now())
+		tr.Err = errInjectedCrash.Error()
+		tr.Finish(env.Now())
+		d.tel.traces.Add(tr)
+		d.sched.Done(env, t)
+		d.sendErrFor(env, rc.conn, wire.TDoCheckpoint, t.Iteration, m.Name, tr.Err)
+		return
+	}
 	// Fingerprint the slot's freshly-flushed content and persist the
 	// stamp with the DONE flag: every replica of this pull computes the
 	// same CRC, so a torn or corrupted copy is detectable at restore.
 	crc := d.contentCRC(m, slot)
 	m.SetDoneCRC(slot, t.Iteration, time.Unix(0, int64(env.Now())), crc)
 	commit.EndAt(env.Now())
+	if dp != nil {
+		d.stats.deltaDirty.Store(math.Float64bits(float64(dp.pull) / float64(dp.total)))
+		d.tel.deltaSaved.Add(dp.total - dp.pull)
+		d.tel.events.Emit(telemetry.Event{
+			Time: env.Now(), Kind: telemetry.EvDeltaPlan,
+			Model: m.Name, Iteration: t.Iteration, Trace: t.TraceID,
+			Detail: fmt.Sprintf("pull %d copy %d skip %d of %d bytes", dp.pull, dp.copied, dp.skipped, dp.total),
+		})
+	}
 
 	d.stats.pullNanos.Add(int64(res.Transfer))
 	d.stats.flushNanos.Add(int64(res.Flush))
@@ -1175,9 +1404,12 @@ func (d *Daemon) doCheckpoint(env sim.Env, t *sched.Task, rc *reqCtx) {
 
 // contentCRC fingerprints one version slot's tensor extents: the hash
 // of the actual PMem bytes in materialized mode, or of the extents'
-// content stamps in virtual mode. Replicas that pulled the same GPU
-// content compute the same value, so the stamp identifies the copy's
-// content, not its location.
+// content fingerprints in virtual mode (Fingerprint, not StampOf: a
+// delta-written slot holds pulled and copied-forward fragments side by
+// side, which StampOf cannot summarize; on an unfragmented extent the
+// two are identical, so pre-delta CRCs still verify). Replicas that
+// assembled the same content compute the same value, so the stamp
+// identifies the copy's content, not its location or how it got there.
 func (d *Daemon) contentCRC(m *index.Model, slot int) uint64 {
 	h := crc64.New(crcTable)
 	var b [8]byte
@@ -1186,7 +1418,7 @@ func (d *Daemon) contentCRC(m *index.Model, slot int) uint64 {
 		if d.cfg.PMem.Materialized() {
 			h.Write(d.cfg.PMem.Data().Bytes(ext.Off, ext.Size))
 		} else {
-			binary.LittleEndian.PutUint64(b[:], d.cfg.PMem.Data().StampOf(ext.Off, ext.Size))
+			binary.LittleEndian.PutUint64(b[:], d.cfg.PMem.Data().Fingerprint(ext.Off, ext.Size))
 			h.Write(b[:])
 		}
 	}

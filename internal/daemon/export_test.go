@@ -1,0 +1,7 @@
+package daemon
+
+// SetDeltaCrash installs the incremental-checkpoint crash-injection
+// hook. Tests use it to cut the power at the copy-forward and
+// digest-table boundaries of a delta checkpoint; returning true from
+// the hook aborts the request as a power failure would.
+func (d *Daemon) SetDeltaCrash(f func(stage string) bool) { d.deltaCrash = f }

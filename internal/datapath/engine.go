@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/portus-sys/portus/internal/perfmodel"
 	"github.com/portus-sys/portus/internal/rdma"
 	"github.com/portus-sys/portus/internal/sim"
 	"github.com/portus-sys/portus/internal/telemetry"
@@ -567,6 +568,60 @@ func (e *Engine) pullPipelined(env sim.Env, cx *Context, p Plan, root *telemetry
 	res := Result{Bytes: pulled, Transfer: lastPullEnd - t0, Flush: end - lastPullEnd, Chunks: len(p.Chunks)}
 	rs.finish(e, &res)
 	return res, nil
+}
+
+// CopySpan is one clean range an incremental checkpoint carries forward
+// inside PMem: SrcOff (the active slot's copy) to DstOff (the slot
+// being written), never crossing the fabric.
+type CopySpan struct {
+	Name   string
+	DstOff int64 // absolute offset within the PMem data zone
+	SrcOff int64
+	Size   int64
+}
+
+// CopyFn performs one local PMem-to-PMem copy of n bytes. The daemon
+// supplies it (the engine has no device handle); it must leave the
+// destination range unflushed — the engine charges and drives the flush
+// itself so the flush-before-DONE discipline stays in one place.
+type CopyFn func(dstOff, srcOff, n int64) error
+
+// CopyForward executes the local half of an incremental checkpoint:
+// every span is copied active→target inside PMem and flushed before
+// CopyForward returns, so the caller can commit the target slot's done
+// flag exactly as after a full Pull. Time is charged per span from the
+// modeled PMem read + write bandwidth plus the standard flush cost.
+// Under root it builds a "copy-forward" span with one child per span.
+func (e *Engine) CopyForward(env sim.Env, cx *Context, spans []CopySpan, cp CopyFn, root *telemetry.Span) (Result, error) {
+	if root == nil {
+		root = &telemetry.Span{}
+	}
+	t0 := env.Now()
+	cf := root.Child("copy-forward", t0)
+	var copied int64
+	for _, s := range spans {
+		sp := cf.Child("copy:"+s.Name, env.Now())
+		if err := cp(s.DstOff, s.SrcOff, s.Size); err != nil {
+			sp.SetAttr("error", err.Error())
+			sp.EndAt(env.Now())
+			cf.EndAt(env.Now())
+			return Result{Bytes: copied}, fmt.Errorf("copy-forward %s: %w", s.Name, err)
+		}
+		env.Sleep(perfmodel.PMemCopyTime(s.Size))
+		if err := e.cfg.Flush(s.DstOff, s.Size); err != nil {
+			sp.SetAttr("error", err.Error())
+			sp.EndAt(env.Now())
+			cf.EndAt(env.Now())
+			return Result{Bytes: copied}, fmt.Errorf("copy-forward flush %s: %w", s.Name, err)
+		}
+		env.Sleep(e.cfg.FlushCost(s.Size))
+		copied += s.Size
+		sp.SetAttr("bytes", strconv.FormatInt(s.Size, 10))
+		sp.EndAt(env.Now())
+	}
+	end := env.Now()
+	cf.EndAt(end)
+	return Result{Bytes: copied, Transfer: end - t0, Chunks: len(spans)}, nil
 }
 
 // Push runs the restore direction: chunks move from PMem back into the

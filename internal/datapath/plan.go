@@ -67,6 +67,62 @@ type Plan struct {
 	Bytes  int64
 }
 
+// Extent is a dirty byte range of one tensor, produced by the delta
+// differ: only these ranges move over the fabric on an incremental
+// checkpoint. Tensor indexes the same slice positions NewPlan uses, so
+// a delta plan's chunks address Context.Remote identically to a full
+// plan's.
+type Extent struct {
+	Tensor    int
+	Name      string
+	TensorOff int64 // offset within the tensor (= offset within the remote MR)
+	PMemOff   int64 // absolute offset of this range within the PMem data zone
+	Size      int64
+}
+
+// NewDeltaPlan builds a chunk schedule covering exactly the given dirty
+// extents — the incremental-checkpoint counterpart of NewPlan. Each
+// extent splits into chunks of at most chunkSize bytes under the same
+// MinChunk clamp; extents themselves are never merged, so the plan
+// moves precisely the bytes the differ marked dirty.
+func NewDeltaPlan(extents []Extent, chunkSize int64) Plan {
+	if chunkSize > 0 && chunkSize < perfmodel.MinChunk {
+		chunkSize = perfmodel.MinChunk
+	}
+	var p Plan
+	for _, x := range extents {
+		p.Bytes += x.Size
+		n := 1
+		if chunkSize > 0 && x.Size > chunkSize {
+			n = int((x.Size + chunkSize - 1) / chunkSize)
+		}
+		for k := 0; k < n; k++ {
+			off := int64(k) * chunkSize
+			ln := x.Size
+			if n > 1 {
+				ln = x.Size - off
+				if ln > chunkSize {
+					ln = chunkSize
+				}
+			}
+			// The label carries the tensor-relative range so delta chunks
+			// are distinguishable from full-plan chunks in traces.
+			label := x.Name + "@" + strconv.FormatInt(x.TensorOff+off, 10)
+			p.Chunks = append(p.Chunks, Chunk{
+				Tensor:    x.Tensor,
+				Name:      x.Name,
+				Seq:       k,
+				Chunks:    n,
+				TensorOff: x.TensorOff + off,
+				PMemOff:   x.PMemOff + off,
+				Len:       ln,
+				label:     label,
+			})
+		}
+	}
+	return p
+}
+
 // NewPlan splits tensors into chunks of at most chunkSize bytes.
 // chunkSize <= 0 disables splitting (one chunk per tensor, matching
 // the paper's one-READ-per-tensor datapath); positive values are

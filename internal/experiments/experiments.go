@@ -103,6 +103,7 @@ func Registry() []Experiment {
 		{"ablation-churn", "Ablation: goodput under sustained failures (§I churn regime)", AblationChurn},
 		{"ablation-pipeline", "Ablation: datapath pipeline depth x lane striping", AblationPipeline},
 		{"scale", "Sharded storage tier: aggregate checkpoint throughput vs node count", Scale},
+		{"delta", "Incremental checkpointing: delta transfer and PMem copy-forward vs mutation rate", Delta},
 		{"multitenant", "Multi-tenant scheduling: fairness, coalescing, backpressure", Multitenant},
 		{"chaos", "Chaos: checkpoint goodput and recoverability under injected faults", Chaos},
 		{"failover", "Failover: surviving storage-node loss with replicated shards", Failover},

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"github.com/portus-sys/portus/internal/alloc"
+	"github.com/portus-sys/portus/internal/delta"
 	"github.com/portus-sys/portus/internal/pmem"
 )
 
@@ -76,7 +77,42 @@ const (
 	sbCountGen  = 32
 	sbMindexBrk = 40
 	sbAllocOff  = 48
+	// sbDeltaBrk is the bottom of the delta digest-table region, which
+	// grows downward from the allocation table toward the MIndex break.
+	// Pre-delta images hold zero here, which Open reads as "empty region
+	// at allocOff" — a gob-style compatible extension of the superblock.
+	sbDeltaBrk = 56
 )
+
+// Delta digest-table record layout: a packed sequence of records filling
+// [deltaBrk, allocOff), each
+//
+//	recLen | state | infoOff | slot | blockBytes | iteration | layout |
+//	count | digests[count] | crc
+//
+// of uint64 words. recLen is written once at allocation and never
+// changes, so the region stays walkable whatever state each record is
+// in; state is the 8-byte failure-atomic validity toggle (invalid while
+// a rewrite is in flight, dead after the owning model or slot goes
+// away); crc covers words [2, 8+count) and catches torn body writes.
+const (
+	deltaHdr     = 64 // words 0..7
+	deltaInvalid = uint64(0)
+	deltaValid   = uint64(1)
+	deltaDead    = uint64(2)
+)
+
+// ErrCrashed is returned by DeltaPut when the test-only crash hook fired
+// mid-persist: the namespace has been reverted and must not be touched
+// again through this Store.
+var ErrCrashed = errors.New("index: crash injected")
+
+// deltaKey identifies a digest record: the owning model's MIndex offset
+// plus the version slot.
+type deltaKey struct {
+	infoOff int64
+	slot    int
+}
 
 // Version states. The zero state means the slot has never completed a
 // checkpoint.
@@ -178,6 +214,19 @@ type Store struct {
 	allocOff   int64
 	modelCount int64
 	mindexBrk  int64
+	deltaBrk   int64 // bottom of the delta digest-table region
+
+	// deltaIdx maps (model, slot) to its digest record; deltaFree holds
+	// dead records by size for reuse. Both rebuilt at Open by walking the
+	// record region.
+	deltaIdx  map[deltaKey]int64
+	deltaFree map[int64][]int64
+
+	// crashHook, when set (tests only), runs at every crash boundary of
+	// a digest-table persist; returning true means "the device just
+	// crashed": the operation aborts with ErrCrashed and must not touch
+	// the namespace again.
+	crashHook func(point string) bool
 
 	// mindexFree tracks dead MIndex byte ranges (deleted models) below
 	// the break, sorted by offset and coalesced. In-memory only: the
@@ -223,6 +272,9 @@ func Format(pm *pmem.Device, tableCap int64) (*Store, error) {
 		tableCap:  tableCap,
 		allocOff:  allocOff,
 		mindexBrk: mindexStart,
+		deltaBrk:  allocOff,
+		deltaIdx:  map[deltaKey]int64{},
+		deltaFree: map[int64][]int64{},
 	}
 	sb := make([]byte, superSize)
 	binary.LittleEndian.PutUint64(sb[sbMagic:], superMagic)
@@ -232,6 +284,7 @@ func Format(pm *pmem.Device, tableCap int64) (*Store, error) {
 	binary.LittleEndian.PutUint64(sb[sbCountGen:], 0)
 	binary.LittleEndian.PutUint64(sb[sbMindexBrk:], uint64(s.mindexBrk))
 	binary.LittleEndian.PutUint64(sb[sbAllocOff:], uint64(allocOff))
+	binary.LittleEndian.PutUint64(sb[sbDeltaBrk:], uint64(s.deltaBrk))
 	pm.WriteMeta(0, sb)
 	pm.FlushMeta(0, superSize)
 	return s, nil
@@ -253,6 +306,7 @@ func Open(pm *pmem.Device) (*Store, error) {
 		modelCount: int64(countGen >> 1),
 		mindexBrk:  int64(binary.LittleEndian.Uint64(sb[sbMindexBrk:])),
 		allocOff:   int64(binary.LittleEndian.Uint64(sb[sbAllocOff:])),
+		deltaBrk:   int64(binary.LittleEndian.Uint64(sb[sbDeltaBrk:])),
 	}
 	if s.tableBase < superSize || s.tableCap < 0 || s.modelCount < 0 ||
 		s.modelCount > s.tableCap ||
@@ -260,12 +314,21 @@ func Open(pm *pmem.Device) (*Store, error) {
 		s.allocOff <= 0 || s.allocOff > pm.MetaSize()-headerMin {
 		return nil, fmt.Errorf("%w: implausible superblock", ErrCorrupt)
 	}
+	if s.deltaBrk == 0 {
+		// Pre-delta image: the spare superblock word is zero, meaning an
+		// empty digest region sitting at the allocation table.
+		s.deltaBrk = s.allocOff
+	}
+	if s.deltaBrk < s.mindexBrk || s.deltaBrk > s.allocOff {
+		return nil, fmt.Errorf("%w: implausible delta break", ErrCorrupt)
+	}
 	a, err := alloc.Open(pm, s.allocOff)
 	if err != nil {
 		return nil, err
 	}
 	s.alloc = a
 	s.rebuildMIndexFree()
+	s.rebuildDelta()
 	return s, nil
 }
 
@@ -461,7 +524,7 @@ func (s *Store) CreateModel(name string, tensors []TensorMeta) (*Model, error) {
 	}
 	if !reused {
 		m.off = s.mindexBrk
-		if m.off+recLen > s.allocOff {
+		if m.off+recLen > s.deltaBrk {
 			rollback()
 			return nil, fmt.Errorf("index: MIndex region exhausted: %w", alloc.ErrNoSpace)
 		}
@@ -572,6 +635,11 @@ func (s *Store) DeleteModel(name string) error {
 		s.pm.WriteMeta(at, z[:]) // infoOff = 0 tombstone
 		s.pm.Persist8(at)
 		s.freeMIndexRange(m.off, int64(mindexHdr)+int64(len(m.Tensors))*tensorRec)
+		// Drop the model's digest records: a later CreateModel may reuse
+		// this MIndex offset, and a stale table under the same key would
+		// diff a new model against a dead one's content.
+		s.deltaDrop(m.off, 0)
+		s.deltaDrop(m.off, 1)
 		return nil
 	}
 	return fmt.Errorf("%w: %s", ErrNoModel, name)
@@ -830,7 +898,9 @@ func (m *Model) SetPAddr(i, v int, off int64) {
 }
 
 // ClearVersion marks slot v empty and invalidates its tensor pointers
-// (the repacker's treatment of outdated or collapsed versions).
+// (the repacker's treatment of outdated or collapsed versions). The
+// slot's digest record goes with it: a cleared slot holds no content to
+// diff against.
 func (m *Model) ClearVersion(v int) {
 	off := m.verOff(v)
 	var b [8]byte // zero = StateEmpty
@@ -839,6 +909,7 @@ func (m *Model) ClearVersion(v int) {
 	for i := range m.Tensors {
 		m.SetPAddr(i, v, 0)
 	}
+	m.s.deltaDrop(m.off, v)
 }
 
 // HasSlot reports whether slot v still owns TensorData extents (false
@@ -846,4 +917,232 @@ func (m *Model) ClearVersion(v int) {
 // never places an extent there.
 func (m *Model) HasSlot(v int) bool {
 	return len(m.Tensors) > 0 && m.PAddr[0][v] != 0
+}
+
+// ---------------------------------------------------------------------------
+// Delta digest tables.
+// ---------------------------------------------------------------------------
+
+// deltaRecLen returns the on-media size of a record holding count
+// digests.
+func deltaRecLen(count int) int64 { return deltaHdr + int64(count)*8 + 8 }
+
+// deltaCRC fingerprints a record's body words (everything past recLen
+// and state, up to but excluding the trailing crc word).
+func deltaCRC(body []byte) uint64 {
+	h := fnv64aInit
+	for _, b := range body {
+		h = (h ^ uint64(b)) * fnv64aPrime
+	}
+	return h
+}
+
+// FNV-64a, inlined so record validation needs no allocation.
+const (
+	fnv64aInit  = uint64(14695981039346656037)
+	fnv64aPrime = uint64(1099511628211)
+)
+
+// rebuildDelta reconstructs the digest-record map and dead-record free
+// list by walking the packed region [deltaBrk, allocOff). Best-effort:
+// an implausible record length abandons the walk, which only disables
+// delta lookups past that point (checkpoints fall back to full).
+func (s *Store) rebuildDelta() {
+	s.deltaIdx = map[deltaKey]int64{}
+	s.deltaFree = map[int64][]int64{}
+	off := s.deltaBrk
+	for off+deltaHdr <= s.allocOff {
+		raw := s.pm.MetaBytes(off, deltaHdr)
+		recLen := int64(binary.LittleEndian.Uint64(raw[0:]))
+		if recLen < deltaRecLen(0) || recLen%8 != 0 || off+recLen > s.allocOff {
+			return
+		}
+		state := binary.LittleEndian.Uint64(raw[8:])
+		switch state {
+		case deltaValid, deltaInvalid:
+			key := deltaKey{
+				infoOff: int64(binary.LittleEndian.Uint64(raw[16:])),
+				slot:    int(binary.LittleEndian.Uint64(raw[24:])),
+			}
+			s.deltaIdx[key] = off
+		case deltaDead:
+			s.deltaFree[recLen] = append(s.deltaFree[recLen], off)
+		default:
+			return
+		}
+		off += recLen
+	}
+}
+
+// DeltaBytes reports the metadata-zone space held by the digest-table
+// region (live and dead records).
+func (s *Store) DeltaBytes() int64 { return s.allocOff - s.deltaBrk }
+
+// crash fires the test-only crash hook; true means the device crashed
+// at this boundary and the caller must abort.
+func (s *Store) crash(point string) bool {
+	return s.crashHook != nil && s.crashHook(point)
+}
+
+// DeltaPut persists slot's digest table for model m. The write is
+// crash-safe at every boundary: a fresh record becomes visible only when
+// the region break is persisted after the record is fully flushed, and
+// an in-place rewrite toggles the record invalid first, so a crash
+// leaves either the old table, the new table, or a visibly invalid
+// record (which DeltaGet treats as missing — the next checkpoint runs
+// full). Running out of metadata space is reported as
+// alloc.ErrNoSpace-wrapped so callers can degrade to full checkpoints
+// without failing the request.
+func (s *Store) DeltaPut(m *Model, slot int, t *delta.Table) error {
+	if slot != 0 && slot != 1 {
+		return fmt.Errorf("index: invalid version slot %d", slot)
+	}
+	recLen := deltaRecLen(len(t.Digests))
+	key := deltaKey{infoOff: m.off, slot: slot}
+
+	// An existing record of a different size cannot be rewritten in
+	// place: retire it and allocate fresh.
+	if off, ok := s.deltaIdx[key]; ok {
+		if int64(binary.LittleEndian.Uint64(s.pm.MetaBytes(off, 8))) != recLen {
+			s.deltaDrop(m.off, slot)
+		}
+	}
+
+	body := make([]byte, recLen-16)
+	binary.LittleEndian.PutUint64(body[0:], uint64(m.off))
+	binary.LittleEndian.PutUint64(body[8:], uint64(slot))
+	binary.LittleEndian.PutUint64(body[16:], uint64(t.BlockBytes))
+	binary.LittleEndian.PutUint64(body[24:], t.Iteration)
+	binary.LittleEndian.PutUint64(body[32:], t.Layout)
+	binary.LittleEndian.PutUint64(body[40:], uint64(len(t.Digests)))
+	for i, d := range t.Digests {
+		binary.LittleEndian.PutUint64(body[48+i*8:], d)
+	}
+	binary.LittleEndian.PutUint64(body[len(body)-8:], deltaCRC(body[:len(body)-8]))
+
+	var b [8]byte
+	if off, ok := s.deltaIdx[key]; ok {
+		// In-place rewrite: invalidate, write body, revalidate.
+		if s.crash("delta-invalidate") {
+			return ErrCrashed
+		}
+		binary.LittleEndian.PutUint64(b[:], deltaInvalid)
+		s.pm.WriteMeta(off+8, b[:])
+		s.pm.Persist8(off + 8)
+		if s.crash("delta-body") {
+			return ErrCrashed
+		}
+		s.pm.WriteMeta(off+16, body)
+		s.pm.FlushMeta(off+16, int64(len(body)))
+		if s.crash("delta-validate") {
+			return ErrCrashed
+		}
+		binary.LittleEndian.PutUint64(b[:], deltaValid)
+		s.pm.WriteMeta(off+8, b[:])
+		s.pm.Persist8(off + 8)
+		return nil
+	}
+
+	// Reuse a dead record of the exact size, else claim fresh space
+	// below the break.
+	if free := s.deltaFree[recLen]; len(free) > 0 {
+		off := free[len(free)-1]
+		s.deltaFree[recLen] = free[:len(free)-1]
+		if s.crash("delta-invalidate") {
+			return ErrCrashed
+		}
+		binary.LittleEndian.PutUint64(b[:], deltaInvalid)
+		s.pm.WriteMeta(off+8, b[:])
+		s.pm.Persist8(off + 8)
+		if s.crash("delta-body") {
+			return ErrCrashed
+		}
+		s.pm.WriteMeta(off+16, body)
+		s.pm.FlushMeta(off+16, int64(len(body)))
+		if s.crash("delta-validate") {
+			return ErrCrashed
+		}
+		binary.LittleEndian.PutUint64(b[:], deltaValid)
+		s.pm.WriteMeta(off+8, b[:])
+		s.pm.Persist8(off + 8)
+		s.deltaIdx[key] = off
+		return nil
+	}
+
+	off := s.deltaBrk - recLen
+	if off < s.mindexBrk {
+		return fmt.Errorf("index: delta region exhausted: %w", alloc.ErrNoSpace)
+	}
+	if s.crash("delta-body") {
+		return ErrCrashed
+	}
+	rec := make([]byte, recLen)
+	binary.LittleEndian.PutUint64(rec[0:], uint64(recLen))
+	binary.LittleEndian.PutUint64(rec[8:], deltaValid)
+	copy(rec[16:], body)
+	s.pm.WriteMeta(off, rec)
+	s.pm.FlushMeta(off, recLen)
+	if s.crash("delta-publish") {
+		return ErrCrashed
+	}
+	// Publish: the break persist makes the record visible atomically.
+	s.deltaBrk = off
+	binary.LittleEndian.PutUint64(b[:], uint64(s.deltaBrk))
+	s.pm.WriteMeta(sbDeltaBrk, b[:])
+	s.pm.Persist8(sbDeltaBrk)
+	s.deltaIdx[key] = off
+	return nil
+}
+
+// DeltaGet loads slot's persisted digest table for model m, or reports
+// a miss for anything not fully valid: no record, an in-flight rewrite
+// that never revalidated, or a body that fails its CRC.
+func (s *Store) DeltaGet(m *Model, slot int) (*delta.Table, bool) {
+	off, ok := s.deltaIdx[deltaKey{infoOff: m.off, slot: slot}]
+	if !ok {
+		return nil, false
+	}
+	hdr := s.pm.MetaBytes(off, deltaHdr)
+	recLen := int64(binary.LittleEndian.Uint64(hdr[0:]))
+	if binary.LittleEndian.Uint64(hdr[8:]) != deltaValid {
+		return nil, false
+	}
+	count := int64(binary.LittleEndian.Uint64(hdr[56:]))
+	if count < 0 || deltaRecLen(int(count)) != recLen {
+		return nil, false
+	}
+	body := s.pm.MetaBytes(off+16, recLen-16)
+	if deltaCRC(body[:len(body)-8]) != binary.LittleEndian.Uint64(body[len(body)-8:]) {
+		return nil, false
+	}
+	t := &delta.Table{
+		BlockBytes: int64(binary.LittleEndian.Uint64(hdr[32:])),
+		Iteration:  binary.LittleEndian.Uint64(hdr[40:]),
+		Layout:     binary.LittleEndian.Uint64(hdr[48:]),
+		Digests:    make([]uint64, count),
+	}
+	for i := range t.Digests {
+		t.Digests[i] = binary.LittleEndian.Uint64(body[48+i*8:])
+	}
+	return t, true
+}
+
+// DeltaDrop retires slot's digest record for model m (no-op when none
+// exists). Exposed for the daemon's delete path; DeleteModel and
+// ClearVersion call it internally.
+func (m *Model) DeltaDrop(slot int) { m.s.deltaDrop(m.off, slot) }
+
+func (s *Store) deltaDrop(infoOff int64, slot int) {
+	key := deltaKey{infoOff: infoOff, slot: slot}
+	off, ok := s.deltaIdx[key]
+	if !ok {
+		return
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], deltaDead)
+	s.pm.WriteMeta(off+8, b[:])
+	s.pm.Persist8(off + 8)
+	delete(s.deltaIdx, key)
+	recLen := int64(binary.LittleEndian.Uint64(s.pm.MetaBytes(off, 8)))
+	s.deltaFree[recLen] = append(s.deltaFree[recLen], off)
 }

@@ -12,6 +12,7 @@
 package memdev
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -172,21 +173,128 @@ func (d *Device) setStampLocked(off, n int64, stamp uint64) {
 	d.insertLocked(stampEntry{off: off, n: n, stamp: stamp, srcOff: 0, srcLen: n})
 }
 
+// WriteStampBatch records many scattered complete regions in one pass —
+// the sparse-optimizer write shape, where a training iteration dirties
+// thousands of blocks across the device. Regions must be ascending and
+// non-overlapping. Equivalent to calling WriteStamp per region, but one
+// merge walk over the entry list instead of a splice per write. Ignored
+// on a materialized device, like WriteStamp.
+func (d *Device) WriteStampBatch(regions []StampRegion) {
+	if d.materialized || len(regions) == 0 {
+		return
+	}
+	for i, r := range regions {
+		d.check(r.Off, r.N)
+		if i > 0 && r.Off < regions[i-1].Off+regions[i-1].N {
+			panic("memdev: WriteStampBatch regions not ascending and disjoint")
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]stampEntry, 0, len(d.stamps)+2*len(regions))
+	si := 0
+	for _, r := range regions {
+		end := r.Off + r.N
+		// Keep entries entirely before this write.
+		for si < len(d.stamps) && d.stamps[si].off+d.stamps[si].n <= r.Off {
+			out = append(out, d.stamps[si])
+			si++
+		}
+		// Clip the straddler's left remainder.
+		if si < len(d.stamps) && d.stamps[si].off < r.Off {
+			left := d.stamps[si]
+			left.n = r.Off - left.off
+			out = append(out, left)
+		}
+		out = append(out, stampEntry{off: r.Off, n: r.N, stamp: r.Stamp, srcOff: 0, srcLen: r.N})
+		// Drop entries the write covers; clip the right straddler in
+		// place so the next write (or the tail copy) sees the remainder.
+		for si < len(d.stamps) && d.stamps[si].off+d.stamps[si].n <= end {
+			si++
+		}
+		if si < len(d.stamps) && d.stamps[si].off < end {
+			cut := end - d.stamps[si].off
+			d.stamps[si].off += cut
+			d.stamps[si].srcOff += cut
+			d.stamps[si].n -= cut
+		}
+	}
+	out = append(out, d.stamps[si:]...)
+	d.stamps = coalesce(out)
+}
+
+// searchLocked returns the index of the first entry whose region ends
+// after off. Entries are disjoint and sorted by offset, so their end
+// offsets are sorted too and the slice is binary-searchable.
+func (d *Device) searchLocked(off int64) int {
+	return sort.Search(len(d.stamps), func(i int) bool {
+		return d.stamps[i].off+d.stamps[i].n > off
+	})
+}
+
 // insertLocked replaces any entries overlapping e's region with e, then
 // coalesces adjacent fragments carrying contiguous pieces of the same
 // parent content back into larger fragments (and, eventually, complete
-// entries).
+// entries). Entries only partially overlapped by e are clipped, not
+// dropped: their surviving ranges stay behind as fragments of the same
+// parent, so punching a small write into a large stamped region (a
+// sparse optimizer step dirtying one block of a tensor) keeps the rest
+// of the region's content identity intact. Delta checkpointing depends
+// on this — the clean blocks around a dirty one must fingerprint the
+// same before and after a PMem round trip.
 func (d *Device) insertLocked(e stampEntry) {
-	kept := d.stamps[:0]
-	for _, o := range d.stamps {
-		if o.off+o.n <= e.off || o.off >= e.off+e.n {
-			kept = append(kept, o)
-		}
+	d.spliceLocked(e.off, e.n, []stampEntry{e})
+}
+
+// spliceLocked replaces the window [off, off+n) with run — disjoint
+// entries, ascending, tiling the window exactly — clipping the partially
+// overlapped boundary entries and re-coalescing only around the splice.
+// The entry list is kept sorted and maximally coalesced, so the work is
+// O(log n) search + O(overlap) rebuild + a memmove when the list length
+// changes; a same-shape overwrite (the steady state of checkpointing
+// into a fixed slot) moves nothing.
+func (d *Device) spliceLocked(off, n int64, run []stampEntry) {
+	end := off + n
+	s := d.stamps
+	lo := d.searchLocked(off)
+	hi := lo
+	for hi < len(s) && s[hi].off < end {
+		hi++
 	}
-	d.stamps = append(kept, e)
-	sort.Slice(d.stamps, func(i, j int) bool { return d.stamps[i].off < d.stamps[j].off })
-	merged := d.stamps[:0]
-	for _, o := range d.stamps {
+	// Window to rebuild: one kept neighbor on each side participates in
+	// coalescing with the new run.
+	wlo, whi := lo, hi
+	if wlo > 0 {
+		wlo--
+	}
+	if whi < len(s) {
+		whi++
+	}
+	repl := make([]stampEntry, 0, (lo-wlo)+len(run)+2+(whi-hi))
+	repl = append(repl, s[wlo:lo]...)
+	if lo < hi && s[lo].off < off { // left remainder survives
+		left := s[lo]
+		left.n = off - left.off
+		repl = append(repl, left)
+	}
+	repl = append(repl, run...)
+	if lo < hi && s[hi-1].off+s[hi-1].n > end { // right remainder survives
+		cut := end - s[hi-1].off
+		right := s[hi-1]
+		right.off += cut
+		right.srcOff += cut
+		right.n -= cut
+		repl = append(repl, right)
+	}
+	repl = append(repl, s[hi:whi]...)
+	d.stamps = spliceEntries(s, wlo, whi, coalesce(repl))
+}
+
+// coalesce merges adjacent fragments of the same parent content in a
+// sorted run, in place.
+func coalesce(run []stampEntry) []stampEntry {
+	merged := run[:0]
+	for _, o := range run {
 		if len(merged) > 0 {
 			p := &merged[len(merged)-1]
 			if p.off+p.n == o.off && p.stamp == o.stamp &&
@@ -197,13 +305,35 @@ func (d *Device) insertLocked(e stampEntry) {
 		}
 		merged = append(merged, o)
 	}
-	d.stamps = merged
+	return merged
+}
+
+// spliceEntries replaces s[lo:hi] with repl, moving the tail only when
+// the length changes.
+func spliceEntries(s []stampEntry, lo, hi int, repl []stampEntry) []stampEntry {
+	delta := len(repl) - (hi - lo)
+	switch {
+	case delta == 0:
+		copy(s[lo:hi], repl)
+		return s
+	case delta < 0:
+		copy(s[lo:], repl)
+		copy(s[lo+len(repl):], s[hi:])
+		return s[:len(s)+delta]
+	default:
+		old := len(s)
+		s = append(s, make([]stampEntry, delta)...)
+		copy(s[hi+delta:], s[hi:old])
+		copy(s[lo:], repl)
+		return s
+	}
 }
 
 // fragmentLocked finds the entry wholly containing [off, off+n) and
 // returns it as a fragment positioned at that sub-range.
 func (d *Device) fragmentLocked(off, n int64) (stampEntry, bool) {
-	for _, e := range d.stamps {
+	if i := d.searchLocked(off); i < len(d.stamps) {
+		e := d.stamps[i]
 		if e.off <= off && off+n <= e.off+e.n {
 			return stampEntry{
 				off:    off,
@@ -215,6 +345,43 @@ func (d *Device) fragmentLocked(off, n int64) (stampEntry, bool) {
 		}
 	}
 	return stampEntry{}, false
+}
+
+// fragmentsLocked returns the entries covering [off, off+n) clipped to
+// that window, ascending, with uncovered gaps filled by unknown
+// (stamp 0) entries so the result tiles the window exactly. Offsets are
+// in this device's coordinates; callers re-base them.
+func (d *Device) fragmentsLocked(off, n int64) []stampEntry {
+	cur, end := off, off+n
+	var out []stampEntry
+	for i := d.searchLocked(off); i < len(d.stamps); i++ { // sorted by offset
+		e := d.stamps[i]
+		if e.off >= end {
+			break
+		}
+		c0, c1 := e.off, e.off+e.n
+		if c0 < cur {
+			c0 = cur
+		}
+		if c1 > end {
+			c1 = end
+		}
+		if c0 > cur {
+			out = append(out, stampEntry{off: cur, n: c0 - cur, srcLen: c0 - cur})
+		}
+		out = append(out, stampEntry{
+			off:    c0,
+			n:      c1 - c0,
+			stamp:  e.stamp,
+			srcOff: e.srcOff + (c0 - e.off),
+			srcLen: e.srcLen,
+		})
+		cur = c1
+	}
+	if cur < end {
+		out = append(out, stampEntry{off: cur, n: end - cur, srcLen: end - cur})
+	}
+	return out
 }
 
 // StampOf returns the content fingerprint of region [off, off+n). On a
@@ -230,12 +397,54 @@ func (d *Device) StampOf(off, n int64) uint64 {
 		h.Write(d.data[off : off+n])
 		return h.Sum64()
 	}
-	for _, e := range d.stamps {
-		if e.off == off && e.n == n && e.complete() {
+	if i := d.searchLocked(off); i < len(d.stamps) {
+		if e := d.stamps[i]; e.off == off && e.n == n && e.complete() {
 			return e.stamp
 		}
 	}
 	return 0
+}
+
+// Fingerprint returns a content fingerprint of region [off, off+n) that
+// is defined in both modes, including fragmented virtual regions where
+// StampOf gives up with 0. On a materialized device it hashes the bytes
+// (identical to StampOf). On a virtual device a region exactly covered
+// by one complete entry returns that entry's raw stamp — again identical
+// to StampOf, so whole-region fingerprints stay comparable across both
+// APIs — while any other coverage hashes the covering fragment run
+// (relative offset, length, stamp, and parent position of each piece,
+// gaps included as stamp-0 pieces), so changing any piece's content
+// changes the fingerprint. Copies preserve fragment identity, which
+// makes Fingerprint stable across chunked transfers and slot-to-slot
+// copy-forwards of the same content.
+func (d *Device) Fingerprint(off, n int64) uint64 {
+	d.check(off, n)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.materialized {
+		h := fnv.New64a()
+		h.Write(d.data[off : off+n])
+		return h.Sum64()
+	}
+	if i := d.searchLocked(off); i < len(d.stamps) {
+		if e := d.stamps[i]; e.off == off && e.n == n && e.complete() {
+			return e.stamp
+		}
+	}
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	for _, f := range d.fragmentsLocked(off, n) {
+		put(uint64(f.off - off))
+		put(uint64(f.n))
+		put(f.stamp)
+		put(uint64(f.srcOff))
+		put(uint64(f.srcLen))
+	}
+	return h.Sum64()
 }
 
 // Copy moves n bytes from src[srcOff] to dst[dstOff]. Both devices must
@@ -259,16 +468,19 @@ func Copy(dst *Device, dstOff int64, src *Device, srcOff, n int64) {
 		dst.Write(dstOff, buf)
 		return
 	}
+	// Collect the covering fragments under the source lock, then splice
+	// them into the destination in one pass (they tile [dstOff,
+	// dstOff+n) exactly). The locks are held sequentially, never nested,
+	// so a self-copy (slot-to-slot copy-forward within one device)
+	// cannot deadlock.
 	src.mu.Lock()
-	frag, ok := src.fragmentLocked(srcOff, n)
+	frags := src.fragmentsLocked(srcOff, n)
 	src.mu.Unlock()
-	if !ok {
-		// The range spans no single stamped region: content unknown.
-		frag = stampEntry{stamp: 0, srcOff: 0, srcLen: n}
+	for i := range frags {
+		frags[i].off += dstOff - srcOff
 	}
-	frag.off, frag.n = dstOff, n
 	dst.mu.Lock()
-	dst.insertLocked(frag)
+	dst.spliceLocked(dstOff, n, frags)
 	dst.mu.Unlock()
 }
 

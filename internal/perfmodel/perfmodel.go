@@ -169,7 +169,26 @@ const (
 	IndexInsertCost = 2 * time.Microsecond
 	// FlushPerMiB is the CLWB+fence flush cost per MiB of TensorData.
 	FlushPerMiB = 9 * time.Microsecond
+	// DigestBW is the client-side throughput of computing block digests
+	// over resident GPU tensors for incremental checkpointing (a
+	// memory-bandwidth-bound xxHash/FNV pass fused with the optimizer's
+	// last touch of the weights).
+	DigestBW = 150 * GB
 )
+
+// PMemCopyTime models a local PMem-to-PMem copy of n bytes (the
+// copy-forward stage of an incremental checkpoint): the media is read
+// at PMemReadBW and written at PMemWriteBW, and the stages do not
+// overlap within one span.
+func PMemCopyTime(n int64) time.Duration {
+	secs := float64(n)/PMemReadBW + float64(n)/PMemWriteBW
+	return time.Duration(secs * float64(time.Second))
+}
+
+// DigestTime models computing block digests over n bytes at DigestBW.
+func DigestTime(n int64) time.Duration {
+	return time.Duration(float64(n) / DigestBW * float64(time.Second))
+}
 
 // Restore-path costs.
 const (

@@ -41,6 +41,13 @@ const (
 	// EvStoreRepack records a completed online repack pass with its
 	// report summary in Detail.
 	EvStoreRepack EventKind = "store.repack"
+	// EvDeltaPlan records an accepted incremental-checkpoint plan:
+	// Detail carries the pull/copy-forward/skip byte split.
+	EvDeltaPlan EventKind = "delta.plan"
+	// EvDeltaFallback records a checkpoint that requested delta but ran
+	// full, with the reason in Detail (no table, layout mismatch,
+	// untrusted table, or a plan that would move more than a full pass).
+	EvDeltaFallback EventKind = "delta.fallback"
 )
 
 // Event is one flight-recorder entry: a typed, timestamped record of a

@@ -52,6 +52,9 @@ func FuzzMsgDecode(f *testing.F) {
 	f.Add(enc(&Msg{Type: TListResp, Models: []ModelInfo{
 		{Name: "m", Slot0: "DONE", Slot0Iter: 4, Slot0CRC: 0xfeed, Slot1Iter: 3, Slot1CRC: 0xbeef, Node: "s1", Owner: "s1"},
 	}}))
+	f.Add(enc(&Msg{Type: TDoCheckpoint, Model: "gpt", Iteration: 12,
+		DeltaBlock: 64 << 10, Digests: []uint64{0xfeed, 0, 0xbeef, ^uint64(0)}}))
+	f.Add(enc(&Msg{Type: TDoCheckpoint, Model: "gpt", Iteration: 13, DeltaBlock: -1}))
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0x00, 0x01, 0x80})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -90,6 +93,8 @@ func TestReplicationFieldsGobRoundTrip(t *testing.T) {
 		}}},
 		{Type: TLoad, Model: "gpt/mp_rank_00", Iteration: 9, CRC: 0xabad1dea, Payload: []byte("serialized container")},
 		{Type: TCheckpointDone, Model: "gpt", Iteration: 4, CRC: 0x1234},
+		{Type: TDoCheckpoint, Model: "gpt", Iteration: 7, DeltaBlock: 64 << 10,
+			Digests: []uint64{1, 2, 3, 0xdeadbeefcafef00d}},
 	} {
 		nc := NewNetConn(&byteConn{r: bytes.NewReader(encodeMsg(t, want))})
 		got, err := nc.Recv(env)
@@ -125,6 +130,36 @@ func TestReplicationFieldsGobCompat(t *testing.T) {
 	}
 	if mi := got.Models[0]; mi.Slot0CRC != 0 || mi.Slot1CRC != 0 {
 		t.Fatalf("legacy LIST_RESP decoded non-zero CRCs: %+v", mi)
+	}
+}
+
+// TestDeltaFieldsGobCompat pins the old-client path of incremental
+// checkpointing: a DO_CHECKPOINT encoded by a pre-delta client carries
+// no digest vector, so a delta-enabled daemon must decode the zero
+// values (nil Digests, DeltaBlock 0) that mean "run a full checkpoint".
+func TestDeltaFieldsGobCompat(t *testing.T) {
+	env := sim.NewRealEnv()
+	old := &Msg{Type: TDoCheckpoint, Model: "gpt", Iteration: 42, TraceID: 7, SpanID: 9}
+	nc := NewNetConn(&byteConn{r: bytes.NewReader(encodeMsg(t, old))})
+	got, err := nc.Recv(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digests != nil || got.DeltaBlock != 0 {
+		t.Fatalf("legacy DO_CHECKPOINT decoded non-zero delta fields: %+v", got)
+	}
+	// And the reverse: a delta client's digest vector survives the trip
+	// byte-for-byte, including zero digests inside the vector (gob must
+	// not collapse them).
+	newMsg := &Msg{Type: TDoCheckpoint, Model: "gpt", Iteration: 43,
+		DeltaBlock: 128 << 10, Digests: []uint64{0, 5, 0, 7}}
+	nc = NewNetConn(&byteConn{r: bytes.NewReader(encodeMsg(t, newMsg))})
+	got, err = nc.Recv(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, newMsg) {
+		t.Fatalf("delta DO_CHECKPOINT round trip mismatch:\n got %+v\nwant %+v", got, newMsg)
 	}
 }
 

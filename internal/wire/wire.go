@@ -223,6 +223,15 @@ type Msg struct {
 	// CHECKPOINT_DONE and DUMP_RESP, required on LOAD so the receiving
 	// daemon records the same integrity mark as the source copy.
 	CRC uint64
+	// Digests carries the client's per-block content digest vector on
+	// DO_CHECKPOINT (one 64-bit digest per DeltaBlock-sized block of
+	// every tensor, flattened in registration order); DeltaBlock is the
+	// block size the vector was computed under. Gob-compatible
+	// additions: a pre-delta client sends neither, the daemon sees an
+	// empty vector, and the checkpoint runs as a full transfer — old
+	// clients keep working against a delta-enabled daemon.
+	Digests    []uint64
+	DeltaBlock int64
 	// Payload carries a serialized checkpoint container (DUMP_RESP) or
 	// a JSON span tree (TRACE_REPORT).
 	Payload []byte
@@ -238,6 +247,7 @@ func (m *Msg) approxSize() int64 {
 	for _, p := range m.Placement {
 		size += int64(len(p.Node)+len(p.CtrlAddr)+len(p.FabricAddr)) + 16
 	}
+	size += int64(len(m.Digests)) * 8
 	size += int64(len(m.Payload))
 	return size
 }

@@ -4,7 +4,11 @@
 // persistent memory with one-sided RDMA — no serialization, no
 // intermediate copies, no kernel crossings — behind a three-level
 // persistent index with double-mapped version slots for crash
-// consistency.
+// consistency. The two slots are delta-aware: each committed version
+// can carry a persisted block-digest table, so the next checkpoint
+// pulls only the blocks that changed and copy-forwards the rest from
+// the previous slot locally in PMem (full pulls remain the automatic
+// fallback whenever a trusted table is missing).
 //
 // Because the paper's hardware (GPUDirect-capable GPUs, Intel Optane DC
 // PMem, InfiniBand RNICs) has no Go ecosystem, the substrates are
@@ -203,6 +207,17 @@ type ServerConfig struct {
 	// delete trips the watermark, without waiting for an admission to
 	// hit ErrNoSpace first.
 	RepackAuto bool
+	// DeltaEnabled accepts incremental checkpoints: when a client sends
+	// a block-digest vector with DO_CHECKPOINT, only the dirty extents
+	// cross the fabric and the clean blocks copy forward from the
+	// previous version's slot locally in PMem. Checkpoints without a
+	// trusted digest table (or whose delta would move more bytes than a
+	// full pass) automatically fall back to full pulls.
+	DeltaEnabled bool
+	// DeltaBlockBytes, when nonzero, pins the digest block size this
+	// daemon accepts; clients computing a different block size fall
+	// back to full checkpoints. 0 accepts any client block size.
+	DeltaBlockBytes int64
 }
 
 // Server is a running Portus storage server over TCP.
@@ -292,6 +307,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		LaneFailLimit: cfg.LaneFailLimit, Degrade: cfg.Degrade,
 		SlowBudget:      cfg.SlowBudget,
 		RepackWatermark: cfg.RepackWatermark, RepackAuto: cfg.RepackAuto,
+		DeltaEnabled: cfg.DeltaEnabled, DeltaBlockBytes: cfg.DeltaBlockBytes,
 	})
 	if err != nil {
 		ln.Close()
@@ -365,6 +381,11 @@ type JobConfig struct {
 	GPUMemBytes int64
 	// Materialized must match the server's setting.
 	Materialized bool
+	// DeltaBlockBytes, when nonzero, makes every checkpoint compute and
+	// send per-block digests at this granularity, so a delta-enabled
+	// server can run it incrementally (64 KiB is the standard choice).
+	// 0 disables digests: every checkpoint is a full pull.
+	DeltaBlockBytes int64
 }
 
 // Job is a training process connected to a Portus server.
@@ -427,7 +448,7 @@ func (j *Job) RegisterModel(spec Spec) (*Model, error) {
 		fabricAddr = addr
 	}
 	c, err := client.RegisterOpts(j.env, wire.NewNetConn(sock), j.node, placed,
-		client.Options{FabricAddr: fabricAddr})
+		client.Options{FabricAddr: fabricAddr, DeltaBlockBytes: j.cfg.DeltaBlockBytes})
 	if err != nil {
 		return nil, err
 	}
@@ -453,6 +474,14 @@ func (m *Model) Placed() *gpu.PlacedModel { return m.placed }
 // ApplyUpdate simulates one optimizer step: the GPU-resident weights
 // become iteration's deterministic content.
 func (m *Model) ApplyUpdate(iteration uint64) { m.placed.ApplyUpdate(iteration) }
+
+// ApplySparseUpdate simulates one sparse optimizer step: roughly rate
+// of the model's blockBytes-sized blocks take iteration's content and
+// the rest keep their bytes — the workload shape incremental
+// checkpointing exploits.
+func (m *Model) ApplySparseUpdate(iteration uint64, blockBytes int64, rate float64) {
+	m.placed.ApplySparseUpdate(iteration, blockBytes, rate)
+}
 
 // Checkpoint persists the current weights synchronously.
 func (m *Model) Checkpoint(env Env, iteration uint64) error {
@@ -501,7 +530,9 @@ type TestbedConfig = cluster.Config
 
 // NewTestbed builds the simulated cluster plus a served daemon per
 // storage node. Each daemon listens on its node's name ("storage0",
-// ...) and all share one placement map keyed by PMem capacity.
+// ...) and all share one placement map keyed by PMem capacity. The
+// daemons accept incremental checkpoints; clients opt in per model via
+// ClientOptions.DeltaBlockBytes.
 func NewTestbed(env Env, cfg TestbedConfig) (*Testbed, error) {
 	cl, err := cluster.New(env, cfg)
 	if err != nil {
@@ -521,6 +552,7 @@ func NewTestbed(env Env, cfg TestbedConfig) (*Testbed, error) {
 		d, err := daemon.New(env, daemon.Config{
 			PMem: st.PMem, RNode: st.RNode, Fabric: cl.Fabric,
 			NodeName: st.Name, Group: pmap, Replicas: cfg.Replicas,
+			DeltaEnabled: true,
 		})
 		if err != nil {
 			return nil, err
